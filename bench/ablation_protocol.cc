@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation benches for two design points the paper's machine model
+ * takes as given:
+ *
+ *  1. Replacement hints -- the paper assumes processors notify the
+ *     home when they drop shared copies so sharer lists stay exact.
+ *     Disabling them trades hint packets for spurious invalidations.
+ *  2. Data placement -- each program distributes its data per the
+ *     paper's guidelines (blocks at owners, subgrids local, bands
+ *     local). Ignoring placement and interleaving all lines across
+ *     nodes shows how much of the "local data" traffic placement buys.
+ *
+ * Usage: ablation_protocol [--procs 16] [--scale 0.5] [--app <name>]
+ */
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace splash;
+using namespace splash::harness;
+
+namespace {
+
+RunStats
+runConfigured(App& app, int nprocs, const AppConfig& cfg, bool hints,
+              bool placement, std::uint64_t cache_bytes)
+{
+    rt::Env env({rt::Mode::Sim, nprocs});
+    sim::MachineConfig mc;
+    mc.nprocs = nprocs;
+    mc.cache.size = cache_bytes;
+    mc.replacementHints = hints;
+    sim::InterleavedHome interleaved(nprocs, mc.cache.lineSize);
+    sim::MemSystem mem(mc, placement
+                               ? static_cast<sim::HomeResolver*>(
+                                     &env.heap())
+                               : &interleaved);
+    env.attachMemSystem(&mem);
+    RunStats out;
+    out.valid = app.run(env, cfg).valid;
+    for (int p = 0; p < nprocs; ++p)
+        out.exec += env.stats(p);
+    out.mem = mem.total();
+    out.elapsed = env.elapsed();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt(argc, argv);
+    int procs = static_cast<int>(opt.getI("procs", 16));
+    AppConfig cfg;
+    cfg.scale = opt.getD("scale", opt.has("quick") ? 0.25 : 0.5);
+    std::string only = opt.getS("app", "");
+
+    std::uint64_t small = std::uint64_t(opt.getI("cachekb", 16)) << 10;
+    std::printf("Ablation 1: replacement hints with %llu KB caches "
+                "(remote overhead bytes per reference), %d procs\n\n",
+                static_cast<unsigned long long>(small >> 10), procs);
+    Table t1({"Code", "Ovhd/ref (hints)", "Ovhd/ref (none)", "ratio"});
+    for (App* app : suite()) {
+        if (!only.empty() && findApp(only) != app)
+            continue;
+        RunStats with = runConfigured(*app, procs, cfg, true, true,
+                                      small);
+        RunStats without = runConfigured(*app, procs, cfg, false, true,
+                                         small);
+        double a = double(with.mem.remoteOverhead) /
+                   double(with.mem.accesses());
+        double b = double(without.mem.remoteOverhead) /
+                   double(without.mem.accesses());
+        t1.row({app->name(), fmt("%.4f", a), fmt("%.4f", b),
+                fmt("%.2f", a > 0 ? b / a : 0.0)});
+    }
+    t1.print();
+
+    std::printf("\nAblation 2: data placement (fraction of data "
+                "traffic that is local), %d procs\n\n",
+                procs);
+    Table t2({"Code", "Local% (placed)", "Local% (interleaved)",
+              "RemoteData/ref placed", "interleaved"});
+    for (App* app : suite()) {
+        if (!only.empty() && findApp(only) != app)
+            continue;
+        RunStats placed =
+            runConfigured(*app, procs, cfg, true, true, 1u << 20);
+        RunStats inter =
+            runConfigured(*app, procs, cfg, true, false, 1u << 20);
+        auto localPct = [](const RunStats& r) {
+            double data = double(r.mem.localData + r.mem.remoteData());
+            return data > 0 ? 100.0 * double(r.mem.localData) / data
+                            : 0.0;
+        };
+        t2.row({app->name(), fmt("%.1f", localPct(placed)),
+                fmt("%.1f", localPct(inter)),
+                fmt("%.3f", double(placed.mem.remoteData()) /
+                                double(placed.mem.accesses())),
+                fmt("%.3f", double(inter.mem.remoteData()) /
+                                double(inter.mem.accesses()))});
+    }
+    t2.print();
+    return 0;
+}

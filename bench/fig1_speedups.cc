@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 1: PRAM speedups for the SPLASH-2 programs, 1..64 processors,
+ * default data sets, perfect memory system.
+ *
+ * Deviations from ideal speedup are attributable to load imbalance,
+ * serialization in critical sections, and redundant work -- exactly
+ * the quantities the PRAM logical-time model captures.  Expect the
+ * paper's shape: most codes near-ideal; LU, Cholesky, and Radiosity
+ * limited by small problem sizes; Radix limited by its O(r log p)
+ * prefix phase.
+ *
+ * Usage: fig1_speedups [--scale 1.0] [--maxprocs 64] [--app <name>]
+ */
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace splash;
+using namespace splash::harness;
+
+int
+main(int argc, char** argv)
+{
+    Options opt(argc, argv);
+    AppConfig cfg;
+    cfg.scale = opt.getD("scale", opt.has("quick") ? 0.25 : 1.0);
+    int maxp = static_cast<int>(
+        opt.getI("maxprocs", opt.has("quick") ? 16 : 64));
+    std::string only = opt.getS("app", "");
+
+    std::vector<int> procs;
+    for (int p = 1; p <= maxp; p *= 2)
+        procs.push_back(p);
+
+    bool csv = opt.has("csv");
+    if (csv)
+        std::printf("app,procs,speedup\n");
+    else
+        std::printf("Figure 1: PRAM speedups (T1 / Tp), scale %.3g\n\n",
+                    cfg.scale);
+    std::vector<std::string> hdr{"Code"};
+    for (int p : procs)
+        hdr.push_back("P=" + std::to_string(p));
+    Table t(hdr);
+    for (App* app : suite()) {
+        if (!only.empty() && findApp(only) != app)
+            continue;
+        std::vector<std::string> row{app->name()};
+        double t1 = 0;
+        for (int p : procs) {
+            RunStats r = runPram(*app, p, cfg);
+            if (p == 1)
+                t1 = double(r.elapsed);
+            double s = t1 / double(r.elapsed);
+            if (csv)
+                std::printf("%s,%d,%.4f\n", app->name().c_str(), p, s);
+            else
+                row.push_back(fmt("%.2f", s));
+        }
+        if (!csv)
+            t.row(row);
+    }
+    if (!csv) {
+        t.print();
+        std::printf("\n(ideal speedup at P equals P)\n");
+    }
+    return 0;
+}

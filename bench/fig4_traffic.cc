@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 4: traffic breakdown in bytes per FLOP (floating-point codes)
+ * or bytes per instruction (integer codes), for 1..32 processors with
+ * 1 MB 4-way 64-byte-line caches.
+ *
+ * Categories as in the paper: remote data split by miss type (shared =
+ * true+false sharing, cold, capacity) plus remote writebacks, remote
+ * overhead (8-byte protocol packets and data headers), local data, and
+ * the true-sharing traffic that approximates inherent communication.
+ *
+ * Usage: fig4_traffic [--scale 1.0] [--maxprocs 32] [--app <name>]
+ *                     [--cachekb 1024]
+ */
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace splash;
+using namespace splash::harness;
+
+int
+main(int argc, char** argv)
+{
+    Options opt(argc, argv);
+    AppConfig cfg;
+    cfg.scale = opt.getD("scale", opt.has("quick") ? 0.25 : 1.0);
+    int maxp = static_cast<int>(
+        opt.getI("maxprocs", opt.has("quick") ? 8 : 32));
+    std::string only = opt.getS("app", "");
+    sim::CacheConfig cache;
+    cache.size = std::uint64_t(opt.getI("cachekb", 1024)) << 10;
+
+    std::printf("Figure 4: traffic breakdown (bytes per FLOP for FP "
+                "codes, bytes per instruction otherwise); %llu KB "
+                "4-way 64 B caches, scale %.3g\n",
+                static_cast<unsigned long long>(cache.size >> 10),
+                cfg.scale);
+    for (App* app : suite()) {
+        if (!only.empty() && findApp(only) != app)
+            continue;
+        std::printf("\n%s (per %s)\n", app->name().c_str(),
+                    app->isFloatingPoint() ? "FLOP" : "instr");
+        Table t({"P", "RemShared", "RemCold", "RemCap", "RemWB",
+                 "RemOvhd", "Local", "TrueShared", "Total"});
+        for (int p = 1; p <= maxp; p *= 2) {
+            RunStats r = runWithMemSystem(*app, p, cache, cfg);
+            double den = trafficDenominator(*app, r.exec);
+            if (den <= 0)
+                den = 1;
+            auto b = [&](double v) { return fmt("%.4f", v / den); };
+            t.row({std::to_string(p),
+                   b(double(r.mem.remoteSharedData)),
+                   b(double(r.mem.remoteColdData)),
+                   b(double(r.mem.remoteCapacityData)),
+                   b(double(r.mem.remoteWriteback)),
+                   b(double(r.mem.remoteOverhead)),
+                   b(double(r.mem.localData)),
+                   b(double(r.mem.trueSharedData)),
+                   b(double(r.mem.totalTraffic()))});
+        }
+        t.print();
+    }
+    return 0;
+}

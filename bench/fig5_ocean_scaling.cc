@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 5: Ocean traffic at two problem sizes (bytes per FLOP, 1 MB
+ * caches) -- the paper's 258x258 vs 514x514 comparison, sim-scaled to
+ * 130x130 vs 258x258 (interior 128 vs 256).
+ *
+ * Expect sharing traffic per FLOP to *decrease* with the larger data
+ * set while capacity-related (local) traffic increases -- the paper's
+ * point that data-set size and processor count pull the traffic
+ * components in opposite directions.
+ *
+ * Usage: fig5_ocean_scaling [--procs 32] [--n1 128] [--n2 256]
+ */
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace splash;
+using namespace splash::harness;
+
+int
+main(int argc, char** argv)
+{
+    Options opt(argc, argv);
+    int procs = static_cast<int>(
+        opt.getI("procs", opt.has("quick") ? 8 : 32));
+    long n1 = opt.getI("n1", opt.has("quick") ? 64 : 128);
+    long n2 = opt.getI("n2", opt.has("quick") ? 128 : 256);
+
+    App* ocean = findApp("Ocean");
+    sim::CacheConfig cache;  // 1 MB 4-way 64 B
+
+    std::printf("Figure 5: Ocean traffic (bytes/FLOP), %d procs, "
+                "1 MB caches, grids (%ld+2)^2 vs (%ld+2)^2\n\n",
+                procs, n1, n2);
+    Table t({"Grid", "RemShared", "RemCold", "RemCap", "RemWB",
+             "RemOvhd", "Local", "TrueShared", "Total"});
+    for (long n : {n1, n2}) {
+        AppConfig cfg;
+        cfg.n = n;
+        RunStats r = runWithMemSystem(*ocean, procs, cache, cfg);
+        double den = double(r.exec.flops);
+        auto b = [&](double v) { return fmt("%.4f", v / den); };
+        t.row({std::to_string(n + 2) + "^2",
+               b(double(r.mem.remoteSharedData)),
+               b(double(r.mem.remoteColdData)),
+               b(double(r.mem.remoteCapacityData)),
+               b(double(r.mem.remoteWriteback)),
+               b(double(r.mem.remoteOverhead)),
+               b(double(r.mem.localData)),
+               b(double(r.mem.trueSharedData)),
+               b(double(r.mem.totalTraffic()))});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the simulation substrate
+ * itself, plus the DESIGN.md ablation on scheduler quantum size.
+ *
+ *  - MemSystem reference throughput (hit-dominated and miss-heavy)
+ *  - CacheSweep throughput (34 configurations per reference)
+ *  - Scheduler context-switch cost and quantum sensitivity
+ */
+#include <benchmark/benchmark.h>
+
+#include "rt/env.h"
+#include "rt/scheduler.h"
+#include "rt/shared.h"
+#include "sim/memsys.h"
+#include "sim/sweep.h"
+
+using namespace splash;
+
+static void
+BM_MemSystemHits(benchmark::State& state)
+{
+    sim::MachineConfig mc;
+    mc.nprocs = 4;
+    sim::MemSystem mem(mc);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        mem.access(0, 0x10000 + (i % 64) * 8, 8, AccessType::Read);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemSystemHits);
+
+static void
+BM_MemSystemSharingMisses(benchmark::State& state)
+{
+    sim::MachineConfig mc;
+    mc.nprocs = 2;
+    sim::MemSystem mem(mc);
+    bool flip = false;
+    for (auto _ : state) {
+        mem.access(flip ? 0 : 1, 0x10000, 8, AccessType::Write);
+        flip = !flip;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemSystemSharingMisses);
+
+static void
+BM_CacheSweepAccess(benchmark::State& state)
+{
+    sim::SweepConfig sc;
+    sc.nprocs = 4;
+    sim::CacheSweep sweep(sc);
+    std::uint64_t x = 12345;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        sweep.access(static_cast<ProcId>((x >> 62) & 3),
+                     0x100000 + ((x >> 30) % 4096) * 64, 8,
+                     AccessType::Read);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheSweepAccess);
+
+/** Ablation: scheduler quantum size vs simulation throughput. */
+static void
+BM_SchedulerQuantum(benchmark::State& state)
+{
+    const int procs = 8;
+    const std::uint64_t quantum = state.range(0);
+    for (auto _ : state) {
+        rt::Scheduler s(procs, quantum);
+        s.run([&](ProcId p) {
+            for (int i = 0; i < 2000; ++i) {
+                s.advance(p, 1);
+                s.event(p);
+            }
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * procs * 2000);
+}
+BENCHMARK(BM_SchedulerQuantum)->Arg(10)->Arg(50)->Arg(250)->Arg(1000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 1: breakdown of instructions executed for the default problem
+ * sizes on a 32-processor machine.
+ *
+ * Columns follow the paper: total instructions, total FLOPS (for the
+ * floating-point codes), shared reads and writes, and synchronization
+ * operations (barriers per processor; locks and pauses totaled across
+ * processors).  Our instrumentation counts shared-data references
+ * exactly and models non-memory instructions with per-site work
+ * annotations, so "Total Instr" is an annotation-based estimate (see
+ * DESIGN.md).
+ *
+ * Usage: table1_characterization [--procs 32] [--scale 1.0]
+ *                                [--app <name>]
+ */
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace splash;
+using namespace splash::harness;
+
+int
+main(int argc, char** argv)
+{
+    Options opt(argc, argv);
+    int procs = static_cast<int>(opt.getI("procs", 32));
+    AppConfig cfg;
+    cfg.scale = opt.getD("scale", opt.has("quick") ? 0.25 : 1.0);
+    std::string only = opt.getS("app", "");
+
+    std::printf("Table 1: instruction breakdown, %d processors, "
+                "scale %.3g\n\n",
+                procs, cfg.scale);
+    Table t({"Code", "Instr(M)", "FLOPS(M)", "ShRd(M)", "ShWr(M)",
+             "Barriers/proc", "Locks", "Pauses", "valid"});
+    for (App* app : suite()) {
+        if (!only.empty() && findApp(only) != app)
+            continue;
+        RunStats r = runPram(*app, procs, cfg);
+        std::uint64_t locks = 0, pauses = 0, barriers = 0;
+        for (const auto& ps : r.perProc) {
+            locks += ps.locks;
+            pauses += ps.pauses;
+        }
+        barriers = r.perProc.empty() ? 0 : r.perProc[0].barriers;
+        t.row({app->name(),
+               fmt("%.2f", r.exec.instructions() / 1e6),
+               app->isFloatingPoint() ? fmt("%.2f", r.exec.flops / 1e6)
+                                      : "-",
+               fmt("%.2f", r.exec.reads / 1e6),
+               fmt("%.2f", r.exec.writes / 1e6),
+               fmtU(barriers), fmtU(locks), fmtU(pauses),
+               r.valid ? "yes" : "NO"});
+    }
+    t.print();
+    return 0;
+}

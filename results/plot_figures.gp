@@ -1,0 +1,41 @@
+# Gnuplot recipes for the paper's figure shapes from the CSV outputs.
+#
+#   ./build/bench/fig1_speedups --csv > results/fig1.csv
+#   ./build/bench/fig3_working_sets --csv > results/fig3.csv
+#   gnuplot -e "fig=1" results/plot_figures.gp   # -> fig1.png
+#   gnuplot -e "fig=3" results/plot_figures.gp   # -> fig3_<app>.png
+#
+# (The benches print a header row; gnuplot's `skip 1` below handles it.)
+
+set datafile separator ','
+set term pngcairo size 900,600
+set key left top
+
+if (!exists("fig")) fig = 1
+
+if (fig == 1) {
+    set output 'fig1.png'
+    set title 'Figure 1: PRAM speedups'
+    set xlabel 'processors'
+    set ylabel 'speedup'
+    set logscale x 2
+    set xrange [1:64]
+    plot for [app in "Barnes Cholesky FFT FMM LU Ocean Radiosity Radix Raytrace Volrend Water-Nsq Water-Sp"] \
+        'fig1.csv' skip 1 using 2:(strcol(1) eq app ? $3 : NaN) \
+        with linespoints title app, \
+        x with lines dt 2 lc 'gray' title 'ideal'
+}
+
+if (fig == 3) {
+    set xlabel 'cache size (KB)'
+    set ylabel 'miss rate (%)'
+    set logscale x 2
+    do for [app in "Barnes Cholesky FFT FMM LU Ocean Radiosity Radix Raytrace Volrend Water-Nsq Water-Sp"] {
+        set output sprintf('fig3_%s.png', app)
+        set title sprintf('Figure 3: %s miss rate vs cache size', app)
+        plot for [a in "1 2 4 0"] \
+            'fig3.csv' skip 1 \
+            using ($2/1024):(strcol(1) eq app && strcol(3) eq a ? 100*$4 : NaN) \
+            with linespoints title (a eq "0" ? "full" : a."-way")
+    }
+}

@@ -1,0 +1,542 @@
+#include "apps/barnes/barnes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/log.h"
+#include "base/rng.h"
+
+namespace splash::apps::barnes {
+
+Barnes::Barnes(rt::Env& env, const Config& cfg)
+    : env_(env), cfg_(cfg), bodies_(env, cfg.nbodies),
+      cells_(env, std::size_t(4) * cfg.nbodies / cfg.leafCap + 64),
+      cellCount_(env, 0)
+{
+    ensure(cfg_.leafCap >= 1 && cfg_.leafCap <= 16,
+           "Barnes: leafCap must be in [1, 16]");
+    for (std::size_t i = 0; i < cells_.size(); ++i)
+        cellLock_.push_back(std::make_unique<rt::Lock>(env));
+    poolLock_ = std::make_unique<rt::Lock>(env);
+    boundsLock_ = std::make_unique<rt::Lock>(env);
+    bar_ = std::make_unique<rt::Barrier>(env);
+
+    // Plummer-ish spherical cloud with deterministic randomness.
+    Rng rng(cfg_.seed);
+    for (int b = 0; b < cfg_.nbodies; ++b) {
+        Body bb{};
+        double r = 1.0 / std::sqrt(std::pow(rng.uniform(0.1, 0.999),
+                                            -2.0 / 3.0) -
+                                   1.0);
+        double ctheta = rng.uniform(-1.0, 1.0);
+        double phi = rng.uniform(0.0, 6.28318530717958648);
+        double stheta = std::sqrt(1.0 - ctheta * ctheta);
+        bb.pos[0] = r * stheta * std::cos(phi);
+        bb.pos[1] = r * stheta * std::sin(phi);
+        bb.pos[2] = r * ctheta;
+        for (int d = 0; d < 3; ++d)
+            bb.vel[d] = rng.uniform(-0.1, 0.1);
+        bb.mass = 1.0 / cfg_.nbodies;
+        bb.cost = 1.0;
+        bodies_.raw()[b] = bb;
+    }
+    assignStart_.assign(env.nprocs() + 1, 0);
+    for (int q = 0; q <= env.nprocs(); ++q)
+        assignStart_[q] = long(cfg_.nbodies) * q / env.nprocs();
+}
+
+int
+Barnes::octantOf(int cell, const double p[3]) const
+{
+    const Cell& c = cells_.raw()[cell];
+    int o = 0;
+    for (int d = 0; d < 3; ++d)
+        if (p[d] >= c.center[d])
+            o |= (1 << d);
+    return o;
+}
+
+int
+Barnes::newCell(rt::ProcCtx& c, const double center[3], double half,
+                int level)
+{
+    int idx;
+    {
+        rt::Lock::Guard g(*poolLock_, c);
+        idx = cellCount_.get();
+        if (idx >= static_cast<int>(cells_.size()))
+            fatal("Barnes: cell pool exhausted");
+        cellCount_.set(idx + 1);
+    }
+    Cell fresh{};
+    for (int d = 0; d < 3; ++d)
+        fresh.center[d] = center[d];
+    fresh.half = half;
+    fresh.level = level;
+    fresh.isLeaf = true;
+    fresh.nleaf = 0;
+    for (int o = 0; o < 8; ++o)
+        fresh.child[o] = -1;
+    cells_.st(idx, fresh);
+    return idx;
+}
+
+void
+Barnes::computeBounds(rt::ProcCtx& c)
+{
+    if (c.id() == 0) {
+        for (int d = 0; d < 3; ++d) {
+            boundsMin_[d] = 1e30;
+            boundsMax_[d] = -1e30;
+        }
+    }
+    bar_->arrive(c);
+    double mn[3] = {1e30, 1e30, 1e30}, mx[3] = {-1e30, -1e30, -1e30};
+    const Body* raw = bodies_.raw();
+    for (long b = assignStart_[c.id()]; b < assignStart_[c.id() + 1];
+         ++b) {
+        for (int d = 0; d < 3; ++d) {
+            rt::touchRead(&raw[b].pos[d], sizeof(double));
+            mn[d] = std::min(mn[d], raw[b].pos[d]);
+            mx[d] = std::max(mx[d], raw[b].pos[d]);
+        }
+        c.flops(6);
+    }
+    {
+        rt::Lock::Guard g(*boundsLock_, c);
+        for (int d = 0; d < 3; ++d) {
+            boundsMin_[d] = std::min(boundsMin_[d], mn[d]);
+            boundsMax_[d] = std::max(boundsMax_[d], mx[d]);
+        }
+        c.flops(6);
+    }
+    bar_->arrive(c);
+    if (c.id() == 0) {
+        double half = 0.0;
+        for (int d = 0; d < 3; ++d) {
+            rootCenter_[d] = 0.5 * (boundsMin_[d] + boundsMax_[d]);
+            half = std::max(half,
+                            0.5 * (boundsMax_[d] - boundsMin_[d]));
+        }
+        rootHalf_ = half * 1.00001 + 1e-9;
+        cellCount_.set(0);
+        newCell(c, rootCenter_, rootHalf_, 0);
+    }
+    bar_->arrive(c);
+}
+
+void
+Barnes::splitLeaf(rt::ProcCtx& c, int cell)
+{
+    // Caller holds cell's lock. Convert to internal and redistribute.
+    Cell cur = cells_.ld(cell);
+    int moved[16];
+    int nmoved = cur.nleaf;
+    for (int k = 0; k < nmoved; ++k)
+        moved[k] = cur.leafBodies[k];
+    cur.isLeaf = false;
+    cur.nleaf = 0;
+    cells_.st(cell, cur);
+    const Body* raw = bodies_.raw();
+    for (int k = 0; k < nmoved; ++k) {
+        int b = moved[k];
+        double p[3];
+        for (int d = 0; d < 3; ++d) {
+            rt::touchRead(&raw[b].pos[d], sizeof(double));
+            p[d] = raw[b].pos[d];
+        }
+        int o = octantOf(cell, p);
+        Cell now = cells_.ld(cell);
+        int ch = now.child[o];
+        if (ch < 0) {
+            double ctr[3];
+            for (int d = 0; d < 3; ++d)
+                ctr[d] = now.center[d] +
+                         ((o >> d) & 1 ? 0.5 : -0.5) * now.half;
+            ch = newCell(c, ctr, now.half * 0.5, now.level + 1);
+            now.child[o] = ch;
+            cells_.st(cell, now);
+        }
+        // Children are freshly created under our lock: insert directly
+        // (they can overflow only if every body shares an octant; that
+        // recursion is handled by the caller's descent loop re-trying).
+        Cell leaf = cells_.ld(ch);
+        if (leaf.nleaf < cfg_.leafCap) {
+            leaf.leafBodies[leaf.nleaf++] = b;
+            cells_.st(ch, leaf);
+        } else {
+            // Extremely clustered: split the child and retry once.
+            splitLeaf(c, ch);
+            // After splitting, descend within this subtree.
+            int cur2 = ch;
+            for (;;) {
+                Cell cc = cells_.ld(cur2);
+                int oo = octantOf(cur2, p);
+                int ch2 = cc.child[oo];
+                if (ch2 < 0) {
+                    double ctr[3];
+                    for (int d = 0; d < 3; ++d)
+                        ctr[d] = cc.center[d] +
+                                 ((oo >> d) & 1 ? 0.5 : -0.5) * cc.half;
+                    ch2 = newCell(c, ctr, cc.half * 0.5, cc.level + 1);
+                    cc.child[oo] = ch2;
+                    cells_.st(cur2, cc);
+                }
+                Cell l2 = cells_.ld(ch2);
+                if (l2.isLeaf && l2.nleaf < cfg_.leafCap) {
+                    l2.leafBodies[l2.nleaf++] = b;
+                    cells_.st(ch2, l2);
+                    break;
+                }
+                if (l2.isLeaf)
+                    splitLeaf(c, ch2);
+                cur2 = ch2;
+            }
+        }
+    }
+}
+
+void
+Barnes::insertBody(rt::ProcCtx& c, int b)
+{
+    const Body* raw = bodies_.raw();
+    double p[3];
+    for (int d = 0; d < 3; ++d) {
+        rt::touchRead(&raw[b].pos[d], sizeof(double));
+        p[d] = raw[b].pos[d];
+    }
+    int cur = 0;
+    for (;;) {
+        rt::Lock::Guard g(*cellLock_[cur], c);
+        Cell cc = cells_.ld(cur);
+        if (cc.isLeaf) {
+            if (cc.nleaf < cfg_.leafCap) {
+                cc.leafBodies[cc.nleaf++] = b;
+                cells_.st(cur, cc);
+                return;
+            }
+            splitLeaf(c, cur);
+            // fall through: cell is now internal; continue descent
+            cc = cells_.ld(cur);
+        }
+        int o = octantOf(cur, p);
+        int ch = cc.child[o];
+        if (ch < 0) {
+            double ctr[3];
+            for (int d = 0; d < 3; ++d)
+                ctr[d] = cc.center[d] +
+                         ((o >> d) & 1 ? 0.5 : -0.5) * cc.half;
+            ch = newCell(c, ctr, cc.half * 0.5, cc.level + 1);
+            Cell leaf = cells_.ld(ch);
+            leaf.leafBodies[leaf.nleaf++] = b;
+            cells_.st(ch, leaf);
+            cc.child[o] = ch;
+            cells_.st(cur, cc);
+            return;
+        }
+        cur = ch;  // release lock and descend
+    }
+}
+
+void
+Barnes::buildTree(rt::ProcCtx& c)
+{
+    for (long b = assignStart_[c.id()]; b < assignStart_[c.id() + 1];
+         ++b)
+        insertBody(c, static_cast<int>(b));
+    bar_->arrive(c);
+}
+
+void
+Barnes::levelize(rt::ProcCtx& c)
+{
+    if (c.id() == 0) {
+        levels_.clear();
+        int ncells = cellCount_.get();
+        for (int i = 0; i < ncells; ++i) {
+            int lv = cells_.raw()[i].level;
+            if (lv >= static_cast<int>(levels_.size()))
+                levels_.resize(lv + 1);
+            levels_[lv].push_back(i);
+        }
+        c.work(std::uint64_t(ncells));
+    }
+    bar_->arrive(c);
+}
+
+void
+Barnes::computeCoM(rt::ProcCtx& c)
+{
+    const int p = c.nprocs();
+    for (int lv = static_cast<int>(levels_.size()) - 1; lv >= 0; --lv) {
+        const auto& cl = levels_[lv];
+        std::size_t per = (cl.size() + p - 1) / p;
+        std::size_t first = per * c.id();
+        std::size_t last = std::min(cl.size(), first + per);
+        const Body* raw = bodies_.raw();
+        for (std::size_t k = first; k < last; ++k) {
+            Cell cc = cells_.ld(cl[k]);
+            double m = 0, com[3] = {0, 0, 0};
+            if (cc.isLeaf) {
+                for (int i = 0; i < cc.nleaf; ++i) {
+                    int b = cc.leafBodies[i];
+                    rt::touchRead(&raw[b].mass, sizeof(double));
+                    double bm = raw[b].mass;
+                    m += bm;
+                    for (int d = 0; d < 3; ++d) {
+                        rt::touchRead(&raw[b].pos[d], sizeof(double));
+                        com[d] += bm * raw[b].pos[d];
+                    }
+                    c.flops(7);
+                }
+            } else {
+                for (int o = 0; o < 8; ++o) {
+                    if (cc.child[o] < 0)
+                        continue;
+                    Cell ch = cells_.ld(cc.child[o]);
+                    m += ch.mass;
+                    for (int d = 0; d < 3; ++d)
+                        com[d] += ch.mass * ch.com[d];
+                    c.flops(7);
+                }
+            }
+            cc.mass = m;
+            for (int d = 0; d < 3; ++d)
+                cc.com[d] = m > 0 ? com[d] / m : cc.center[d];
+            c.flops(3);
+            cells_.st(cl[k], cc);
+        }
+        bar_->arrive(c);
+    }
+}
+
+void
+Barnes::forceOnBody(rt::ProcCtx& c, int b)
+{
+    Body* raw = bodies_.raw();
+    double p[3];
+    for (int d = 0; d < 3; ++d) {
+        rt::touchRead(&raw[b].pos[d], sizeof(double));
+        p[d] = raw[b].pos[d];
+    }
+    double acc[3] = {0, 0, 0};
+    double interactions = 0;
+    const double eps2 = cfg_.eps * cfg_.eps;
+    const double theta2 = cfg_.theta * cfg_.theta;
+
+    int stack[256];
+    int sp = 0;
+    stack[sp++] = 0;
+    while (sp > 0) {
+        int ci = stack[--sp];
+        Cell cc = cells_.ld(ci);
+        if (cc.isLeaf) {
+            for (int k = 0; k < cc.nleaf; ++k) {
+                int j = cc.leafBodies[k];
+                if (j == b)
+                    continue;
+                double dr[3];
+                for (int d = 0; d < 3; ++d) {
+                    rt::touchRead(&raw[j].pos[d], sizeof(double));
+                    dr[d] = raw[j].pos[d] - p[d];
+                }
+                rt::touchRead(&raw[j].mass, sizeof(double));
+                double r2 = dr[0] * dr[0] + dr[1] * dr[1] +
+                            dr[2] * dr[2] + eps2;
+                double inv = 1.0 / std::sqrt(r2);
+                double f = raw[j].mass * inv * inv * inv;
+                for (int d = 0; d < 3; ++d)
+                    acc[d] += f * dr[d];
+                c.flops(20);
+                interactions += 1;
+            }
+            continue;
+        }
+        double dr[3];
+        for (int d = 0; d < 3; ++d)
+            dr[d] = cc.com[d] - p[d];
+        double r2 = dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2];
+        double size = 2.0 * cc.half;
+        c.flops(9);
+        if (size * size < theta2 * r2) {
+            // Well separated: use the cell's center of mass.
+            r2 += eps2;
+            double inv = 1.0 / std::sqrt(r2);
+            double f = cc.mass * inv * inv * inv;
+            for (int d = 0; d < 3; ++d)
+                acc[d] += f * dr[d];
+            c.flops(12);
+            interactions += 1;
+        } else {
+            for (int o = 0; o < 8; ++o) {
+                if (cc.child[o] >= 0) {
+                    ensure(sp < 256, "Barnes: traversal stack overflow");
+                    stack[sp++] = cc.child[o];
+                }
+            }
+        }
+    }
+    for (int d = 0; d < 3; ++d) {
+        rt::touchWrite(&raw[b].acc[d], sizeof(double));
+        raw[b].acc[d] = acc[d];
+    }
+    rt::touchWrite(&raw[b].cost, sizeof(double));
+    raw[b].cost = interactions;
+}
+
+void
+Barnes::forcePhase(rt::ProcCtx& c)
+{
+    for (long b = assignStart_[c.id()]; b < assignStart_[c.id() + 1];
+         ++b)
+        forceOnBody(c, static_cast<int>(b));
+    bar_->arrive(c);
+}
+
+void
+Barnes::advance(rt::ProcCtx& c)
+{
+    Body* raw = bodies_.raw();
+    double kin = 0.0;
+    for (long b = assignStart_[c.id()]; b < assignStart_[c.id() + 1];
+         ++b) {
+        for (int d = 0; d < 3; ++d) {
+            rt::touchRead(&raw[b].vel[d], sizeof(double));
+            rt::touchRead(&raw[b].acc[d], sizeof(double));
+            double v = raw[b].vel[d] + raw[b].acc[d] * cfg_.dt;
+            rt::touchWrite(&raw[b].vel[d], sizeof(double));
+            raw[b].vel[d] = v;
+            rt::touchRead(&raw[b].pos[d], sizeof(double));
+            rt::touchWrite(&raw[b].pos[d], sizeof(double));
+            raw[b].pos[d] += v * cfg_.dt;
+            kin += 0.5 * raw[b].mass * v * v;
+            c.flops(7);
+        }
+    }
+    {
+        rt::Lock::Guard g(*boundsLock_, c);
+        kinetic_ += kin;
+    }
+    bar_->arrive(c);
+}
+
+void
+Barnes::partitionByCost(rt::ProcCtx& c)
+{
+    if (c.id() == 0) {
+        const Body* raw = bodies_.raw();
+        double total = 0;
+        for (int b = 0; b < cfg_.nbodies; ++b)
+            total += raw[b].cost;
+        c.work(std::uint64_t(cfg_.nbodies));
+        int p = c.nprocs();
+        double per = total / p;
+        double acc = 0;
+        int q = 1;
+        for (int b = 0; b < cfg_.nbodies && q < p; ++b) {
+            acc += raw[b].cost;
+            if (acc >= per * q)
+                assignStart_[q++] = b + 1;
+        }
+        while (q < p)
+            assignStart_[q++] = cfg_.nbodies;
+        assignStart_[p] = cfg_.nbodies;
+        c.work(std::uint64_t(cfg_.nbodies));
+    }
+    bar_->arrive(c);
+}
+
+void
+Barnes::body(rt::ProcCtx& c)
+{
+    for (int s = 0; s < cfg_.steps; ++s) {
+        if (s == cfg_.warmupSteps && s > 0) {
+            bar_->arrive(c);
+            if (c.id() == 0)
+                env_.startMeasurement();
+            bar_->arrive(c);
+        }
+        computeBounds(c);
+        buildTree(c);
+        levelize(c);
+        computeCoM(c);
+        forcePhase(c);
+        if (c.id() == 0)
+            kinetic_ = 0.0;
+        bar_->arrive(c);
+        advance(c);
+        partitionByCost(c);
+    }
+}
+
+Result
+Barnes::run()
+{
+    env_.run([this](rt::ProcCtx& c) { body(c); });
+    Result r;
+    r.kinetic = kinetic_;
+    double sum = 0;
+    for (int b = 0; b < cfg_.nbodies; ++b)
+        for (int d = 0; d < 3; ++d)
+            sum += bodies_.raw()[b].pos[d] * (d + 1);
+    r.checksum = sum;
+    r.valid = std::isfinite(sum);
+    return r;
+}
+
+std::vector<double>
+Barnes::accelerations() const
+{
+    std::vector<double> out(std::size_t(3) * cfg_.nbodies);
+    for (int b = 0; b < cfg_.nbodies; ++b)
+        for (int d = 0; d < 3; ++d)
+            out[3 * b + d] = bodies_.raw()[b].acc[d];
+    return out;
+}
+
+std::vector<double>
+Barnes::positions() const
+{
+    std::vector<double> out(std::size_t(3) * cfg_.nbodies);
+    for (int b = 0; b < cfg_.nbodies; ++b)
+        for (int d = 0; d < 3; ++d)
+            out[3 * b + d] = bodies_.raw()[b].pos[d];
+    return out;
+}
+
+std::vector<double>
+Barnes::directAccelerations() const
+{
+    const Body* raw = bodies_.raw();
+    std::vector<double> out(std::size_t(3) * cfg_.nbodies, 0.0);
+    const double eps2 = cfg_.eps * cfg_.eps;
+    for (int i = 0; i < cfg_.nbodies; ++i) {
+        for (int j = 0; j < cfg_.nbodies; ++j) {
+            if (i == j)
+                continue;
+            double dr[3];
+            for (int d = 0; d < 3; ++d)
+                dr[d] = raw[j].pos[d] - raw[i].pos[d];
+            double r2 = dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2] +
+                        eps2;
+            double inv = 1.0 / std::sqrt(r2);
+            double f = raw[j].mass * inv * inv * inv;
+            for (int d = 0; d < 3; ++d)
+                out[3 * i + d] += f * dr[d];
+        }
+    }
+    return out;
+}
+
+int
+Barnes::bodiesInTree() const
+{
+    int total = 0;
+    int ncells = cellCount_.get();
+    for (int i = 0; i < ncells; ++i)
+        if (cells_.raw()[i].isLeaf)
+            total += cells_.raw()[i].nleaf;
+    return total;
+}
+
+} // namespace splash::apps::barnes

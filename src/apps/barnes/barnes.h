@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Barnes: 3-D hierarchical N-body simulation (Barnes-Hut), as in
+ * SPLASH-2:
+ *
+ *  - the computational domain is an octree with leaves holding
+ *    multiple bodies (the [HoS95] improvement over SPLASH-1),
+ *  - the tree is built in parallel, processors inserting their own
+ *    bodies under per-cell locks,
+ *  - centers of mass propagate upward level by level,
+ *  - most time is spent in per-body partial traversals of the octree
+ *    using the opening criterion size/distance < theta,
+ *  - work is partitioned by per-body cost from the previous time-step
+ *    (a simplified costzones scheme),
+ *  - no attempt is made at intelligent data distribution of body data
+ *    (the paper notes this is unimportant at page granularity).
+ *
+ * Paper default: 16 K bodies; sim-scaled default: 2 K bodies.
+ */
+#ifndef SPLASH2_APPS_BARNES_BARNES_H
+#define SPLASH2_APPS_BARNES_BARNES_H
+
+#include <memory>
+#include <vector>
+
+#include "rt/env.h"
+#include "rt/shared.h"
+#include "rt/sync.h"
+
+namespace splash::apps::barnes {
+
+struct Config
+{
+    int nbodies = 2048;
+    int steps = 3;
+    /** Steps before measurement starts (paper: skip cold start). */
+    int warmupSteps = 0;
+    double theta = 1.0;   ///< opening criterion
+    double dt = 0.025;
+    double eps = 0.05;    ///< Plummer softening
+    int leafCap = 8;      ///< max bodies per leaf
+    unsigned seed = 1234;
+};
+
+struct Body
+{
+    double pos[3];
+    double vel[3];
+    double acc[3];
+    double mass;
+    double cost;  ///< interactions in the previous force phase
+};
+
+/** Octree node: internal (children) or leaf (body list). */
+struct Cell
+{
+    double center[3];
+    double half = 0.0;       ///< half edge length
+    double com[3];           ///< center of mass (after upward pass)
+    double mass = 0.0;
+    int child[8];            ///< cell indices; -1 = empty
+    int leafBodies[16];
+    int nleaf = 0;
+    int level = 0;
+    bool isLeaf = true;
+};
+
+struct Result
+{
+    bool valid = true;
+    double checksum = 0.0;
+    double kinetic = 0.0;
+};
+
+class Barnes
+{
+  public:
+    Barnes(rt::Env& env, const Config& cfg);
+
+    Result run();
+
+    /** Accelerations after the last force phase (uninstrumented). */
+    std::vector<double> accelerations() const;
+    std::vector<double> positions() const;
+
+    /** Direct O(n^2) reference accelerations on current positions. */
+    std::vector<double> directAccelerations() const;
+
+    /** Tree introspection for tests (valid after run()). */
+    int bodiesInTree() const;
+
+  private:
+    void body(rt::ProcCtx& c);
+    void computeBounds(rt::ProcCtx& c);
+    void buildTree(rt::ProcCtx& c);
+    void insertBody(rt::ProcCtx& c, int b);
+    int newCell(rt::ProcCtx& c, const double center[3], double half,
+                int level);
+    void splitLeaf(rt::ProcCtx& c, int cell);
+    void levelize(rt::ProcCtx& c);
+    void computeCoM(rt::ProcCtx& c);
+    void forcePhase(rt::ProcCtx& c);
+    void forceOnBody(rt::ProcCtx& c, int b);
+    void advance(rt::ProcCtx& c);
+    void partitionByCost(rt::ProcCtx& c);
+
+    int octantOf(int cell, const double p[3]) const;
+
+    rt::Env& env_;
+    Config cfg_;
+    rt::SharedArray<Body> bodies_;
+    rt::SharedArray<Cell> cells_;
+    rt::SharedVar<int> cellCount_;
+    std::vector<std::unique_ptr<rt::Lock>> cellLock_;
+    std::unique_ptr<rt::Lock> poolLock_;
+    std::unique_ptr<rt::Lock> boundsLock_;
+    std::unique_ptr<rt::Barrier> bar_;
+
+    // Host-side coordination state written by processor 0 between
+    // barriers (read-only for the others).
+    double rootCenter_[3] = {0, 0, 0};
+    double rootHalf_ = 0.0;
+    double boundsMin_[3], boundsMax_[3];
+    std::vector<std::vector<int>> levels_;
+    std::vector<long> assignStart_;  ///< cost-balanced body ranges
+    double kinetic_ = 0.0;
+};
+
+} // namespace splash::apps::barnes
+
+#endif // SPLASH2_APPS_BARNES_BARNES_H

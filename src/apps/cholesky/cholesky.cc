@@ -1,0 +1,230 @@
+#include "apps/cholesky/cholesky.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "base/log.h"
+
+namespace splash::apps::cholesky {
+
+Cholesky::Cholesky(rt::Env& env, const Config& cfg)
+    : env_(env), cfg_(cfg), n_(cfg.grid * cfg.grid)
+{
+    buildMatrix();
+    symbolicFactorization();
+
+    val_ = rt::SharedArray<double>(env, colPtr_.back());
+    remaining_ = rt::SharedArray<int>(env, n_);
+    for (int j = 0; j < n_; ++j)
+        colLock_.push_back(std::make_unique<rt::Lock>(env));
+    tq_ = std::make_unique<rt::TaskQueues>(env, env.nprocs());
+    bar_ = std::make_unique<rt::Barrier>(env);
+
+    // Scatter A's values into L's structure (fill entries start 0).
+    for (int j = 0; j < n_; ++j) {
+        long lp = colPtr_[j];
+        for (long ap = aColPtr_[j]; ap < aColPtr_[j + 1]; ++ap) {
+            int row = aRowIdx_[ap];
+            while (rowIdx_[lp] != row)
+                ++lp;
+            val_.raw()[lp] = aVal_[ap];
+        }
+        remaining_.raw()[j] = updatesNeeded_[j];
+    }
+}
+
+void
+Cholesky::buildMatrix()
+{
+    // 5-point 2-D grid Laplacian, lower triangle, CSC by columns.
+    const int k = cfg_.grid;
+    aColPtr_.assign(n_ + 1, 0);
+    for (int col = 0; col < n_; ++col) {
+        int x = col % k, y = col / k;
+        aColPtr_[col + 1] = aColPtr_[col] + 1;   // diagonal
+        if (x + 1 < k)
+            ++aColPtr_[col + 1];
+        if (y + 1 < k)
+            ++aColPtr_[col + 1];
+    }
+    aRowIdx_.resize(aColPtr_[n_]);
+    aVal_.resize(aColPtr_[n_]);
+    for (int col = 0; col < n_; ++col) {
+        int x = col % k, y = col / k;
+        long p = aColPtr_[col];
+        aRowIdx_[p] = col;
+        aVal_[p] = 4.0 + cfg_.shift;
+        ++p;
+        if (x + 1 < k) {
+            aRowIdx_[p] = col + 1;
+            aVal_[p] = -1.0;
+            ++p;
+        }
+        if (y + 1 < k) {
+            aRowIdx_[p] = col + k;
+            aVal_[p] = -1.0;
+            ++p;
+        }
+    }
+}
+
+void
+Cholesky::symbolicFactorization()
+{
+    // Column structures of L via the classic union algorithm:
+    // struct(L_j) = struct(A_j)  U  union over children k of the
+    // elimination tree of (struct(L_k) \ {k}).
+    parent_.assign(n_, -1);
+    std::vector<std::set<int>> cols(n_);
+    std::vector<std::vector<int>> children(n_);
+    for (int j = 0; j < n_; ++j) {
+        for (long p = aColPtr_[j]; p < aColPtr_[j + 1]; ++p)
+            cols[j].insert(aRowIdx_[p]);
+        for (int k : children[j]) {
+            auto it = cols[k].upper_bound(k);
+            for (; it != cols[k].end(); ++it)
+                cols[j].insert(*it);
+        }
+        auto it = cols[j].upper_bound(j);
+        if (it != cols[j].end()) {
+            parent_[j] = *it;
+            children[*it].push_back(j);
+        }
+    }
+
+    colPtr_.assign(n_ + 1, 0);
+    for (int j = 0; j < n_; ++j)
+        colPtr_[j + 1] = colPtr_[j] + static_cast<long>(cols[j].size());
+    rowIdx_.resize(colPtr_[n_]);
+    for (int j = 0; j < n_; ++j) {
+        long p = colPtr_[j];
+        for (int r : cols[j])
+            rowIdx_[p++] = r;
+    }
+
+    // updatesNeeded[i] = # of columns j < i with L(i, j) != 0
+    //                  = nonzeros in row i strictly left of the diagonal.
+    updatesNeeded_.assign(n_, 0);
+    for (int j = 0; j < n_; ++j)
+        for (long p = colPtr_[j] + 1; p < colPtr_[j + 1]; ++p)
+            ++updatesNeeded_[rowIdx_[p]];
+}
+
+void
+Cholesky::cdiv(rt::ProcCtx& c, int j)
+{
+    long d = colPtr_[j];
+    double ljj = std::sqrt(val_.ld(d));
+    val_.st(d, ljj);
+    c.flops(1);
+    double inv = 1.0 / ljj;
+    for (long p = d + 1; p < colPtr_[j + 1]; ++p) {
+        val_.st(p, val_.ld(p) * inv);
+        c.flops(1);
+    }
+}
+
+void
+Cholesky::cmod(rt::ProcCtx& c, int target, int j,
+               std::vector<int>& posMap)
+{
+    // Apply the rank-1 update of column j to column `target`:
+    // L(r, target) -= L(r, j) * L(target, j)  for r in struct(L_j),
+    // r >= target. Serialized by target's column lock.
+    long jp = colPtr_[j];
+    long jend = colPtr_[j + 1];
+    // Find L(target, j).
+    long tp = jp + 1;
+    while (rowIdx_[tp] != target)
+        ++tp;
+    double ltj = val_.ld(tp);
+
+    // Build the scatter map for the target column.
+    for (long p = colPtr_[target]; p < colPtr_[target + 1]; ++p)
+        posMap[rowIdx_[p]] = static_cast<int>(p - colPtr_[target]);
+    c.work(colPtr_[target + 1] - colPtr_[target]);
+
+    rt::Lock::Guard g(*colLock_[target], c);
+    for (long p = tp; p < jend; ++p) {
+        int r = rowIdx_[p];
+        long pos = colPtr_[target] + posMap[r];
+        val_.st(pos, val_.ld(pos) - val_.ld(p) * ltj);
+        c.flops(2);
+    }
+    int left = remaining_.ld(target) - 1;
+    remaining_.st(target, left);
+    if (left == 0)
+        tq_->push(c, c.id(), static_cast<std::uint64_t>(target));
+}
+
+void
+Cholesky::body(rt::ProcCtx& c)
+{
+    // Seed ready columns (no pending updates) from this proc's slice.
+    for (int j = c.id(); j < n_; j += c.nprocs()) {
+        if (updatesNeeded_[j] == 0)
+            tq_->push(c, c.id(), static_cast<std::uint64_t>(j));
+    }
+    // One startup barrier so no processor sees an empty system before
+    // seeding finishes; the numeric phase itself is barrier-free.
+    bar_->arrive(c);
+    std::vector<int> posMap(n_, -1);
+    std::uint64_t task;
+    while (tq_->get(c, c.id(), task)) {
+        int j = static_cast<int>(task);
+        cdiv(c, j);
+        for (long p = colPtr_[j] + 1; p < colPtr_[j + 1]; ++p)
+            cmod(c, rowIdx_[p], j, posMap);
+        tq_->done(c);
+    }
+}
+
+Result
+Cholesky::run()
+{
+    env_.run([this](rt::ProcCtx& c) { body(c); });
+    Result r;
+    r.fillNonzeros = colPtr_.back();
+    double sum = 0.0;
+    for (int j = 0; j < n_; ++j)
+        sum += val_.raw()[colPtr_[j]];  // trace of L
+    r.checksum = sum;
+    r.valid = std::isfinite(sum) && sum > 0;
+    return r;
+}
+
+std::vector<double>
+Cholesky::reconstructDense() const
+{
+    std::vector<double> dense(std::size_t(n_) * n_, 0.0);
+    // L in dense form.
+    std::vector<double> L(std::size_t(n_) * n_, 0.0);
+    for (int j = 0; j < n_; ++j)
+        for (long p = colPtr_[j]; p < colPtr_[j + 1]; ++p)
+            L[std::size_t(rowIdx_[p]) * n_ + j] = val_.raw()[p];
+    for (int i = 0; i < n_; ++i)
+        for (int j = 0; j <= i; ++j) {
+            double s = 0;
+            for (int k = 0; k <= j; ++k)
+                s += L[std::size_t(i) * n_ + k] *
+                     L[std::size_t(j) * n_ + k];
+            dense[std::size_t(i) * n_ + j] = s;
+            dense[std::size_t(j) * n_ + i] = s;
+        }
+    return dense;
+}
+
+std::vector<double>
+Cholesky::denseA() const
+{
+    std::vector<double> dense(std::size_t(n_) * n_, 0.0);
+    for (int j = 0; j < n_; ++j)
+        for (long p = aColPtr_[j]; p < aColPtr_[j + 1]; ++p) {
+            dense[std::size_t(aRowIdx_[p]) * n_ + j] = aVal_[p];
+            dense[std::size_t(j) * n_ + aRowIdx_[p]] = aVal_[p];
+        }
+    return dense;
+}
+
+} // namespace splash::apps::cholesky

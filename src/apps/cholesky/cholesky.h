@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cholesky kernel: sparse Cholesky factorization A = L * L^t, as in
+ * SPLASH-2 in structure and partitioning:
+ *
+ *  - operates on sparse SPD matrices (generated 2-D grid Laplacians,
+ *    the same family as the paper's tk inputs -- see DESIGN.md),
+ *  - performs a genuine symbolic factorization (elimination tree +
+ *    fill-in) before the numeric phase,
+ *  - the numeric phase is *self-scheduled*: column tasks flow through
+ *    distributed task queues with stealing, and -- unlike LU -- there
+ *    is no global synchronization between steps; a column becomes
+ *    ready when its last left-looking update arrives (per-column
+ *    dependency counters under per-column locks).
+ *
+ * Paper input: tk15.O; default here: 24 x 24 grid Laplacian (n = 576).
+ */
+#ifndef SPLASH2_APPS_CHOLESKY_CHOLESKY_H
+#define SPLASH2_APPS_CHOLESKY_CHOLESKY_H
+
+#include <memory>
+#include <vector>
+
+#include "rt/env.h"
+#include "rt/shared.h"
+#include "rt/sync.h"
+#include "rt/taskq.h"
+
+namespace splash::apps::cholesky {
+
+struct Config
+{
+    int grid = 24;       ///< k: factor the k^2 x k^2 grid Laplacian
+    double shift = 0.01; ///< diagonal shift added for conditioning
+    unsigned seed = 1234;
+};
+
+struct Result
+{
+    bool valid = true;
+    double checksum = 0.0;
+    long fillNonzeros = 0;  ///< |L| including the diagonal
+};
+
+class Cholesky
+{
+  public:
+    Cholesky(rt::Env& env, const Config& cfg);
+
+    Result run();
+
+    int n() const { return n_; }
+    long nnzL() const { return colPtr_.back(); }
+
+    /** Dense reconstruction of L*L^t (for small-n verification). */
+    std::vector<double> reconstructDense() const;
+    /** Dense copy of the input A. */
+    std::vector<double> denseA() const;
+
+  private:
+    void buildMatrix();
+    void symbolicFactorization();
+    void body(rt::ProcCtx& c);
+    void cdiv(rt::ProcCtx& c, int j);
+    void cmod(rt::ProcCtx& c, int target, int j,
+              std::vector<int>& posMap);
+
+    rt::Env& env_;
+    Config cfg_;
+    int n_;
+
+    // Input matrix in CSC lower-triangular form (host, read-only).
+    std::vector<long> aColPtr_;
+    std::vector<int> aRowIdx_;
+    std::vector<double> aVal_;
+
+    // Factor structure (host, read-only after symbolic phase).
+    std::vector<long> colPtr_;
+    std::vector<int> rowIdx_;
+    std::vector<int> parent_;       ///< elimination tree
+    std::vector<int> updatesNeeded_;
+
+    // Numeric state (shared).
+    rt::SharedArray<double> val_;
+    rt::SharedArray<int> remaining_;  ///< pending updates per column
+    std::vector<std::unique_ptr<rt::Lock>> colLock_;
+    std::unique_ptr<rt::TaskQueues> tq_;
+    std::unique_ptr<rt::Barrier> bar_;
+};
+
+} // namespace splash::apps::cholesky
+
+#endif // SPLASH2_APPS_CHOLESKY_CHOLESKY_H

@@ -1,0 +1,230 @@
+#include "apps/fft/fft.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/log.h"
+#include "base/rng.h"
+
+namespace splash::apps::fft {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Transpose tile edge: 4 complex values = one 64 B cache line. */
+constexpr int kTile = 4;
+
+} // namespace
+
+Fft::Fft(rt::Env& env, const Config& cfg)
+    : env_(env), cfg_(cfg)
+{
+    if (cfg_.log2n < 4 || cfg_.log2n % 2 != 0)
+        fatal("FFT: log2n must be even and >= 4");
+    n_ = 1L << cfg_.log2n;
+    root_ = 1 << (cfg_.log2n / 2);
+    int p = env.nprocs();
+    if (root_ % p != 0)
+        fatal("FFT: sqrt(n) must be a multiple of the processor count");
+    rowsPerProc_ = root_ / p;
+
+    x_ = rt::SharedArray<Complex>(env, n_);
+    trans_ = rt::SharedArray<Complex>(env, n_);
+    umat_ = rt::SharedArray<Complex>(env, n_);
+    bar_ = std::make_unique<rt::Barrier>(env);
+
+    // Band placement: processor q's rows live in its local memory.
+    for (int q = 0; q < p; ++q) {
+        std::size_t first = std::size_t(q) * rowsPerProc_ * root_;
+        std::size_t count = std::size_t(rowsPerProc_) * root_;
+        x_.setHome(first, count, q);
+        trans_.setHome(first, count, q);
+        umat_.setHome(first, count, q);
+    }
+
+    // Deterministic input and the roots-of-unity matrix
+    // U[j][k] = w^(j*k), w = exp(direction * 2*pi*i / n).
+    Rng rng(cfg_.seed);
+    for (long i = 0; i < n_; ++i) {
+        x_.raw()[i].re = rng.uniform(-1.0, 1.0);
+        x_.raw()[i].im = rng.uniform(-1.0, 1.0);
+    }
+    for (int j = 0; j < root_; ++j) {
+        for (int k = 0; k < root_; ++k) {
+            double ang = cfg_.direction * 2.0 * kPi *
+                         double(std::int64_t(j) * k) / double(n_);
+            umat_.raw()[std::size_t(j) * root_ + k] = {std::cos(ang),
+                                                       std::sin(ang)};
+        }
+    }
+}
+
+void
+Fft::setInput(const std::vector<Complex>& src)
+{
+    ensure(static_cast<long>(src.size()) == n_, "FFT input size mismatch");
+    for (long i = 0; i < n_; ++i)
+        x_.raw()[i] = src[i];
+}
+
+Result
+Fft::run()
+{
+    env_.run([this](rt::ProcCtx& c) { body(c); });
+    Result r;
+    double sum = 0.0;
+    const Complex* o = out_->raw();
+    for (long i = 0; i < n_; ++i)
+        sum += o[i].re * 0.5 + o[i].im * 0.25;
+    r.checksum = sum;
+    return r;
+}
+
+std::vector<Complex>
+Fft::output() const
+{
+    // Before the first run() the "output" is the input matrix.
+    const Complex* o = out_ ? out_->raw() : x_.raw();
+    return std::vector<Complex>(o, o + n_);
+}
+
+void
+Fft::body(rt::ProcCtx& c)
+{
+    // Six-step algorithm; measurement starts right away (the kernel is
+    // measured from parallel-phase start, like the paper).
+    transpose(c, x_, trans_);       // 1: T = X^t
+    bar_->arrive(c);
+    rowFfts(c, trans_);             // 2: root-point FFTs on T's rows
+    twiddle(c, trans_);             // 3: T[j][k] *= w^(j*k)
+    bar_->arrive(c);
+    transpose(c, trans_, x_);       // 4: X = T^t
+    bar_->arrive(c);
+    rowFfts(c, x_);                 // 5: root-point FFTs on X's rows
+    out_ = &x_;
+    if (cfg_.lastTranspose) {
+        bar_->arrive(c);
+        transpose(c, x_, trans_);   // 6: T = X^t (natural order)
+        out_ = &trans_;
+    }
+    bar_->arrive(c);
+    if (cfg_.direction > 0) {
+        // Inverse transform: scale by 1/n, each processor on its band.
+        const double inv = 1.0 / double(n_);
+        std::size_t first = std::size_t(c.id()) * rowsPerProc_ * root_;
+        std::size_t last = first + std::size_t(rowsPerProc_) * root_;
+        for (std::size_t i = first; i < last; ++i) {
+            Complex v = out_->ld(i);
+            out_->st(i, {v.re * inv, v.im * inv});
+            c.flops(2);
+        }
+        bar_->arrive(c);
+    }
+}
+
+void
+Fft::transpose(rt::ProcCtx& c, rt::SharedArray<Complex>& src,
+               rt::SharedArray<Complex>& dst)
+{
+    const int p = c.nprocs();
+    const int me = c.id();
+    const int rpp = rowsPerProc_;
+    // Staggered: first the submatrix owned by me+1, then me+2, ...,
+    // finishing with the local submatrix.
+    for (int s = 1; s <= p; ++s) {
+        int peer = (me + s) % p;
+        int r0 = me * rpp;    // my destination rows
+        int c0 = peer * rpp;  // peer's source rows = my dest columns
+        for (int rt_ = 0; rt_ < rpp; rt_ += kTile) {
+            for (int ct = 0; ct < rpp; ct += kTile) {
+                int ilim = std::min(kTile, rpp - rt_);
+                int jlim = std::min(kTile, rpp - ct);
+                for (int i = 0; i < ilim; ++i) {
+                    for (int j = 0; j < jlim; ++j) {
+                        int r = r0 + rt_ + i;
+                        int col = c0 + ct + j;
+                        Complex v =
+                            src.ld(std::size_t(col) * root_ + r);
+                        dst.st(std::size_t(r) * root_ + col, v);
+                        c.work(2);  // index arithmetic
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+Fft::rowFfts(rt::ProcCtx& c, rt::SharedArray<Complex>& m)
+{
+    const int r = root_;
+    const int me = c.id();
+
+    // Private twiddle table for the root-point FFTs (same for every
+    // row): w^k for k < r/2.
+    std::vector<Complex> w(r / 2);
+    for (int k = 0; k < r / 2; ++k) {
+        double ang = cfg_.direction * 2.0 * kPi * k / double(r);
+        w[k] = {std::cos(ang), std::sin(ang)};
+    }
+    c.work(std::uint64_t(r));  // table setup cost
+
+    for (int row = me * rowsPerProc_; row < (me + 1) * rowsPerProc_;
+         ++row) {
+        std::size_t base = std::size_t(row) * r;
+        // Bit-reversal permutation, in place on the shared row.
+        for (int i = 1, j = 0; i < r; ++i) {
+            int bit = r >> 1;
+            for (; j & bit; bit >>= 1)
+                j ^= bit;
+            j |= bit;
+            if (i < j) {
+                Complex a = m.ld(base + i);
+                Complex b = m.ld(base + j);
+                m.st(base + i, b);
+                m.st(base + j, a);
+            }
+            c.work(3);
+        }
+        // Iterative radix-2 butterflies on the shared row.
+        for (int len = 2; len <= r; len <<= 1) {
+            int half = len >> 1;
+            int step = r / len;
+            for (int i = 0; i < r; i += len) {
+                for (int k = 0; k < half; ++k) {
+                    const Complex& tw = w[std::size_t(k) * step];
+                    Complex a = m.ld(base + i + k);
+                    Complex b = m.ld(base + i + k + half);
+                    Complex t{b.re * tw.re - b.im * tw.im,
+                              b.re * tw.im + b.im * tw.re};
+                    m.st(base + i + k, {a.re + t.re, a.im + t.im});
+                    m.st(base + i + k + half,
+                         {a.re - t.re, a.im - t.im});
+                    c.flops(10);
+                }
+            }
+        }
+    }
+}
+
+void
+Fft::twiddle(rt::ProcCtx& c, rt::SharedArray<Complex>& m)
+{
+    const int me = c.id();
+    // After step 1 the matrix is indexed [j2][k1]; multiply elementwise
+    // by U[j2][k1], which lives in the same band (fully local).
+    for (int row = me * rowsPerProc_; row < (me + 1) * rowsPerProc_;
+         ++row) {
+        std::size_t base = std::size_t(row) * root_;
+        for (int k = 0; k < root_; ++k) {
+            Complex v = m.ld(base + k);
+            Complex u = umat_.ld(base + k);
+            m.st(base + k, {v.re * u.re - v.im * u.im,
+                            v.re * u.im + v.im * u.re});
+            c.flops(6);
+        }
+    }
+}
+
+} // namespace splash::apps::fft

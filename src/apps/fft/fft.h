@@ -1,0 +1,97 @@
+/**
+ * @file
+ * FFT kernel: complex 1-D radix-sqrt(n) six-step FFT (Bailey),
+ * optimized to minimize interprocessor communication, as in SPLASH-2.
+ *
+ * The n = root*root complex points and the n roots-of-unity are both
+ * organized as root x root matrices partitioned into bands of
+ * contiguous rows, one band per processor, allocated in its local
+ * memory.  Communication happens in three blocked matrix-transpose
+ * steps with all-to-all traffic; submatrices are transposed in a
+ * staggered order (processor i starts with processor i+1's submatrix)
+ * to avoid hotspots.
+ *
+ * Paper default: 64 K points (log2n = 16); suite sim-scaled default:
+ * 16 K points (log2n = 14).
+ */
+#ifndef SPLASH2_APPS_FFT_FFT_H
+#define SPLASH2_APPS_FFT_FFT_H
+
+#include <memory>
+#include <vector>
+
+#include "rt/env.h"
+#include "rt/shared.h"
+#include "rt/sync.h"
+
+namespace splash::apps::fft {
+
+/** Complex value stored in shared matrices (16 bytes). */
+struct Complex
+{
+    double re = 0.0;
+    double im = 0.0;
+};
+
+struct Config
+{
+    /** log2 of the total point count; must be even and >= 4. */
+    int log2n = 14;
+    /** Perform the final (optional in SPLASH-2) transpose so the
+     *  result is in natural order. */
+    bool lastTranspose = true;
+    /** -1 for the forward transform, +1 for the inverse. */
+    int direction = -1;
+    unsigned seed = 1234;
+};
+
+struct Result
+{
+    bool valid = true;
+    double checksum = 0.0;
+};
+
+/** The FFT problem instance: owns the shared matrices. */
+class Fft
+{
+  public:
+    /** Allocate and initialize (uninstrumented) the input with
+     *  deterministic pseudo-random data. */
+    Fft(rt::Env& env, const Config& cfg);
+
+    /** Load input data from @p src (size n()); uninstrumented. */
+    void setInput(const std::vector<Complex>& src);
+
+    /** Run the parallel transform; call from outside a team. On return
+     *  the result is in output(). */
+    Result run();
+
+    long n() const { return n_; }
+    int root() const { return root_; }
+
+    /** Copy of the current output data (uninstrumented). */
+    std::vector<Complex> output() const;
+
+  private:
+    void body(rt::ProcCtx& c);
+    void transpose(rt::ProcCtx& c, rt::SharedArray<Complex>& src,
+                   rt::SharedArray<Complex>& dst);
+    void rowFfts(rt::ProcCtx& c, rt::SharedArray<Complex>& m);
+    void twiddle(rt::ProcCtx& c, rt::SharedArray<Complex>& m);
+
+    rt::Env& env_;
+    Config cfg_;
+    long n_;
+    int root_;
+    int rowsPerProc_;
+    rt::SharedArray<Complex> x_;      ///< data matrix
+    rt::SharedArray<Complex> trans_;  ///< transpose scratch / result
+    rt::SharedArray<Complex> umat_;   ///< roots-of-unity matrix
+    std::unique_ptr<rt::Barrier> bar_;
+    /** Which matrix currently holds the result. */
+    rt::SharedArray<Complex>* out_ = nullptr;
+};
+
+} // namespace splash::apps::fft
+
+#endif // SPLASH2_APPS_FFT_FFT_H

@@ -1,0 +1,461 @@
+#include "apps/fmm/fmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/log.h"
+#include "base/rng.h"
+
+namespace splash::apps::fmm {
+
+namespace {
+
+/** Contiguous range [first, last) of `total` items owned by proc q. */
+inline std::pair<long, long>
+ownedRange(long total, int q, int p)
+{
+    return {total * q / p, total * (q + 1) / p};
+}
+
+} // namespace
+
+Fmm::Fmm(rt::Env& env, const Config& cfg) : env_(env), cfg_(cfg)
+{
+    ensure(cfg_.terms >= 2 && cfg_.terms <= 30, "FMM: bad term count");
+    depth_ = 2;
+    while ((1L << (2 * depth_)) * cfg_.bodiesPerLeaf < cfg_.nbodies)
+        ++depth_;
+
+    levelOffset_.resize(depth_ + 2);
+    levelOffset_[0] = 0;
+    for (int l = 0; l <= depth_; ++l)
+        levelOffset_[l + 1] = levelOffset_[l] + (1L << (2 * l));
+    totalCells_ = levelOffset_[depth_ + 1];
+
+    bodies_ = rt::SharedArray<Particle>(env, cfg_.nbodies);
+    mpole_ = rt::SharedArray<double>(env,
+                                     std::size_t(totalCells_) *
+                                         cfg_.terms * 2);
+    local_ = rt::SharedArray<double>(env,
+                                     std::size_t(totalCells_) *
+                                         cfg_.terms * 2);
+    long nleaves = 1L << (2 * depth_);
+    head_ = rt::SharedArray<int>(env, nleaves);
+    next_ = rt::SharedArray<int>(env, cfg_.nbodies);
+    for (long i = 0; i < nleaves; ++i)
+        leafLock_.push_back(std::make_unique<rt::Lock>(env));
+    bar_ = std::make_unique<rt::Barrier>(env);
+
+    binom_.assign(64 * 64, 0.0);
+    for (int n = 0; n < 64; ++n) {
+        binom_[n * 64 + 0] = 1.0;
+        for (int k = 1; k <= n; ++k)
+            binom_[n * 64 + k] = binom_[(n - 1) * 64 + k - 1] +
+                                 ((k <= n - 1)
+                                      ? binom_[(n - 1) * 64 + k]
+                                      : 0.0);
+    }
+
+    Rng rng(cfg_.seed);
+    for (int i = 0; i < cfg_.nbodies; ++i) {
+        Particle pp{};
+        pp.x = rng.uniform(0.02, 0.98);
+        pp.y = rng.uniform(0.02, 0.98);
+        pp.q = rng.below(2) ? 1.0 : -1.0;
+        bodies_.raw()[i] = pp;
+    }
+}
+
+long
+Fmm::cellIndex(int level, int ix, int iy) const
+{
+    return levelOffset_[level] + (long(iy) << level) + ix;
+}
+
+int
+Fmm::leafOf(double x, double y) const
+{
+    int side = 1 << depth_;
+    int ix = std::min(side - 1, std::max(0, int(x * side)));
+    int iy = std::min(side - 1, std::max(0, int(y * side)));
+    return (iy << depth_) + ix;
+}
+
+Cx
+Fmm::ldMpole(rt::ProcCtx& c, long cell, int k)
+{
+    (void)c;
+    std::size_t i = (std::size_t(cell) * cfg_.terms + k) * 2;
+    rt::touchRead(&mpole_.raw()[i], 16);
+    return {mpole_.raw()[i], mpole_.raw()[i + 1]};
+}
+
+void
+Fmm::stMpole(rt::ProcCtx& c, long cell, int k, Cx v)
+{
+    (void)c;
+    std::size_t i = (std::size_t(cell) * cfg_.terms + k) * 2;
+    rt::touchWrite(&mpole_.raw()[i], 16);
+    mpole_.raw()[i] = v.real();
+    mpole_.raw()[i + 1] = v.imag();
+}
+
+Cx
+Fmm::ldLocal(rt::ProcCtx& c, long cell, int k)
+{
+    (void)c;
+    std::size_t i = (std::size_t(cell) * cfg_.terms + k) * 2;
+    rt::touchRead(&local_.raw()[i], 16);
+    return {local_.raw()[i], local_.raw()[i + 1]};
+}
+
+void
+Fmm::stLocal(rt::ProcCtx& c, long cell, int k, Cx v)
+{
+    (void)c;
+    std::size_t i = (std::size_t(cell) * cfg_.terms + k) * 2;
+    rt::touchWrite(&local_.raw()[i], 16);
+    local_.raw()[i] = v.real();
+    local_.raw()[i + 1] = v.imag();
+}
+
+void
+Fmm::bucketBodies(rt::ProcCtx& c)
+{
+    long nleaves = 1L << (2 * depth_);
+    auto [f, l] = ownedRange(nleaves, c.id(), c.nprocs());
+    for (long k = f; k < l; ++k)
+        head_.st(k, -1);
+    bar_->arrive(c);
+    auto [bf, bl] = ownedRange(cfg_.nbodies, c.id(), c.nprocs());
+    const Particle* raw = bodies_.raw();
+    for (long b = bf; b < bl; ++b) {
+        rt::touchRead(&raw[b].x, 16);
+        int leaf = leafOf(raw[b].x, raw[b].y);
+        rt::Lock::Guard g(*leafLock_[leaf], c);
+        next_.st(b, head_.ld(leaf));
+        head_.st(leaf, static_cast<int>(b));
+        c.work(4);
+    }
+    bar_->arrive(c);
+}
+
+void
+Fmm::upwardPass(rt::ProcCtx& c)
+{
+    const int p = cfg_.terms;
+    // P2M at the leaf level.
+    int side = 1 << depth_;
+    double h = 1.0 / side;
+    long nleaves = 1L << (2 * depth_);
+    auto [f, l] = ownedRange(nleaves, c.id(), c.nprocs());
+    const Particle* raw = bodies_.raw();
+    for (long leaf = f; leaf < l; ++leaf) {
+        int ix = static_cast<int>(leaf) & (side - 1);
+        int iy = static_cast<int>(leaf) >> depth_;
+        Cx zc((ix + 0.5) * h, (iy + 0.5) * h);
+        std::vector<Cx> a(p, Cx{});
+        for (int b = head_.ld(leaf); b >= 0; b = next_.ld(b)) {
+            rt::touchRead(&raw[b].x, 16);
+            rt::touchRead(&raw[b].q, 8);
+            Cx z(raw[b].x, raw[b].y);
+            Cx dz = z - zc;
+            a[0] += raw[b].q;
+            Cx pw = dz;
+            for (int k = 1; k < p; ++k) {
+                a[k] -= raw[b].q * pw / double(k);
+                pw *= dz;
+                c.flops(8);
+            }
+        }
+        long cell = cellBase(depth_) + leaf;
+        for (int k = 0; k < p; ++k)
+            stMpole(c, cell, k, a[k]);
+    }
+    bar_->arrive(c);
+
+    // M2M up the levels.
+    for (int level = depth_ - 1; level >= 0; --level) {
+        long ncells = 1L << (2 * level);
+        int ls = 1 << level;
+        double lh = 1.0 / ls;
+        auto [cf, cl] = ownedRange(ncells, c.id(), c.nprocs());
+        for (long idx = cf; idx < cl; ++idx) {
+            int ix = static_cast<int>(idx) % ls;
+            int iy = static_cast<int>(idx) / ls;
+            Cx zp((ix + 0.5) * lh, (iy + 0.5) * lh);
+            std::vector<Cx> b(p, Cx{});
+            for (int cyo = 0; cyo < 2; ++cyo) {
+                for (int cxo = 0; cxo < 2; ++cxo) {
+                    int cx2 = 2 * ix + cxo, cy2 = 2 * iy + cyo;
+                    long child = cellIndex(level + 1, cx2, cy2);
+                    Cx zc((cx2 + 0.5) * lh * 0.5,
+                          (cy2 + 0.5) * lh * 0.5);
+                    Cx z0 = zc - zp;
+                    std::vector<Cx> a(p);
+                    for (int k = 0; k < p; ++k)
+                        a[k] = ldMpole(c, child, k);
+                    b[0] += a[0];
+                    std::vector<Cx> z0pow(p + 1, Cx(1, 0));
+                    for (int k = 1; k <= p; ++k)
+                        z0pow[k] = z0pow[k - 1] * z0;
+                    for (int lq = 1; lq < p; ++lq) {
+                        Cx s = -a[0] * z0pow[lq] / double(lq);
+                        for (int k = 1; k <= lq; ++k)
+                            s += a[k] * z0pow[lq - k] *
+                                 binom(lq - 1, k - 1);
+                        b[lq] += s;
+                        c.flops(10 * lq);
+                    }
+                }
+            }
+            long cell = cellBase(level) + idx;
+            for (int k = 0; k < p; ++k)
+                stMpole(c, cell, k, b[k]);
+        }
+        bar_->arrive(c);
+    }
+}
+
+void
+Fmm::downwardPass(rt::ProcCtx& c)
+{
+    const int p = cfg_.terms;
+    // Levels 0 and 1 have no well-separated cells: zero locals.
+    for (int level = 0; level <= std::min(1, depth_); ++level) {
+        long ncells = 1L << (2 * level);
+        auto [cf, cl] = ownedRange(ncells, c.id(), c.nprocs());
+        for (long idx = cf; idx < cl; ++idx)
+            for (int k = 0; k < p; ++k)
+                stLocal(c, cellBase(level) + idx, k, Cx{});
+    }
+    bar_->arrive(c);
+
+    for (int level = 2; level <= depth_; ++level) {
+        long ncells = 1L << (2 * level);
+        int ls = 1 << level;
+        double lh = 1.0 / ls;
+        auto [cf, cl] = ownedRange(ncells, c.id(), c.nprocs());
+        for (long idx = cf; idx < cl; ++idx) {
+            int ix = static_cast<int>(idx) % ls;
+            int iy = static_cast<int>(idx) / ls;
+            Cx zt((ix + 0.5) * lh, (iy + 0.5) * lh);
+            std::vector<Cx> b(p, Cx{});
+
+            // L2L from the parent.
+            {
+                int px = ix / 2, py = iy / 2;
+                long parent = cellIndex(level - 1, px, py);
+                Cx zp((px + 0.5) * lh * 2.0, (py + 0.5) * lh * 2.0);
+                Cx t0 = zt - zp;
+                std::vector<Cx> pb(p);
+                for (int k = 0; k < p; ++k)
+                    pb[k] = ldLocal(c, parent, k);
+                std::vector<Cx> t0pow(p, Cx(1, 0));
+                for (int k = 1; k < p; ++k)
+                    t0pow[k] = t0pow[k - 1] * t0;
+                for (int lq = 0; lq < p; ++lq) {
+                    Cx s{};
+                    for (int k = lq; k < p; ++k)
+                        s += pb[k] * binom(k, lq) * t0pow[k - lq];
+                    b[lq] += s;
+                    c.flops(8 * (p - lq));
+                }
+            }
+
+            // M2L over the interaction list: children of the parent's
+            // neighbors that are not adjacent to this cell.
+            int px = ix / 2, py = iy / 2, pls = ls / 2;
+            for (int ny = py - 1; ny <= py + 1; ++ny) {
+                for (int nx = px - 1; nx <= px + 1; ++nx) {
+                    if (nx < 0 || ny < 0 || nx >= pls || ny >= pls)
+                        continue;
+                    for (int cy = 2 * ny; cy <= 2 * ny + 1; ++cy) {
+                        for (int cx = 2 * nx; cx <= 2 * nx + 1; ++cx) {
+                            if (std::abs(cx - ix) <= 1 &&
+                                std::abs(cy - iy) <= 1)
+                                continue;  // adjacent or self
+                            long src = cellIndex(level, cx, cy);
+                            Cx zs((cx + 0.5) * lh, (cy + 0.5) * lh);
+                            Cx z0 = zs - zt;
+                            std::vector<Cx> a(p);
+                            for (int k = 0; k < p; ++k)
+                                a[k] = ldMpole(c, src, k);
+                            std::vector<Cx> iz0(p + p + 1);
+                            iz0[0] = Cx(1, 0);
+                            Cx inv = Cx(1, 0) / z0;
+                            for (std::size_t k = 1; k < iz0.size(); ++k)
+                                iz0[k] = iz0[k - 1] * inv;
+                            // b0
+                            Cx s0 = a[0] * std::log(-z0);
+                            double sgn = -1.0;
+                            for (int k = 1; k < p; ++k) {
+                                s0 += a[k] * iz0[k] * sgn;
+                                sgn = -sgn;
+                            }
+                            b[0] += s0;
+                            // b_l, l >= 1
+                            for (int lq = 1; lq < p; ++lq) {
+                                Cx s = -a[0] * iz0[lq] / double(lq);
+                                double sg = -1.0;
+                                for (int k = 1; k < p; ++k) {
+                                    s += a[k] * iz0[lq + k] * sg *
+                                         binom(lq + k - 1, k - 1);
+                                    sg = -sg;
+                                }
+                                b[lq] += s;
+                            }
+                            c.flops(10 * p * p / 2);
+                        }
+                    }
+                }
+            }
+            long cell = cellBase(level) + idx;
+            for (int k = 0; k < p; ++k)
+                stLocal(c, cell, k, b[k]);
+        }
+        bar_->arrive(c);
+    }
+}
+
+void
+Fmm::evaluateLeaves(rt::ProcCtx& c)
+{
+    const int p = cfg_.terms;
+    int side = 1 << depth_;
+    double h = 1.0 / side;
+    long nleaves = 1L << (2 * depth_);
+    auto [f, l] = ownedRange(nleaves, c.id(), c.nprocs());
+    Particle* raw = bodies_.raw();
+    for (long leaf = f; leaf < l; ++leaf) {
+        int ix = static_cast<int>(leaf) & (side - 1);
+        int iy = static_cast<int>(leaf) >> depth_;
+        Cx zc((ix + 0.5) * h, (iy + 0.5) * h);
+        long cell = cellBase(depth_) + leaf;
+        std::vector<Cx> b(p);
+        for (int k = 0; k < p; ++k)
+            b[k] = ldLocal(c, cell, k);
+
+        for (int i = head_.ld(leaf); i >= 0; i = next_.ld(i)) {
+            rt::touchRead(&raw[i].x, 16);
+            Cx z(raw[i].x, raw[i].y);
+            Cx t = z - zc;
+            // Far field: evaluate the local expansion and derivative.
+            Cx w{}, dw{};
+            for (int k = p - 1; k >= 1; --k) {
+                w = w * t + b[k];
+                dw = dw * t + double(k) * b[k];
+                c.flops(12);
+            }
+            w = w * t + b[0];
+            double pot = w.real();
+            Cx g = std::conj(dw);
+
+            // Near field: direct over the 9 adjacent leaves.
+            for (int ny = iy - 1; ny <= iy + 1; ++ny) {
+                for (int nx = ix - 1; nx <= ix + 1; ++nx) {
+                    if (nx < 0 || ny < 0 || nx >= side || ny >= side)
+                        continue;
+                    int nl = (ny << depth_) + nx;
+                    for (int j = head_.ld(nl); j >= 0;
+                         j = next_.ld(j)) {
+                        if (j == i)
+                            continue;
+                        rt::touchRead(&raw[j].x, 16);
+                        rt::touchRead(&raw[j].q, 8);
+                        Cx dz = z - Cx(raw[j].x, raw[j].y);
+                        double r2 = std::norm(dz);
+                        pot += raw[j].q * 0.5 * std::log(r2);
+                        g += raw[j].q * dz / r2;
+                        c.flops(14);
+                    }
+                }
+            }
+            rt::touchWrite(&raw[i].pot, 8);
+            rt::touchWrite(&raw[i].gx, 16);
+            raw[i].pot = pot;
+            raw[i].gx = g.real();
+            raw[i].gy = g.imag();
+        }
+    }
+    bar_->arrive(c);
+}
+
+void
+Fmm::advance(rt::ProcCtx& c)
+{
+    auto [bf, bl] = ownedRange(cfg_.nbodies, c.id(), c.nprocs());
+    Particle* raw = bodies_.raw();
+    for (long b = bf; b < bl; ++b) {
+        rt::touchRead(&raw[b].gx, 16);
+        rt::touchRead(&raw[b].q, 8);
+        rt::touchRead(&raw[b].x, 16);
+        rt::touchWrite(&raw[b].x, 16);
+        // Gradient descent of like charges (repulsion dynamics).
+        raw[b].x = std::clamp(raw[b].x - cfg_.dt * raw[b].q * raw[b].gx,
+                              0.001, 0.999);
+        raw[b].y = std::clamp(raw[b].y - cfg_.dt * raw[b].q * raw[b].gy,
+                              0.001, 0.999);
+        c.flops(8);
+    }
+    bar_->arrive(c);
+}
+
+void
+Fmm::body(rt::ProcCtx& c)
+{
+    for (int s = 0; s < cfg_.steps; ++s) {
+        bucketBodies(c);
+        upwardPass(c);
+        downwardPass(c);
+        evaluateLeaves(c);
+        if (s + 1 < cfg_.steps)
+            advance(c);
+    }
+}
+
+Result
+Fmm::run()
+{
+    env_.run([this](rt::ProcCtx& c) { body(c); });
+    Result r;
+    double sum = 0;
+    for (int i = 0; i < cfg_.nbodies; ++i)
+        sum += bodies_.raw()[i].pot * 1e-3 + bodies_.raw()[i].gx * 1e-4;
+    r.checksum = sum;
+    r.valid = std::isfinite(sum);
+    return r;
+}
+
+std::vector<Particle>
+Fmm::particles() const
+{
+    return std::vector<Particle>(bodies_.raw(),
+                                 bodies_.raw() + cfg_.nbodies);
+}
+
+std::vector<Particle>
+Fmm::directReference() const
+{
+    std::vector<Particle> out(bodies_.raw(),
+                              bodies_.raw() + cfg_.nbodies);
+    for (int i = 0; i < cfg_.nbodies; ++i) {
+        Cx z(out[i].x, out[i].y);
+        double pot = 0;
+        Cx g{};
+        for (int j = 0; j < cfg_.nbodies; ++j) {
+            if (j == i)
+                continue;
+            Cx dz = z - Cx(out[j].x, out[j].y);
+            double r2 = std::norm(dz);
+            pot += out[j].q * 0.5 * std::log(r2);
+            g += out[j].q * dz / r2;
+        }
+        out[i].pot = pot;
+        out[i].gx = g.real();
+        out[i].gy = g.imag();
+    }
+    return out;
+}
+
+} // namespace splash::apps::fmm

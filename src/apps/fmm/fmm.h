@@ -1,0 +1,111 @@
+/**
+ * @file
+ * FMM: 2-D N-body simulation with the Fast Multipole Method
+ * (Greengard-Rokhlin), as in SPLASH-2.
+ *
+ * Unlike Barnes, the tree is not traversed once per body: a single
+ * upward pass forms multipole expansions (P2M, M2M) and a single
+ * downward pass converts well-separated interactions to local (Taylor)
+ * expansions (M2L along interaction lists, L2L to children), with
+ * direct evaluation only between adjacent leaves.  Accuracy is
+ * controlled by the number of expansion terms, not by an opening
+ * criterion.
+ *
+ * SPLASH-2's FMM is adaptive; with the (uniform) particle
+ * distributions used here a uniform tree of the same depth gives the
+ * same interaction structure, so this implementation uses a uniform
+ * quadtree (see DESIGN.md substitutions).
+ *
+ * Paper default: 64 K particles; sim-scaled default: 2 K particles.
+ */
+#ifndef SPLASH2_APPS_FMM_FMM_H
+#define SPLASH2_APPS_FMM_FMM_H
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "rt/env.h"
+#include "rt/shared.h"
+#include "rt/sync.h"
+
+namespace splash::apps::fmm {
+
+using Cx = std::complex<double>;
+
+struct Config
+{
+    int nbodies = 2048;
+    int terms = 12;      ///< expansion terms (accuracy control)
+    int bodiesPerLeaf = 16;
+    int steps = 1;
+    double dt = 0.001;
+    unsigned seed = 1234;
+};
+
+struct Particle
+{
+    double x, y;
+    double q;        ///< charge
+    double pot;      ///< Re(sum q_j log(z - z_j))
+    double gx, gy;   ///< gradient of the potential
+};
+
+struct Result
+{
+    bool valid = true;
+    double checksum = 0.0;
+};
+
+class Fmm
+{
+  public:
+    Fmm(rt::Env& env, const Config& cfg);
+
+    Result run();
+
+    /** Uninstrumented state access for verification. */
+    std::vector<Particle> particles() const;
+    /** Direct O(n^2) reference potentials and gradients. */
+    std::vector<Particle> directReference() const;
+
+    int depth() const { return depth_; }
+
+  private:
+    void body(rt::ProcCtx& c);
+    void bucketBodies(rt::ProcCtx& c);
+    void upwardPass(rt::ProcCtx& c);
+    void downwardPass(rt::ProcCtx& c);
+    void evaluateLeaves(rt::ProcCtx& c);
+    void advance(rt::ProcCtx& c);
+
+    long cellBase(int level) const { return levelOffset_[level]; }
+    long cellIndex(int level, int ix, int iy) const;
+    /** Leaf cell of a position. */
+    int leafOf(double x, double y) const;
+
+    // Coefficient accessors (instrumented).
+    Cx ldMpole(rt::ProcCtx& c, long cell, int k);
+    void stMpole(rt::ProcCtx& c, long cell, int k, Cx v);
+    Cx ldLocal(rt::ProcCtx& c, long cell, int k);
+    void stLocal(rt::ProcCtx& c, long cell, int k, Cx v);
+
+    rt::Env& env_;
+    Config cfg_;
+    int depth_;            ///< leaf level (root = 0)
+    long totalCells_;
+    std::vector<long> levelOffset_;
+    rt::SharedArray<Particle> bodies_;
+    /** Expansion coefficients: totalCells * terms complex pairs. */
+    rt::SharedArray<double> mpole_;  // interleaved re, im
+    rt::SharedArray<double> local_;
+    rt::SharedArray<int> head_, next_;  ///< leaf body lists
+    std::vector<std::unique_ptr<rt::Lock>> leafLock_;
+    std::unique_ptr<rt::Barrier> bar_;
+    std::vector<double> binom_;  ///< C(n, k) table
+    double binom(int n, int k) const { return binom_[n * 64 + k]; }
+};
+
+} // namespace splash::apps::fmm
+
+#endif // SPLASH2_APPS_FMM_FMM_H

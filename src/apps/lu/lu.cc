@@ -1,0 +1,199 @@
+#include "apps/lu/lu.h"
+
+#include "base/log.h"
+#include "base/rng.h"
+
+namespace splash::apps::lu {
+
+Lu::Lu(rt::Env& env, const Config& cfg) : env_(env), cfg_(cfg)
+{
+    if (cfg_.n % cfg_.block != 0)
+        fatal("LU: n must be a multiple of the block size");
+    nb_ = cfg_.n / cfg_.block;
+
+    // Processor grid: pr x pc with pr <= pc, pr * pc = p.
+    int p = env.nprocs();
+    pr_ = 1;
+    while (pr_ * pr_ * 4 <= p * 2)  // largest pr with pr <= sqrt(p)
+        pr_ *= 2;
+    while (p % pr_ != 0)
+        pr_ /= 2;
+    pc_ = p / pr_;
+
+    const int b = cfg_.block;
+    a_ = rt::SharedArray<double>(env,
+                                 std::size_t(cfg_.n) * cfg_.n);
+    // Home each block at its owner.
+    for (int bi = 0; bi < nb_; ++bi) {
+        for (int bj = 0; bj < nb_; ++bj) {
+            a_.setHome(blockBase(bi, bj), std::size_t(b) * b,
+                       ownerOf(bi, bj));
+        }
+    }
+
+    // Deterministic diagonally-dominant matrix (LU without pivoting is
+    // then numerically stable).
+    Rng rng(cfg_.seed);
+    orig_.resize(std::size_t(cfg_.n) * cfg_.n);
+    for (int i = 0; i < cfg_.n; ++i) {
+        for (int j = 0; j < cfg_.n; ++j) {
+            double v = rng.uniform(-1.0, 1.0);
+            if (i == j)
+                v += cfg_.n;
+            orig_[idx(i, j)] = v;
+            a_.raw()[idx(i, j)] = v;
+        }
+    }
+    bar_ = std::make_unique<rt::Barrier>(env);
+}
+
+int
+Lu::ownerOf(int bi, int bj) const
+{
+    return (bi % pr_) * pc_ + (bj % pc_);
+}
+
+std::size_t
+Lu::blockBase(int bi, int bj) const
+{
+    return (std::size_t(bi) * nb_ + bj) * cfg_.block * cfg_.block;
+}
+
+std::size_t
+Lu::idx(int i, int j) const
+{
+    const int b = cfg_.block;
+    return blockBase(i / b, j / b) + std::size_t(i % b) * b + (j % b);
+}
+
+double
+Lu::elem(int i, int j) const
+{
+    return a_.raw()[idx(i, j)];
+}
+
+Result
+Lu::run()
+{
+    env_.run([this](rt::ProcCtx& c) { body(c); });
+    Result r;
+    double sum = 0.0;
+    for (int i = 0; i < cfg_.n; ++i)
+        sum += elem(i, i);
+    r.checksum = sum;
+    return r;
+}
+
+void
+Lu::body(rt::ProcCtx& c)
+{
+    const int me = c.id();
+    for (int k = 0; k < nb_; ++k) {
+        if (ownerOf(k, k) == me)
+            factorDiagonal(c, k);
+        bar_->arrive(c);
+        for (int j = k + 1; j < nb_; ++j) {
+            if (ownerOf(k, j) == me)
+                solveRowBlock(c, k, j);
+        }
+        for (int i = k + 1; i < nb_; ++i) {
+            if (ownerOf(i, k) == me)
+                solveColBlock(c, k, i);
+        }
+        bar_->arrive(c);
+        for (int i = k + 1; i < nb_; ++i) {
+            for (int j = k + 1; j < nb_; ++j) {
+                if (ownerOf(i, j) == me)
+                    updateInterior(c, k, i, j);
+            }
+        }
+        bar_->arrive(c);
+    }
+}
+
+void
+Lu::factorDiagonal(rt::ProcCtx& c, int k)
+{
+    const int b = cfg_.block;
+    std::size_t d = blockBase(k, k);
+    // In-place unit-lower / upper factorization of the B x B block.
+    for (int j = 0; j < b; ++j) {
+        double piv = a_.ld(d + std::size_t(j) * b + j);
+        for (int i = j + 1; i < b; ++i) {
+            double lij = a_.ld(d + std::size_t(i) * b + j) / piv;
+            a_.st(d + std::size_t(i) * b + j, lij);
+            c.flops(1);
+            for (int m = j + 1; m < b; ++m) {
+                double v = a_.ld(d + std::size_t(i) * b + m) -
+                           lij * a_.ld(d + std::size_t(j) * b + m);
+                a_.st(d + std::size_t(i) * b + m, v);
+                c.flops(2);
+            }
+        }
+    }
+}
+
+void
+Lu::solveRowBlock(rt::ProcCtx& c, int k, int j)
+{
+    // A[k][j] := L_kk^{-1} A[k][j] (unit lower triangular solve).
+    const int b = cfg_.block;
+    std::size_t d = blockBase(k, k);
+    std::size_t t = blockBase(k, j);
+    for (int row = 1; row < b; ++row) {
+        for (int m = 0; m < row; ++m) {
+            double l = a_.ld(d + std::size_t(row) * b + m);
+            for (int col = 0; col < b; ++col) {
+                double v = a_.ld(t + std::size_t(row) * b + col) -
+                           l * a_.ld(t + std::size_t(m) * b + col);
+                a_.st(t + std::size_t(row) * b + col, v);
+                c.flops(2);
+            }
+        }
+    }
+}
+
+void
+Lu::solveColBlock(rt::ProcCtx& c, int k, int i)
+{
+    // A[i][k] := A[i][k] U_kk^{-1}.
+    const int b = cfg_.block;
+    std::size_t d = blockBase(k, k);
+    std::size_t t = blockBase(i, k);
+    for (int col = 0; col < b; ++col) {
+        double piv = a_.ld(d + std::size_t(col) * b + col);
+        for (int row = 0; row < b; ++row) {
+            double v = a_.ld(t + std::size_t(row) * b + col);
+            for (int m = 0; m < col; ++m) {
+                v -= a_.ld(t + std::size_t(row) * b + m) *
+                     a_.ld(d + std::size_t(m) * b + col);
+                c.flops(2);
+            }
+            a_.st(t + std::size_t(row) * b + col, v / piv);
+            c.flops(1);
+        }
+    }
+}
+
+void
+Lu::updateInterior(rt::ProcCtx& c, int k, int i, int j)
+{
+    // A[i][j] -= A[i][k] * A[k][j].
+    const int b = cfg_.block;
+    std::size_t l = blockBase(i, k);
+    std::size_t u = blockBase(k, j);
+    std::size_t t = blockBase(i, j);
+    for (int row = 0; row < b; ++row) {
+        for (int m = 0; m < b; ++m) {
+            double lv = a_.ld(l + std::size_t(row) * b + m);
+            for (int col = 0; col < b; ++col) {
+                double v = a_.ld(t + std::size_t(row) * b + col) -
+                           lv * a_.ld(u + std::size_t(m) * b + col);
+                a_.st(t + std::size_t(row) * b + col, v);
+                c.flops(2);
+            }
+        }
+    }
+}
+
+} // namespace splash::apps::lu

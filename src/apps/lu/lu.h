@@ -1,0 +1,82 @@
+/**
+ * @file
+ * LU kernel: dense blocked LU factorization without pivoting, as in
+ * SPLASH-2.
+ *
+ * The n x n matrix is divided into an N x N array of B x B blocks
+ * (n = N*B) to exploit temporal locality on submatrix elements.  Block
+ * ownership uses a 2-D scatter decomposition over a pr x pc processor
+ * grid, blocks are updated by their owners, elements within a block
+ * are contiguous, and blocks are allocated in their owner's local
+ * memory.  B should be large enough for low miss rates yet small
+ * enough for load balance (B = 16 by default, as in the paper).
+ *
+ * Paper default: 512 x 512; suite sim-scaled default: 192 x 192.
+ */
+#ifndef SPLASH2_APPS_LU_LU_H
+#define SPLASH2_APPS_LU_LU_H
+
+#include <memory>
+#include <vector>
+
+#include "rt/env.h"
+#include "rt/shared.h"
+#include "rt/sync.h"
+
+namespace splash::apps::lu {
+
+struct Config
+{
+    int n = 192;     ///< matrix dimension (multiple of block)
+    int block = 16;  ///< block edge B
+    unsigned seed = 1234;
+};
+
+struct Result
+{
+    bool valid = true;
+    double checksum = 0.0;
+};
+
+class Lu
+{
+  public:
+    /** Allocate the block-major matrix, fill it with a deterministic
+     *  diagonally-dominant matrix, and place each block at its owner. */
+    Lu(rt::Env& env, const Config& cfg);
+
+    /** Factor A = L*U in place (unit lower / upper). */
+    Result run();
+
+    int n() const { return cfg_.n; }
+    int nBlocks() const { return nb_; }
+
+    /** Element accessors in natural (i, j) indexing; uninstrumented. */
+    double elem(int i, int j) const;
+    double originalElem(int i, int j) const { return orig_[idx(i, j)]; }
+
+    /** Owner of block (bi, bj) in the 2-D scatter decomposition. */
+    int ownerOf(int bi, int bj) const;
+
+  private:
+    void body(rt::ProcCtx& c);
+    void factorDiagonal(rt::ProcCtx& c, int k);
+    void solveRowBlock(rt::ProcCtx& c, int k, int j);
+    void solveColBlock(rt::ProcCtx& c, int k, int i);
+    void updateInterior(rt::ProcCtx& c, int k, int i, int j);
+
+    std::size_t blockBase(int bi, int bj) const;
+    std::size_t idx(int i, int j) const;
+
+    rt::Env& env_;
+    Config cfg_;
+    int nb_;           ///< blocks per dimension
+    int pr_, pc_;      ///< processor grid
+    rt::SharedArray<double> a_;
+    std::vector<double> orig_;
+    std::unique_ptr<rt::Barrier> bar_;
+};
+
+} // namespace splash::apps::lu
+
+#endif // SPLASH2_APPS_LU_LU_H

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Block-partitioned 2-D grid with contiguous, locally-allocated
+ * subgrids -- SPLASH-2 Ocean's "conceptually 2-D, physically 4-D"
+ * array representation.
+ *
+ * A (n+2) x (n+2) grid (interior plus boundary ring) is partitioned
+ * into pr x pc square-ish subgrids; each subgrid is stored
+ * contiguously and homed at its owning processor, so that a
+ * processor's partition never false-shares with its neighbors and all
+ * interior accesses are local.  Neighbor accesses across a partition
+ * edge touch the adjacent processor's subgrid, generating the
+ * perimeter-proportional communication the paper describes.
+ */
+#ifndef SPLASH2_APPS_OCEAN_GRID_H
+#define SPLASH2_APPS_OCEAN_GRID_H
+
+#include <vector>
+
+#include "rt/env.h"
+#include "rt/shared.h"
+
+namespace splash::apps::ocean {
+
+/** pr x pc processor grid factorization with pr <= pc. */
+struct ProcGrid
+{
+    int pr = 1;
+    int pc = 1;
+
+    static ProcGrid
+    forProcs(int p)
+    {
+        ProcGrid g;
+        g.pr = 1;
+        while (g.pr * 2 * g.pr * 2 <= p * 2)
+            g.pr *= 2;
+        while (p % g.pr != 0)
+            g.pr /= 2;
+        g.pc = p / g.pr;
+        return g;
+    }
+};
+
+class Grid
+{
+  public:
+    /** @param dim full edge length including the boundary ring. */
+    Grid(rt::Env& env, int dim, const ProcGrid& pg)
+        : dim_(dim), pg_(pg), a_(env, std::size_t(dim) * dim),
+          rowBlock_(dim), rowOff_(dim), colBlock_(dim), colOff_(dim),
+          blockBase_(std::size_t(pg.pr) * pg.pc),
+          blockCols_(std::size_t(pg.pr) * pg.pc)
+    {
+        std::vector<int> rstart = splits(dim, pg_.pr);
+        std::vector<int> cstart = splits(dim, pg_.pc);
+        std::size_t base = 0;
+        for (int br = 0; br < pg_.pr; ++br) {
+            for (int bc = 0; bc < pg_.pc; ++bc) {
+                int rows = rstart[br + 1] - rstart[br];
+                int cols = cstart[bc + 1] - cstart[bc];
+                int b = br * pg_.pc + bc;
+                blockBase_[b] = base;
+                blockCols_[b] = cols;
+                a_.setHome(base, std::size_t(rows) * cols,
+                           b % env.nprocs());
+                base += std::size_t(rows) * cols;
+            }
+        }
+        for (int br = 0; br < pg_.pr; ++br)
+            for (int i = rstart[br]; i < rstart[br + 1]; ++i) {
+                rowBlock_[i] = br;
+                rowOff_[i] = i - rstart[br];
+            }
+        for (int bc = 0; bc < pg_.pc; ++bc)
+            for (int j = cstart[bc]; j < cstart[bc + 1]; ++j) {
+                colBlock_[j] = bc;
+                colOff_[j] = j - cstart[bc];
+            }
+        rstart_ = std::move(rstart);
+        cstart_ = std::move(cstart);
+    }
+
+    int dim() const { return dim_; }
+    const ProcGrid& procGrid() const { return pg_; }
+
+    /** Instrumented element access. */
+    double ld(int i, int j) const { return a_.ld(flat(i, j)); }
+    void st(int i, int j, double v) { a_.st(flat(i, j), v); }
+
+    /** Uninstrumented access for setup / verification. */
+    double peek(int i, int j) const { return a_.raw()[flat(i, j)]; }
+    void poke(int i, int j, double v) { a_.raw()[flat(i, j)] = v; }
+
+    /** Row range [first, last) of processor @p q's partition. */
+    int rowFirst(int q) const { return rstart_[q / pg_.pc]; }
+    int rowLast(int q) const { return rstart_[q / pg_.pc + 1]; }
+    int colFirst(int q) const { return cstart_[q % pg_.pc]; }
+    int colLast(int q) const { return cstart_[q % pg_.pc + 1]; }
+
+  private:
+    static std::vector<int>
+    splits(int total, int parts)
+    {
+        std::vector<int> s(parts + 1);
+        for (int i = 0; i <= parts; ++i)
+            s[i] = static_cast<int>(std::int64_t(total) * i / parts);
+        return s;
+    }
+
+    std::size_t
+    flat(int i, int j) const
+    {
+        int b = rowBlock_[i] * pg_.pc + colBlock_[j];
+        return blockBase_[b] +
+               std::size_t(rowOff_[i]) * blockCols_[b] + colOff_[j];
+    }
+
+    int dim_;
+    ProcGrid pg_;
+    rt::SharedArray<double> a_;
+    std::vector<int> rowBlock_, rowOff_, colBlock_, colOff_;
+    std::vector<std::size_t> blockBase_;
+    std::vector<std::size_t> blockCols_;
+    std::vector<int> rstart_, cstart_;
+};
+
+} // namespace splash::apps::ocean
+
+#endif // SPLASH2_APPS_OCEAN_GRID_H

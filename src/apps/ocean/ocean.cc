@@ -1,0 +1,396 @@
+#include "apps/ocean/ocean.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/log.h"
+#include "base/rng.h"
+
+namespace splash::apps::ocean {
+
+// ---------------------------------------------------------------------
+// Multigrid
+// ---------------------------------------------------------------------
+
+Multigrid::Multigrid(rt::Env& env, int n, const ProcGrid& pg)
+    : env_(env), n_(n), pg_(pg), acc_(env, 0.0)
+{
+    if (!isPow2(n) || n < 4)
+        fatal("Multigrid: n must be a power of two >= 4");
+    levels_ = 0;
+    for (int m = n; m >= 4; m /= 2)
+        ++levels_;
+    // Hierarchy grids for levels 1..levels_-1 (level 0 grids are the
+    // caller's); u and f per level plus spacing.
+    uh_.resize(levels_);
+    fh_.resize(levels_);
+    h2_.resize(levels_);
+    for (int l = 1; l < levels_; ++l) {
+        int m = n >> l;
+        uh_[l] = std::make_unique<Grid>(env, m + 1, pg);
+        fh_[l] = std::make_unique<Grid>(env, m + 1, pg);
+    }
+    for (int l = 0; l < levels_; ++l) {
+        double h = 1.0 / double(n >> l);
+        h2_[l] = h * h;
+    }
+    bar_ = std::make_unique<rt::Barrier>(env);
+    redLock_ = std::make_unique<rt::Lock>(env);
+}
+
+double
+Multigrid::reduceSum(rt::ProcCtx& c, double local)
+{
+    bar_->arrive(c);
+    if (c.id() == 0)
+        acc_.set(0.0);
+    bar_->arrive(c);
+    {
+        rt::Lock::Guard g(*redLock_, c);
+        *acc_ += local;
+        c.flops(1);
+    }
+    bar_->arrive(c);
+    return acc_.get();
+}
+
+namespace {
+
+/** Interior row/col range of processor q's partition at a grid. */
+struct Range
+{
+    int r0, r1, c0, c1;
+};
+
+Range
+interior(const Grid& g, int q)
+{
+    // Boundary ring at indices 0 and dim-1; interior 1 .. dim-2.
+    Range r;
+    r.r0 = std::max(g.rowFirst(q), 1);
+    r.r1 = std::min(g.rowLast(q), g.dim() - 1);
+    r.c0 = std::max(g.colFirst(q), 1);
+    r.c1 = std::min(g.colLast(q), g.dim() - 1);
+    return r;
+}
+
+} // namespace
+
+void
+Multigrid::zero(rt::ProcCtx& c, Grid& g, int level)
+{
+    (void)level;
+    Range r = interior(g, c.id());
+    for (int i = r.r0; i < r.r1; ++i)
+        for (int j = r.c0; j < r.c1; ++j)
+            g.st(i, j, 0.0);
+}
+
+void
+Multigrid::relax(rt::ProcCtx& c, Grid& u, Grid& f, int level, int sweeps)
+{
+    Range r = interior(u, c.id());
+    double h2 = h2_[level];
+    for (int s = 0; s < sweeps; ++s) {
+        for (int color = 0; color < 2; ++color) {
+            for (int i = r.r0; i < r.r1; ++i) {
+                int jstart = r.c0 + ((i + r.c0) % 2 == color ? 0 : 1);
+                for (int j = jstart; j < r.c1; j += 2) {
+                    double v = 0.25 * (u.ld(i - 1, j) + u.ld(i + 1, j) +
+                                       u.ld(i, j - 1) + u.ld(i, j + 1) -
+                                       h2 * f.ld(i, j));
+                    u.st(i, j, v);
+                    c.flops(6);
+                }
+            }
+            bar_->arrive(c);
+        }
+    }
+}
+
+void
+Multigrid::restrictResidual(rt::ProcCtx& c, Grid& u, Grid& f, int level)
+{
+    // Residual rho = f - laplacian(u) restricted by full weighting to
+    // the coarser rhs; coarse point (I, J) corresponds to fine (2I, 2J).
+    Grid& cf = *fh_[level + 1];
+    Range r = interior(cf, c.id());
+    double inv_h2 = 1.0 / h2_[level];
+    const int nf = u.dim() - 2;  // last interior index
+    auto resid = [&](int i, int j) {
+        // The residual vanishes on the Dirichlet boundary ring.
+        if (i < 1 || i > nf || j < 1 || j > nf)
+            return 0.0;
+        double lap = (u.ld(i - 1, j) + u.ld(i + 1, j) + u.ld(i, j - 1) +
+                      u.ld(i, j + 1) - 4.0 * u.ld(i, j)) *
+                     inv_h2;
+        c.flops(7);
+        return f.ld(i, j) - lap;
+    };
+    for (int ci = r.r0; ci < r.r1; ++ci) {
+        for (int cj = r.c0; cj < r.c1; ++cj) {
+            int i = 2 * ci, j = 2 * cj;
+            double v = 0.25 * resid(i, j) +
+                       0.125 * (resid(i - 1, j) + resid(i + 1, j) +
+                                resid(i, j - 1) + resid(i, j + 1)) +
+                       0.0625 * (resid(i - 1, j - 1) + resid(i - 1, j + 1) +
+                                 resid(i + 1, j - 1) + resid(i + 1, j + 1));
+            cf.st(ci, cj, v);
+            c.flops(12);
+        }
+    }
+    bar_->arrive(c);
+}
+
+void
+Multigrid::prolongCorrect(rt::ProcCtx& c, Grid& u, int level)
+{
+    // Bilinear interpolation of the coarse correction onto the fine
+    // grid; fine (i, j) lies among coarse (i/2, j/2) neighbors.
+    Grid& cu = *uh_[level + 1];
+    Range r = interior(u, c.id());
+    for (int i = r.r0; i < r.r1; ++i) {
+        for (int j = r.c0; j < r.c1; ++j) {
+            int ci = i / 2, cj = j / 2;
+            double v;
+            if (i % 2 == 0 && j % 2 == 0) {
+                v = cu.ld(ci, cj);
+            } else if (i % 2 == 0) {
+                v = 0.5 * (cu.ld(ci, cj) + cu.ld(ci, cj + 1));
+                c.flops(2);
+            } else if (j % 2 == 0) {
+                v = 0.5 * (cu.ld(ci, cj) + cu.ld(ci + 1, cj));
+                c.flops(2);
+            } else {
+                v = 0.25 * (cu.ld(ci, cj) + cu.ld(ci, cj + 1) +
+                            cu.ld(ci + 1, cj) + cu.ld(ci + 1, cj + 1));
+                c.flops(4);
+            }
+            u.st(i, j, u.ld(i, j) + v);
+            c.flops(1);
+        }
+    }
+    bar_->arrive(c);
+}
+
+void
+Multigrid::vcycle(rt::ProcCtx& c, Grid& u, Grid& f, int level)
+{
+    if (level == levels_ - 1) {
+        relax(c, u, f, level, 10);
+        return;
+    }
+    relax(c, u, f, level, 2);
+    restrictResidual(c, u, f, level);
+    zero(c, *uh_[level + 1], level + 1);
+    bar_->arrive(c);
+    vcycle(c, *uh_[level + 1], *fh_[level + 1], level + 1);
+    prolongCorrect(c, u, level);
+    relax(c, u, f, level, 1);
+}
+
+double
+Multigrid::residualNorm(rt::ProcCtx& c, Grid& u, Grid& f)
+{
+    Range r = interior(u, c.id());
+    double inv_h2 = 1.0 / h2_[0];
+    double local = 0.0;
+    for (int i = r.r0; i < r.r1; ++i) {
+        for (int j = r.c0; j < r.c1; ++j) {
+            double lap = (u.ld(i - 1, j) + u.ld(i + 1, j) +
+                          u.ld(i, j - 1) + u.ld(i, j + 1) -
+                          4.0 * u.ld(i, j)) *
+                         inv_h2;
+            double rr = f.ld(i, j) - lap;
+            local += rr * rr;
+            c.flops(10);
+        }
+    }
+    double total = reduceSum(c, local);
+    double pts = double(n_ - 1) * (n_ - 1);
+    return std::sqrt(total / pts);
+}
+
+int
+Multigrid::solve(rt::ProcCtx& c, Grid& u, Grid& f, double tol,
+                 int max_cycles)
+{
+    int cycles = 0;
+    for (; cycles < max_cycles; ++cycles) {
+        vcycle(c, u, f, 0);
+        if (tol > 0.0) {
+            if (residualNorm(c, u, f) < tol)
+                return cycles + 1;
+        }
+    }
+    return cycles;
+}
+
+// ---------------------------------------------------------------------
+// Ocean
+// ---------------------------------------------------------------------
+
+Ocean::Ocean(rt::Env& env, const Config& cfg)
+    : env_(env), cfg_(cfg), pg_(ProcGrid::forProcs(env.nprocs()))
+{
+    int d = cfg_.n + 1;
+    psi1_ = std::make_unique<Grid>(env, d, pg_);
+    psi2_ = std::make_unique<Grid>(env, d, pg_);
+    psim1_ = std::make_unique<Grid>(env, d, pg_);
+    psim2_ = std::make_unique<Grid>(env, d, pg_);
+    psib_ = std::make_unique<Grid>(env, d, pg_);
+    psib2_ = std::make_unique<Grid>(env, d, pg_);
+    vort1_ = std::make_unique<Grid>(env, d, pg_);
+    vort2_ = std::make_unique<Grid>(env, d, pg_);
+    gamma_ = std::make_unique<Grid>(env, d, pg_);
+    tmp_ = std::make_unique<Grid>(env, d, pg_);
+    mg_ = std::make_unique<Multigrid>(env, cfg_.n, pg_);
+    bar_ = std::make_unique<rt::Barrier>(env);
+
+    // Smooth deterministic initial eddy field (zero on boundaries).
+    Rng rng(cfg_.seed);
+    double a1 = rng.uniform(0.5, 1.5), a2 = rng.uniform(0.5, 1.5);
+    for (int i = 1; i < cfg_.n; ++i) {
+        for (int j = 1; j < cfg_.n; ++j) {
+            double x = double(i) / cfg_.n;
+            double y = double(j) / cfg_.n;
+            double pi = 3.14159265358979323846;
+            psi1_->poke(i, j, a1 * std::sin(pi * x) * std::sin(pi * y));
+            psi2_->poke(i, j,
+                        a2 * std::sin(2 * pi * x) * std::sin(pi * y));
+            psim1_->poke(i, j, psi1_->peek(i, j));
+            psim2_->poke(i, j, psi2_->peek(i, j));
+        }
+    }
+}
+
+Result
+Ocean::run()
+{
+    env_.run([this](rt::ProcCtx& c) { body(c); });
+    Result r;
+    r.totalCycles = cycles_;
+    double sum = 0.0;
+    for (int i = 1; i < cfg_.n; ++i)
+        for (int j = 1; j < cfg_.n; ++j)
+            sum += psi1_->peek(i, j) + 0.5 * psi2_->peek(i, j);
+    r.checksum = sum;
+    r.valid = std::isfinite(sum);
+    return r;
+}
+
+void
+Ocean::body(rt::ProcCtx& c)
+{
+    for (int s = 0; s < cfg_.steps; ++s) {
+        if (s == cfg_.warmupSteps && s > 0) {
+            bar_->arrive(c);
+            if (c.id() == 0)
+                env_.startMeasurement();
+            bar_->arrive(c);
+        }
+        timestep(c);
+    }
+}
+
+void
+Ocean::timestep(rt::ProcCtx& c)
+{
+    const int q = c.id();
+    Range r = interior(*psi1_, q);
+    const double h2 = 1.0 / (double(cfg_.n) * cfg_.n);
+    const double beta = 0.8;
+
+    // Phase 1a/1b: vorticities of both stream functions (two full
+    // stencil streams, as Ocean's curl computations).
+    for (Grid* io : {psi1_.get(), psi2_.get()}) {
+        Grid* out = io == psi1_.get() ? vort1_.get() : vort2_.get();
+        for (int i = r.r0; i < r.r1; ++i) {
+            for (int j = r.c0; j < r.c1; ++j) {
+                double lap = io->ld(i - 1, j) + io->ld(i + 1, j) +
+                             io->ld(i, j - 1) + io->ld(i, j + 1) -
+                             4.0 * io->ld(i, j);
+                out->st(i, j, lap / h2);
+                c.flops(6);
+            }
+        }
+        bar_->arrive(c);
+    }
+
+    // Phase 1c: vorticity-like source gamma combining both fields.
+    for (int i = r.r0; i < r.r1; ++i) {
+        for (int j = r.c0; j < r.c1; ++j) {
+            double ddx2 = psi2_->ld(i + 1, j) - psi2_->ld(i - 1, j);
+            gamma_->st(i, j,
+                       (vort1_->ld(i, j) + beta * ddx2 / h2) * 0.01);
+            c.flops(5);
+        }
+    }
+    bar_->arrive(c);
+
+    // Phase 2a/2b: two elliptic solves (Ocean solves one equation per
+    // stream function): laplacian(psib) = gamma, laplacian(psib2) =
+    // vort2.
+    for (int i = r.r0; i < r.r1; ++i) {
+        for (int j = r.c0; j < r.c1; ++j) {
+            psib_->st(i, j, 0.0);
+            psib2_->st(i, j, 0.0);
+        }
+    }
+    bar_->arrive(c);
+    int used = mg_->solve(c, *psib_, *gamma_, cfg_.tol, cfg_.maxCycles);
+    used += mg_->solve(c, *psib2_, *vort2_, cfg_.tol, cfg_.maxCycles);
+    if (q == 0)
+        cycles_ += used;
+
+    // Phase 3a: time-averaging with the previous time level
+    // (element-wise streams over four grids).
+    for (int i = r.r0; i < r.r1; ++i) {
+        for (int j = r.c0; j < r.c1; ++j) {
+            double a1 = 0.75 * psi1_->ld(i, j) +
+                        0.25 * psim1_->ld(i, j);
+            double a2 = 0.75 * psi2_->ld(i, j) +
+                        0.25 * psim2_->ld(i, j);
+            psim1_->st(i, j, psi1_->ld(i, j));
+            psim2_->st(i, j, psi2_->ld(i, j));
+            tmp_->st(i, j, a1 - a2);
+            c.flops(8);
+        }
+    }
+    bar_->arrive(c);
+
+    // Phase 3b: stream-function update from the elliptic solutions.
+    for (int i = r.r0; i < r.r1; ++i) {
+        for (int j = r.c0; j < r.c1; ++j) {
+            double v = 0.9 * psi2_->ld(i, j) +
+                       cfg_.dt * (psib_->ld(i, j) +
+                                  0.5 * psib2_->ld(i, j)) +
+                       0.1 * psi1_->ld(i, j);
+            psi2_->st(i, j, v);
+            c.flops(8);
+        }
+    }
+    bar_->arrive(c);
+
+    // Phase 4: diffusion of psi1 using a laplacian of psi2 via tmp.
+    for (int i = r.r0; i < r.r1; ++i) {
+        for (int j = r.c0; j < r.c1; ++j) {
+            double lap2 = psi2_->ld(i - 1, j) + psi2_->ld(i + 1, j) +
+                          psi2_->ld(i, j - 1) + psi2_->ld(i, j + 1) -
+                          4.0 * psi2_->ld(i, j);
+            tmp_->st(i, j, lap2);
+            c.flops(5);
+        }
+    }
+    bar_->arrive(c);
+    for (int i = r.r0; i < r.r1; ++i) {
+        for (int j = r.c0; j < r.c1; ++j) {
+            psi1_->st(i, j,
+                      psi1_->ld(i, j) + cfg_.dt * 0.1 * tmp_->ld(i, j));
+            c.flops(3);
+        }
+    }
+    bar_->arrive(c);
+}
+
+} // namespace splash::apps::ocean

@@ -1,0 +1,571 @@
+#include "apps/radiosity/radiosity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/log.h"
+#include "base/rng.h"
+
+namespace splash::apps::radiosity {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+inline V3
+operator+(const V3& a, const V3& b)
+{
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+}
+
+inline V3
+operator-(const V3& a, const V3& b)
+{
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+
+inline V3
+operator*(const V3& a, double s)
+{
+    return {a.x * s, a.y * s, a.z * s};
+}
+
+inline double
+dot(const V3& a, const V3& b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+inline V3
+cross(const V3& a, const V3& b)
+{
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+inline V3
+normalize(const V3& a)
+{
+    return a * (1.0 / std::sqrt(dot(a, a)));
+}
+
+/** Fill center/normal/area of a (planar convex) quad patch. */
+void
+finishPatch(Patch& p)
+{
+    p.center = (p.v[0] + p.v[1] + p.v[2] + p.v[3]) * 0.25;
+    V3 n = cross(p.v[3] - p.v[0], p.v[1] - p.v[0]);
+    double a1 = 0.5 * std::sqrt(dot(n, n));
+    V3 n2 = cross(p.v[1] - p.v[2], p.v[3] - p.v[2]);
+    double a2 = 0.5 * std::sqrt(dot(n2, n2));
+    p.normal = normalize(n);
+    p.area = a1 + a2;
+}
+
+/** Segment/triangle intersection strictly inside (t in (eps, 1-eps)). */
+bool
+segTriangle(const V3& a, const V3& b, const V3& t0, const V3& t1,
+            const V3& t2)
+{
+    V3 dir = b - a;
+    V3 e1 = t1 - t0, e2 = t2 - t0;
+    V3 pv = cross(dir, e2);
+    double det = dot(e1, pv);
+    if (std::abs(det) < 1e-12)
+        return false;
+    double inv = 1.0 / det;
+    V3 tv = a - t0;
+    double u = dot(tv, pv) * inv;
+    if (u < 0 || u > 1)
+        return false;
+    V3 qv = cross(tv, e1);
+    double v = dot(dir, qv) * inv;
+    if (v < 0 || u + v > 1)
+        return false;
+    double t = dot(e2, qv) * inv;
+    return t > 1e-4 && t < 1.0 - 1e-4;
+}
+
+} // namespace
+
+Radiosity::Radiosity(rt::Env& env, const Config& cfg)
+    : env_(env), cfg_(cfg),
+      patches_(env, cfg.maxPatches),
+      inter_(env, cfg.maxInteractions),
+      patchCount_(env, 0), interCount_(env, 0), fluxAcc_(env, 0.0)
+{
+    for (int i = 0; i < cfg_.maxPatches; ++i)
+        patchLock_.push_back(std::make_unique<rt::Lock>(env));
+    poolLock_ = std::make_unique<rt::Lock>(env);
+    fluxLock_ = std::make_unique<rt::Lock>(env);
+    bar_ = std::make_unique<rt::Barrier>(env);
+    tq_ = std::make_unique<rt::TaskQueues>(env, env.nprocs(),
+                                           1u << 16);
+    buildScene();
+    buildBsp();
+}
+
+int
+Radiosity::newPatch(rt::ProcCtx* c, const Patch& p)
+{
+    int idx;
+    if (c) {
+        rt::Lock::Guard g(*poolLock_, *c);
+        idx = patchCount_.get();
+        if (idx >= cfg_.maxPatches)
+            fatal("Radiosity: patch pool exhausted");
+        patchCount_.set(idx + 1);
+    } else {
+        idx = *patchCount_.raw();
+        if (idx >= cfg_.maxPatches)
+            fatal("Radiosity: patch pool exhausted");
+        *patchCount_.raw() = idx + 1;
+    }
+    if (c)
+        patches_.st(idx, p);
+    else
+        patches_.raw()[idx] = p;
+    return idx;
+}
+
+int
+Radiosity::newInteraction(rt::ProcCtx& c, const Interaction& in)
+{
+    int idx;
+    {
+        rt::Lock::Guard g(*poolLock_, c);
+        idx = interCount_.get();
+        if (idx >= cfg_.maxInteractions)
+            fatal("Radiosity: interaction pool exhausted");
+        interCount_.set(idx + 1);
+    }
+    inter_.st(idx, in);
+    return idx;
+}
+
+void
+Radiosity::buildScene()
+{
+    auto quad = [&](V3 a, V3 b, V3 c, V3 d, double rho, double e) {
+        Patch p{};
+        p.v[0] = a;
+        p.v[1] = b;
+        p.v[2] = c;
+        p.v[3] = d;
+        p.rho = rho;
+        p.emission = e;
+        finishPatch(p);
+        int id = newPatch(nullptr, p);
+        patches_.raw()[id].root = id;
+        roots_.push_back(id);
+    };
+
+    const double W = 4, H = 3, D = 4;
+    if (cfg_.furnace) {
+        double e = 1.0, r = cfg_.rho;
+        // All faces of a closed box, normals inward.
+        quad({0, 0, 0}, {W, 0, 0}, {W, 0, D}, {0, 0, D}, r, e); // floor
+        quad({0, H, 0}, {0, H, D}, {W, H, D}, {W, H, 0}, r, e); // ceil
+        quad({0, 0, 0}, {0, 0, D}, {0, H, D}, {0, H, 0}, r, e); // left
+        quad({W, 0, 0}, {W, H, 0}, {W, H, D}, {W, 0, D}, r, e); // right
+        quad({0, 0, 0}, {0, H, 0}, {W, H, 0}, {W, 0, 0}, r, e); // front
+        quad({0, 0, D}, {W, 0, D}, {W, H, D}, {0, H, D}, r, e); // back
+        return;
+    }
+
+    // Room: six walls, a bright light panel on the ceiling, one box.
+    quad({0, 0, 0}, {W, 0, 0}, {W, 0, D}, {0, 0, D}, 0.7, 0);  // floor
+    // Ceiling split into light panel and surround (two L pieces kept
+    // as one big quad + panel overlay for simplicity: use 3 strips).
+    quad({0, H, 0}, {0, H, D}, {1.2, H, D}, {1.2, H, 0}, 0.75, 0);
+    quad({2.8, H, 0}, {2.8, H, D}, {W, H, D}, {W, H, 0}, 0.75, 0);
+    quad({1.2, H, 0}, {1.2, H, D}, {2.8, H, D}, {2.8, H, 0}, 0.8,
+         8.0);  // light strip
+    quad({0, 0, 0}, {0, 0, D}, {0, H, D}, {0, H, 0}, 0.65, 0);  // left
+    quad({W, 0, 0}, {W, H, 0}, {W, H, D}, {W, 0, D}, 0.65, 0);  // right
+    quad({0, 0, 0}, {0, H, 0}, {W, H, 0}, {W, 0, 0}, 0.6, 0);   // front
+    quad({0, 0, D}, {W, 0, D}, {W, H, D}, {0, H, D}, 0.6, 0);   // back
+
+    // A box on the floor (five faces, wound so normals point outward
+    // under the cross(v3-v0, v1-v0) convention).
+    double x0 = 2.4, x1 = 3.4, z0 = 1.0, z1 = 2.0, h = 1.0;
+    quad({x0, h, z0}, {x1, h, z0}, {x1, h, z1}, {x0, h, z1}, 0.5, 0);
+    quad({x0, 0, z0}, {x1, 0, z0}, {x1, h, z0}, {x0, h, z0}, 0.5, 0);
+    quad({x0, 0, z1}, {x0, h, z1}, {x1, h, z1}, {x1, 0, z1}, 0.5, 0);
+    quad({x0, 0, z0}, {x0, h, z0}, {x0, h, z1}, {x0, 0, z1}, 0.5, 0);
+    quad({x1, 0, z0}, {x1, 0, z1}, {x1, h, z1}, {x1, h, z0}, 0.5, 0);
+}
+
+void
+Radiosity::buildBsp()
+{
+    std::vector<int> all(roots_.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = static_cast<int>(i);
+    bspRoot_ = buildBspRec(std::move(all));
+}
+
+int
+Radiosity::buildBspRec(std::vector<int> polys)
+{
+    if (polys.empty())
+        return -1;
+    BspNode node;
+    int splitter = polys[0];
+    node.poly = splitter;
+    node.coplanar.push_back(splitter);
+    const Patch& sp = patches_.raw()[roots_[splitter]];
+    std::vector<int> front, back;
+    for (std::size_t k = 1; k < polys.size(); ++k) {
+        const Patch& p = patches_.raw()[roots_[polys[k]]];
+        int pos = 0, neg = 0;
+        for (int i = 0; i < 4; ++i) {
+            double d = dot(sp.normal, p.v[i] - sp.center);
+            if (d > 1e-9)
+                ++pos;
+            else if (d < -1e-9)
+                ++neg;
+        }
+        if (pos && neg) {  // straddler: reference in both subtrees
+            front.push_back(polys[k]);
+            back.push_back(polys[k]);
+        } else if (pos) {
+            front.push_back(polys[k]);
+        } else if (neg) {
+            back.push_back(polys[k]);
+        } else {
+            node.coplanar.push_back(polys[k]);
+        }
+    }
+    int idx = static_cast<int>(bsp_.size());
+    bsp_.push_back(node);
+    int f = buildBspRec(std::move(front));
+    int b = buildBspRec(std::move(back));
+    bsp_[idx].front = f;
+    bsp_[idx].back = b;
+    return idx;
+}
+
+bool
+Radiosity::segmentOccluded(rt::ProcCtx& c, const V3& a, const V3& b,
+                           int skipRootA, int skipRootB) const
+{
+    // Traverse the BSP, visiting only subtrees the segment touches.
+    int stack[64];
+    int sp = 0;
+    if (bspRoot_ >= 0)
+        stack[sp++] = bspRoot_;
+    while (sp > 0) {
+        const BspNode& node = bsp_[stack[--sp]];
+        for (int poly : node.coplanar) {
+            int root = roots_[poly];
+            if (root == skipRootA || root == skipRootB)
+                continue;
+            Patch p = patches_.ld(root);
+            c.flops(30);
+            if (segTriangle(a, b, p.v[0], p.v[1], p.v[2]) ||
+                segTriangle(a, b, p.v[0], p.v[2], p.v[3]))
+                return true;
+        }
+        const Patch& sp2 = patches_.raw()[roots_[node.poly]];
+        double da = dot(sp2.normal, a - sp2.center);
+        double db = dot(sp2.normal, b - sp2.center);
+        c.flops(12);
+        if ((da >= 0 || db >= 0) && node.front >= 0)
+            stack[sp++] = node.front;
+        if ((da <= 0 || db <= 0) && node.back >= 0)
+            stack[sp++] = node.back;
+        ensure(sp < 62, "Radiosity: BSP stack overflow");
+    }
+    return false;
+}
+
+double
+Radiosity::visibility(rt::ProcCtx& c, int pa, int pb)
+{
+    Patch a = patches_.ld(pa);
+    Patch b = patches_.ld(pb);
+    int unblocked = 0;
+    int rays = std::max(1, cfg_.visRays);
+    for (int k = 0; k < rays; ++k) {
+        // Deterministic sample points: center and corner midpoints.
+        V3 sa = k == 0 ? a.center : (a.center + a.v[k % 4]) * 0.5;
+        V3 sb = k == 0 ? b.center : (b.center + b.v[(k + 2) % 4]) * 0.5;
+        if (!segmentOccluded(c, sa, sb, a.root, b.root))
+            ++unblocked;
+    }
+    return double(unblocked) / rays;
+}
+
+double
+Radiosity::formFactor(const Patch& to, const Patch& from)
+{
+    V3 d = from.center - to.center;
+    double r2 = dot(d, d);
+    if (r2 < 1e-12)
+        return 0;
+    double rl = std::sqrt(r2);
+    double cp = dot(to.normal, d) / rl;
+    double cq = -dot(from.normal, d) / rl;
+    if (cp <= 0 || cq <= 0)
+        return 0;
+    return cp * cq * from.area / (kPi * r2 + from.area);
+}
+
+void
+Radiosity::subdivide(rt::ProcCtx& c, int p)
+{
+    rt::Lock::Guard g(*patchLock_[p], c);
+    Patch pp = patches_.ld(p);
+    if (!pp.isLeaf)
+        return;  // somebody else already split it
+    V3 m01 = (pp.v[0] + pp.v[1]) * 0.5;
+    V3 m12 = (pp.v[1] + pp.v[2]) * 0.5;
+    V3 m23 = (pp.v[2] + pp.v[3]) * 0.5;
+    V3 m30 = (pp.v[3] + pp.v[0]) * 0.5;
+    V3 mc = pp.center;
+    V3 quads[4][4] = {
+        {pp.v[0], m01, mc, m30},
+        {m01, pp.v[1], m12, mc},
+        {mc, m12, pp.v[2], m23},
+        {m30, mc, m23, pp.v[3]},
+    };
+    for (int k = 0; k < 4; ++k) {
+        Patch ch{};
+        for (int i = 0; i < 4; ++i)
+            ch.v[i] = quads[k][i];
+        ch.rho = pp.rho;
+        ch.emission = pp.emission;
+        ch.parent = p;
+        ch.root = pp.root;
+        finishPatch(ch);
+        pp.child[k] = newPatch(&c, ch);
+    }
+    pp.isLeaf = false;
+    patches_.st(p, pp);
+    c.flops(60);
+}
+
+void
+Radiosity::processPatch(rt::ProcCtx& c, int p)
+{
+    // Detach the interaction list under the patch lock: other
+    // processors may concurrently append to it (when they refine a
+    // receiver whose child interacts with p).
+    int node;
+    Patch pp;
+    {
+        rt::Lock::Guard g(*patchLock_[p], c);
+        pp = patches_.ld(p);
+        node = pp.interHead;
+        pp.interHead = -1;
+        patches_.st(p, pp);
+    }
+    double gather = 0.0;
+    // Rebuild the list, refining or gathering each interaction. Old
+    // nodes are recycled for the kept interactions.
+    std::vector<Interaction> keep;
+    std::vector<int> freeNodes;
+    while (node >= 0) {
+        Interaction in = inter_.ld(node);
+        freeNodes.push_back(node);
+        node = in.next;
+        Patch q = patches_.ld(in.src);
+        bool can_refine = in.ff > cfg_.ffEps &&
+                          std::max(pp.area, q.area) > cfg_.areaEps;
+        if (!can_refine) {
+            gather += pp.rho * in.ff * in.vis * q.rad;
+            c.flops(4);
+            keep.push_back(in);
+            continue;
+        }
+        if (q.area >= pp.area) {
+            // Refine the source: interact with its four children.
+            subdivide(c, in.src);
+            Patch qq = patches_.ld(in.src);
+            for (int k = 0; k < 4; ++k) {
+                int chId = qq.child[k];
+                Patch ch = patches_.ld(chId);
+                Interaction ni;
+                ni.src = chId;
+                ni.ff = formFactor(pp, ch);
+                c.flops(20);
+                if (ni.ff <= 0)
+                    continue;
+                ni.vis = visibility(c, p, chId);
+                if (ni.vis > 0)
+                    keep.push_back(ni);
+            }
+        } else {
+            // Refine the receiver: push the interaction to children.
+            subdivide(c, p);
+            Patch me = patches_.ld(p);
+            pp.area = me.area;  // refresh refinement inputs
+            for (int k = 0; k < 4; ++k) {
+                int chId = me.child[k];
+                rt::Lock::Guard g(*patchLock_[chId], c);
+                Patch ch = patches_.ld(chId);
+                Interaction ni;
+                ni.src = in.src;
+                ni.ff = formFactor(ch, q);
+                c.flops(20);
+                if (ni.ff <= 0)
+                    continue;
+                ni.vis = visibility(c, chId, in.src);
+                if (ni.vis <= 0)
+                    continue;
+                ni.next = ch.interHead;
+                ch.interHead = newInteraction(c, ni);
+                patches_.st(chId, ch);
+            }
+        }
+    }
+    // Merge the kept interactions back, preserving any nodes other
+    // processors appended meanwhile.
+    rt::Lock::Guard g(*patchLock_[p], c);
+    Patch cur = patches_.ld(p);
+    for (const Interaction& in : keep) {
+        Interaction ni = in;
+        ni.next = cur.interHead;
+        int id;
+        if (!freeNodes.empty()) {
+            id = freeNodes.back();
+            freeNodes.pop_back();
+        } else {
+            id = newInteraction(c, ni);
+        }
+        inter_.st(id, ni);
+        cur.interHead = id;
+    }
+    cur.gather = gather;
+    patches_.st(p, cur);
+}
+
+double
+Radiosity::pushPull(rt::ProcCtx& c, int p, double down)
+{
+    Patch pp = patches_.ld(p);
+    double d2 = down + pp.gather;
+    double up;
+    if (pp.isLeaf) {
+        up = pp.emission + d2;
+    } else {
+        up = 0;
+        for (int k = 0; k < 4; ++k) {
+            Patch ch = patches_.ld(pp.child[k]);
+            up += pushPull(c, pp.child[k], d2) * (ch.area / pp.area);
+            c.flops(2);
+        }
+    }
+    pp.rad = up;
+    patches_.st(p, pp);
+    return up;
+}
+
+void
+Radiosity::body(rt::ProcCtx& c)
+{
+    const int p = c.nprocs();
+    const int me = c.id();
+    const int nroots = static_cast<int>(roots_.size());
+
+    // Initial interactions among input polygons.
+    for (int a = me; a < nroots; a += p) {
+        Patch pa = patches_.ld(roots_[a]);
+        int head = -1;
+        for (int b = 0; b < nroots; ++b) {
+            if (a == b)
+                continue;
+            Patch pb = patches_.ld(roots_[b]);
+            Interaction in;
+            in.src = roots_[b];
+            in.ff = formFactor(pa, pb);
+            c.flops(20);
+            if (in.ff <= 0)
+                continue;
+            in.vis = visibility(c, roots_[a], roots_[b]);
+            if (in.vis <= 0)
+                continue;
+            in.next = head;
+            head = newInteraction(c, in);
+        }
+        pa.interHead = head;
+        patches_.st(roots_[a], pa);
+    }
+    bar_->arrive(c);
+
+    for (int it = 0; it < cfg_.iterations; ++it) {
+        // Process every patch with its interaction list via the task
+        // queues (stealing balances the irregular refinement work).
+        int count = patchCount_.get();
+        for (int t = me; t < count; t += p)
+            tq_->push(c, me, static_cast<std::uint64_t>(t));
+        bar_->arrive(c);
+        std::uint64_t task;
+        while (tq_->get(c, me, task)) {
+            processPatch(c, static_cast<int>(task));
+            tq_->done(c);
+        }
+        bar_->arrive(c);
+
+        // Push-pull through each input polygon's quadtree, and reduce
+        // total flux for the convergence view.
+        if (me == 0)
+            fluxAcc_.set(0.0);
+        bar_->arrive(c);
+        double flux = 0;
+        for (int r = me; r < nroots; r += p) {
+            double up = pushPull(c, roots_[r], 0.0);
+            Patch root = patches_.ld(roots_[r]);
+            flux += up * root.area;
+            c.flops(2);
+        }
+        {
+            rt::Lock::Guard g(*fluxLock_, c);
+            *fluxAcc_ += flux;
+        }
+        bar_->arrive(c);
+        if (me == 0)
+            lastFlux_ = fluxAcc_.get();
+        bar_->arrive(c);
+    }
+}
+
+Result
+Radiosity::run()
+{
+    env_.run([this](rt::ProcCtx& c) { body(c); });
+    Result r;
+    r.totalFlux = lastFlux_;
+    r.patches = *patchCount_.raw();
+    r.interactions = *interCount_.raw();
+    double sum = 0;
+    for (int i = 0; i < r.patches; ++i)
+        sum += patches_.raw()[i].rad * patches_.raw()[i].area;
+    r.checksum = sum;
+    r.valid = std::isfinite(sum) && r.totalFlux > 0;
+    return r;
+}
+
+double
+Radiosity::avgRadiosity(int rootPolygon) const
+{
+    // Area-weighted average over the leaves of this polygon's tree.
+    double num = 0, den = 0;
+    std::vector<int> stack{roots_[rootPolygon]};
+    while (!stack.empty()) {
+        int p = stack.back();
+        stack.pop_back();
+        const Patch& pp = patches_.raw()[p];
+        if (pp.isLeaf) {
+            num += pp.rad * pp.area;
+            den += pp.area;
+        } else {
+            for (int k = 0; k < 4; ++k)
+                stack.push_back(pp.child[k]);
+        }
+    }
+    return den > 0 ? num / den : 0.0;
+}
+
+} // namespace splash::apps::radiosity

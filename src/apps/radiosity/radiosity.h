@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Radiosity: equilibrium distribution of light by the iterative
+ * hierarchical diffuse radiosity method [HSA91], as in SPLASH-2:
+ *
+ *  - the scene starts as a number of large input polygons; light
+ *    transport interactions are computed among them, and polygons are
+ *    hierarchically subdivided into patch quadtrees as necessary for
+ *    accuracy,
+ *  - every step iterates over the current interaction lists, refines
+ *    (subdivides) patches whose estimated form factors are too large,
+ *    gathers radiosity across the remaining interactions, and combines
+ *    patch radiosities in an upward/downward (push-pull) pass through
+ *    the quadtrees,
+ *  - a BSP tree over the input polygons accelerates the visibility
+ *    (occlusion) tests between patch pairs,
+ *  - parallelism is managed by distributed task queues with task
+ *    stealing; computation and access patterns are highly irregular,
+ *  - no attempt is made at intelligent data distribution.
+ *
+ * The paper's `room` model is replaced by a procedurally generated
+ * room (six walls, an area light, boxes) -- see DESIGN.md.
+ */
+#ifndef SPLASH2_APPS_RADIOSITY_RADIOSITY_H
+#define SPLASH2_APPS_RADIOSITY_RADIOSITY_H
+
+#include <memory>
+#include <vector>
+
+#include "rt/env.h"
+#include "rt/shared.h"
+#include "rt/sync.h"
+#include "rt/taskq.h"
+
+namespace splash::apps::radiosity {
+
+struct V3
+{
+    double x = 0, y = 0, z = 0;
+};
+
+/** A quadrilateral patch in a quadtree of patches. */
+struct Patch
+{
+    V3 v[4];          ///< corners (CCW as seen from the front)
+    V3 center, normal;
+    double area = 0;
+    double emission = 0;
+    double rho = 0;     ///< diffuse reflectance
+    double rad = 0;     ///< current radiosity B
+    double gather = 0;  ///< rho * sum(F * V * B_src) this iteration
+    int child[4] = {-1, -1, -1, -1};
+    int parent = -1;
+    int root = -1;      ///< input polygon this patch descends from
+    int interHead = -1; ///< head of the interaction list
+    bool isLeaf = true;
+};
+
+/** One interaction-list node. */
+struct Interaction
+{
+    int src = -1;       ///< source patch
+    double ff = 0;      ///< form-factor estimate
+    double vis = 1;     ///< fractional visibility
+    int next = -1;
+};
+
+struct Config
+{
+    /** Scene: white-furnace box when true (all faces emissive,
+     *  reflectance rho; analytic equilibrium B = E / (1 - rho)). */
+    bool furnace = false;
+    double rho = 0.5;
+    int iterations = 6;
+    double ffEps = 0.02;    ///< refine interactions above this estimate
+    double areaEps = 0.08;  ///< minimum subdividable patch area
+    int visRays = 4;        ///< visibility sample segments per pair
+    int maxPatches = 20000;
+    int maxInteractions = 200000;
+    unsigned seed = 1234;
+};
+
+struct Result
+{
+    bool valid = true;
+    double checksum = 0.0;
+    double totalFlux = 0.0;   ///< sum over leaves of B * A
+    int patches = 0;
+    int interactions = 0;     ///< live interactions after refinement
+};
+
+class Radiosity
+{
+  public:
+    Radiosity(rt::Env& env, const Config& cfg);
+
+    Result run();
+
+    /** Area-weighted average radiosity over the leaves of one input
+     *  polygon (uninstrumented; for verification). */
+    double avgRadiosity(int rootPolygon) const;
+    int rootCount() const { return static_cast<int>(roots_.size()); }
+
+    /** Analytic-ish form-factor probe used by tests: estimated F
+     *  between two patches (unoccluded). */
+    static double formFactor(const Patch& to, const Patch& from);
+
+  private:
+    struct BspNode
+    {
+        int poly = -1;        ///< splitting polygon (index into roots_)
+        int front = -1, back = -1;
+        std::vector<int> coplanar;
+    };
+
+    void buildScene();
+    void buildBsp();
+    int buildBspRec(std::vector<int> polys);
+    bool segmentOccluded(rt::ProcCtx& c, const V3& a, const V3& b,
+                         int skipRootA, int skipRootB) const;
+    double visibility(rt::ProcCtx& c, int pa, int pb);
+
+    int newPatch(rt::ProcCtx* c, const Patch& p);
+    int newInteraction(rt::ProcCtx& c, const Interaction& in);
+    void subdivide(rt::ProcCtx& c, int p);
+    void processPatch(rt::ProcCtx& c, int p);
+    double pushPull(rt::ProcCtx& c, int p, double down);
+    void body(rt::ProcCtx& c);
+
+    rt::Env& env_;
+    Config cfg_;
+    std::vector<int> roots_;  ///< root patch ids (input polygons)
+    rt::SharedArray<Patch> patches_;
+    rt::SharedArray<Interaction> inter_;
+    rt::SharedVar<int> patchCount_;
+    rt::SharedVar<int> interCount_;
+    rt::SharedVar<double> fluxAcc_;
+    std::vector<std::unique_ptr<rt::Lock>> patchLock_;
+    std::unique_ptr<rt::Lock> poolLock_, fluxLock_;
+    std::unique_ptr<rt::Barrier> bar_;
+    std::unique_ptr<rt::TaskQueues> tq_;
+    std::vector<BspNode> bsp_;
+    int bspRoot_ = -1;
+    double lastFlux_ = 0.0;
+};
+
+} // namespace splash::apps::radiosity
+
+#endif // SPLASH2_APPS_RADIOSITY_RADIOSITY_H

@@ -1,0 +1,670 @@
+#include "apps/raytrace/raytrace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "base/log.h"
+#include "base/rng.h"
+
+namespace splash::apps::raytrace {
+
+namespace {
+
+inline Vec
+operator+(const Vec& a, const Vec& b)
+{
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+}
+
+inline Vec
+operator-(const Vec& a, const Vec& b)
+{
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+
+inline Vec
+operator*(const Vec& a, double s)
+{
+    return {a.x * s, a.y * s, a.z * s};
+}
+
+inline Vec
+mul(const Vec& a, const Vec& b)
+{
+    return {a.x * b.x, a.y * b.y, a.z * b.z};
+}
+
+inline double
+dot(const Vec& a, const Vec& b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+inline Vec
+cross(const Vec& a, const Vec& b)
+{
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+inline Vec
+norm(const Vec& a)
+{
+    double inv = 1.0 / std::sqrt(dot(a, a));
+    return a * inv;
+}
+
+inline double
+axis(const Vec& v, int d)
+{
+    return d == 0 ? v.x : (d == 1 ? v.y : v.z);
+}
+
+inline void
+setAxis(Vec& v, int d, double val)
+{
+    (d == 0 ? v.x : (d == 1 ? v.y : v.z)) = val;
+}
+
+/** Axis-aligned bounding box of a bounded primitive. */
+void
+primBounds(const Prim& p, Vec& lo, Vec& hi)
+{
+    if (p.type == 0) {
+        double r = p.b.x;
+        lo = p.a - Vec{r, r, r};
+        hi = p.a + Vec{r, r, r};
+    } else {
+        lo = hi = p.a;
+        for (const Vec* v : {&p.b, &p.c}) {
+            lo.x = std::min(lo.x, v->x);
+            lo.y = std::min(lo.y, v->y);
+            lo.z = std::min(lo.z, v->z);
+            hi.x = std::max(hi.x, v->x);
+            hi.y = std::max(hi.y, v->y);
+            hi.z = std::max(hi.z, v->z);
+        }
+    }
+}
+
+/** Ray / axis-aligned box intersection; returns [t0, t1] or false. */
+bool
+rayBox(const Vec& org, const Vec& dir, const Vec& lo, const Vec& hi,
+       double& t0, double& t1)
+{
+    t0 = 0.0;
+    t1 = 1e30;
+    for (int d = 0; d < 3; ++d) {
+        double o = axis(org, d), v = axis(dir, d);
+        double l = axis(lo, d), h = axis(hi, d);
+        if (std::abs(v) < 1e-12) {
+            if (o < l || o > h)
+                return false;
+            continue;
+        }
+        double ta = (l - o) / v, tb = (h - o) / v;
+        if (ta > tb)
+            std::swap(ta, tb);
+        t0 = std::max(t0, ta);
+        t1 = std::min(t1, tb);
+        if (t0 > t1)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Raytrace::Raytrace(rt::Env& env, const Config& cfg)
+    : env_(env), cfg_(cfg)
+{
+    buildScene();
+    buildGrid();
+    fb_ = rt::SharedArray<double>(env,
+                                  std::size_t(3) * cfg_.width *
+                                      cfg_.height);
+    tq_ = std::make_unique<rt::TaskQueues>(env, env.nprocs());
+    bar_ = std::make_unique<rt::Barrier>(env);
+    statLock_ = std::make_unique<rt::Lock>(env);
+}
+
+void
+Raytrace::buildScene()
+{
+    std::vector<Prim> prims;
+    Rng rng(cfg_.seed);
+
+    // Checkered ground plane.
+    Prim ground;
+    ground.type = 1;
+    ground.a = {0, 0, 0};
+    ground.b = {0, 1, 0};
+    ground.mat.color = {0.9, 0.9, 0.9};
+    ground.mat.kd = 0.9;
+    ground.mat.kr = 0.15;
+    ground.mat.checker = 1;
+    prims.push_back(ground);
+
+    // Grid of reflective spheres.
+    int g = cfg_.sphereGrid;
+    for (int i = 0; i < g; ++i) {
+        for (int j = 0; j < g; ++j) {
+            Prim s;
+            s.type = 0;
+            s.a = {i * 1.6 - (g - 1) * 0.8, 0.5, j * 1.6 - (g - 1) * 0.8};
+            s.b = {0.5, 0, 0};
+            s.mat.color = {0.3 + 0.7 * rng.uniform(), 0.4,
+                           0.3 + 0.7 * rng.uniform()};
+            s.mat.kd = 0.5;
+            s.mat.kr = 0.4;
+            prims.push_back(s);
+        }
+    }
+
+    // Large mirror sphere above the center.
+    Prim big;
+    big.type = 0;
+    big.a = {0, 2.2, 0};
+    big.b = {0.9, 0, 0};
+    big.mat.color = {0.9, 0.9, 0.95};
+    big.mat.kd = 0.2;
+    big.mat.kr = 0.7;
+    prims.push_back(big);
+
+    // A tetrahedron of triangles off to one side.
+    Vec t0{2.5, 0.0, -2.5}, t1{3.5, 0.0, -2.0}, t2{2.8, 0.0, -1.4},
+        apex{3.0, 1.4, -2.0};
+    auto tri = [&](Vec a, Vec b, Vec c) {
+        Prim t;
+        t.type = 2;
+        t.a = a;
+        t.b = b;
+        t.c = c;
+        t.mat.color = {0.95, 0.8, 0.25};
+        t.mat.kd = 0.85;
+        t.mat.kr = 0.05;
+        return t;
+    };
+    prims.push_back(tri(t0, t1, apex));
+    prims.push_back(tri(t1, t2, apex));
+    prims.push_back(tri(t2, t0, apex));
+    prims.push_back(tri(t0, t2, t1));
+
+    nprims_ = prims.size();
+    prims_ = rt::SharedArray<Prim>(env_, nprims_);
+    for (std::size_t i = 0; i < nprims_; ++i) {
+        prims_.raw()[i] = prims[i];
+        if (prims[i].type == 1)
+            planeIds_.push_back(static_cast<int>(i));
+    }
+
+    lights_ = {{-4.0, 6.0, -3.0}, {5.0, 5.0, 4.0}};
+    eye_ = {0.0, 2.4, -7.0};
+    lookAt_ = {0.0, 0.8, 0.0};
+}
+
+void
+Raytrace::buildGrid()
+{
+    const int n = cfg_.gridDim;
+    const int s = cfg_.subDim;
+    // Bounds over bounded primitives only.
+    gridLo_ = {1e30, 1e30, 1e30};
+    gridHi_ = {-1e30, -1e30, -1e30};
+    for (std::size_t i = 0; i < nprims_; ++i) {
+        const Prim& p = prims_.raw()[i];
+        if (p.type == 1)
+            continue;
+        Vec lo, hi;
+        primBounds(p, lo, hi);
+        gridLo_.x = std::min(gridLo_.x, lo.x);
+        gridLo_.y = std::min(gridLo_.y, lo.y);
+        gridLo_.z = std::min(gridLo_.z, lo.z);
+        gridHi_.x = std::max(gridHi_.x, hi.x);
+        gridHi_.y = std::max(gridHi_.y, hi.y);
+        gridHi_.z = std::max(gridHi_.z, hi.z);
+    }
+    Vec pad = (gridHi_ - gridLo_) * 0.01 + Vec{1e-4, 1e-4, 1e-4};
+    gridLo_ = gridLo_ - pad;
+    gridHi_ = gridHi_ + pad;
+    cellSize_ = {(gridHi_.x - gridLo_.x) / n,
+                 (gridHi_.y - gridLo_.y) / n,
+                 (gridHi_.z - gridLo_.z) / n};
+
+    // Conservative AABB binning of primitives into top cells.
+    std::vector<std::vector<int>> cells(std::size_t(n) * n * n);
+    for (std::size_t i = 0; i < nprims_; ++i) {
+        const Prim& p = prims_.raw()[i];
+        if (p.type == 1)
+            continue;
+        Vec lo, hi;
+        primBounds(p, lo, hi);
+        int c0[3], c1[3];
+        for (int d = 0; d < 3; ++d) {
+            double csz = axis(cellSize_, d);
+            c0[d] = std::clamp(
+                int((axis(lo, d) - axis(gridLo_, d)) / csz), 0, n - 1);
+            c1[d] = std::clamp(
+                int((axis(hi, d) - axis(gridLo_, d)) / csz), 0, n - 1);
+        }
+        for (int z = c0[2]; z <= c1[2]; ++z)
+            for (int y = c0[1]; y <= c1[1]; ++y)
+                for (int x = c0[0]; x <= c1[0]; ++x)
+                    cells[(std::size_t(z) * n + y) * n + x].push_back(
+                        static_cast<int>(i));
+    }
+
+    // Promote dense cells to subgrids.
+    std::vector<int> top_start, top_list, sub_of, sub_start, sub_list;
+    top_start.push_back(0);
+    sub_of.assign(cells.size(), -1);
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+        if (static_cast<int>(cells[ci].size()) <= cfg_.subThreshold) {
+            for (int id : cells[ci])
+                top_list.push_back(id);
+        } else {
+            sub_of[ci] = nsub_++;
+            // Bin this cell's prims into s^3 subcells.
+            int cx = static_cast<int>(ci) % n;
+            int cy = (static_cast<int>(ci) / n) % n;
+            int cz = static_cast<int>(ci) / (n * n);
+            Vec clo = gridLo_ + Vec{cx * cellSize_.x, cy * cellSize_.y,
+                                    cz * cellSize_.z};
+            std::vector<std::vector<int>> sub(std::size_t(s) * s * s);
+            for (int id : cells[ci]) {
+                const Prim& p = prims_.raw()[id];
+                Vec lo, hi;
+                primBounds(p, lo, hi);
+                int c0[3], c1[3];
+                for (int d = 0; d < 3; ++d) {
+                    double csz = axis(cellSize_, d) / s;
+                    c0[d] = std::clamp(
+                        int((axis(lo, d) - axis(clo, d)) / csz), 0,
+                        s - 1);
+                    c1[d] = std::clamp(
+                        int((axis(hi, d) - axis(clo, d)) / csz), 0,
+                        s - 1);
+                }
+                for (int z = c0[2]; z <= c1[2]; ++z)
+                    for (int y = c0[1]; y <= c1[1]; ++y)
+                        for (int x = c0[0]; x <= c1[0]; ++x)
+                            sub[(std::size_t(z) * s + y) * s + x]
+                                .push_back(id);
+            }
+            for (const auto& sc : sub) {
+                sub_start.push_back(static_cast<int>(sub_list.size()));
+                for (int id : sc)
+                    sub_list.push_back(id);
+            }
+            sub_start.push_back(static_cast<int>(sub_list.size()));
+            // Re-base this subgrid's offsets at upload time (they are
+            // absolute in sub_list already).
+        }
+        top_start.push_back(static_cast<int>(top_list.size()));
+    }
+
+    auto upload = [&](rt::SharedArray<int>& dst,
+                      const std::vector<int>& src) {
+        dst = rt::SharedArray<int>(env_, std::max<std::size_t>(
+                                             src.size(), 1));
+        for (std::size_t i = 0; i < src.size(); ++i)
+            dst.raw()[i] = src[i];
+    };
+    upload(topStart_, top_start);
+    upload(topList_, top_list);
+    upload(subOf_, sub_of);
+    upload(subStart_, sub_start);
+    upload(subList_, sub_list);
+}
+
+bool
+Raytrace::intersectPrim(rt::ProcCtx& c, int id, const Vec& org,
+                        const Vec& dir, Hit& hit)
+{
+    Prim p = prims_.ld(id);
+    c.flops(20);
+    if (p.type == 0) {
+        Vec oc = org - p.a;
+        double r = p.b.x;
+        double bq = dot(oc, dir);
+        double cq = dot(oc, oc) - r * r;
+        double disc = bq * bq - cq;
+        if (disc < 0)
+            return false;
+        double sq = std::sqrt(disc);
+        double t = -bq - sq;
+        if (t < 1e-6)
+            t = -bq + sq;
+        if (t < 1e-6 || t >= hit.t)
+            return false;
+        hit.t = t;
+        hit.prim = id;
+        hit.point = org + dir * t;
+        hit.normal = norm(hit.point - p.a);
+        return true;
+    }
+    if (p.type == 1) {
+        double denom = dot(p.b, dir);
+        if (std::abs(denom) < 1e-12)
+            return false;
+        double t = dot(p.b, p.a - org) / denom;
+        if (t < 1e-6 || t >= hit.t)
+            return false;
+        hit.t = t;
+        hit.prim = id;
+        hit.point = org + dir * t;
+        hit.normal = denom < 0 ? p.b : p.b * -1.0;
+        return true;
+    }
+    // Moeller-Trumbore triangle test.
+    Vec e1 = p.b - p.a, e2 = p.c - p.a;
+    Vec pv = cross(dir, e2);
+    double det = dot(e1, pv);
+    if (std::abs(det) < 1e-12)
+        return false;
+    double inv = 1.0 / det;
+    Vec tv = org - p.a;
+    double u = dot(tv, pv) * inv;
+    if (u < 0 || u > 1)
+        return false;
+    Vec qv = cross(tv, e1);
+    double v = dot(dir, qv) * inv;
+    if (v < 0 || u + v > 1)
+        return false;
+    double t = dot(e2, qv) * inv;
+    if (t < 1e-6 || t >= hit.t)
+        return false;
+    hit.t = t;
+    hit.prim = id;
+    hit.point = org + dir * t;
+    Vec nrm = norm(cross(e1, e2));
+    hit.normal = dot(nrm, dir) < 0 ? nrm : nrm * -1.0;
+    return true;
+}
+
+bool
+Raytrace::intersectCellList(rt::ProcCtx& c, long start, long end,
+                            const Vec& org, const Vec& dir, Hit& hit)
+{
+    bool any = false;
+    for (long k = start; k < end; ++k) {
+        int id = topList_.ld(k);
+        any |= intersectPrim(c, id, org, dir, hit);
+    }
+    return any;
+}
+
+bool
+Raytrace::intersect(rt::ProcCtx& c, const Vec& org, const Vec& dir,
+                    Hit& hit, double tmax)
+{
+    hit.t = tmax;
+    hit.prim = -1;
+
+    // Unbounded primitives first.
+    for (int id : planeIds_)
+        intersectPrim(c, id, org, dir, hit);
+
+    // 3-D DDA through the top grid.
+    double t0, t1;
+    if (rayBox(org, dir, gridLo_, gridHi_, t0, t1) && t0 < hit.t) {
+        const int n = cfg_.gridDim;
+        const int s = cfg_.subDim;
+        double t = t0 + 1e-9;
+        Vec p = org + dir * t;
+        int cell[3];
+        double tMax[3], tDelta[3];
+        int step[3];
+        for (int d = 0; d < 3; ++d) {
+            double csz = axis(cellSize_, d);
+            cell[d] = std::clamp(
+                int((axis(p, d) - axis(gridLo_, d)) / csz), 0, n - 1);
+            double v = axis(dir, d);
+            step[d] = v > 0 ? 1 : -1;
+            if (std::abs(v) < 1e-12) {
+                tMax[d] = 1e30;
+                tDelta[d] = 1e30;
+            } else {
+                double edge = axis(gridLo_, d) +
+                              (cell[d] + (v > 0 ? 1 : 0)) * csz;
+                tMax[d] = (edge - axis(org, d)) / v;
+                tDelta[d] = csz / std::abs(v);
+            }
+        }
+        while (t < t1 && t < hit.t) {
+            long ci = (long(cell[2]) * n + cell[1]) * n + cell[0];
+            double texit =
+                std::min({tMax[0], tMax[1], tMax[2], t1, 1e30});
+            int sub = subOf_.ld(ci);
+            c.work(4);
+            if (sub < 0) {
+                intersectCellList(c, topStart_.ld(ci),
+                                  topStart_.ld(ci + 1), org, dir, hit);
+            } else {
+                // Nested subgrid: simple parametric march through the
+                // s^3 subcells along the ray inside this cell.
+                long base = long(sub) * (long(s) * s * s + 1);
+                Vec clo = gridLo_ +
+                          Vec{cell[0] * cellSize_.x,
+                              cell[1] * cellSize_.y,
+                              cell[2] * cellSize_.z};
+                double tt = std::max(t, 0.0) + 1e-9;
+                double sub_step =
+                    std::min({cellSize_.x, cellSize_.y, cellSize_.z}) /
+                    (2.0 * s);
+                long prev = -1;
+                while (tt < texit) {
+                    Vec q = org + dir * tt;
+                    int sc[3];
+                    bool inside = true;
+                    for (int d = 0; d < 3; ++d) {
+                        double csz = axis(cellSize_, d) / s;
+                        int v = int((axis(q, d) - axis(clo, d)) / csz);
+                        if (v < 0 || v >= s) {
+                            inside = false;
+                            break;
+                        }
+                        sc[d] = v;
+                    }
+                    if (inside) {
+                        long si = (long(sc[2]) * s + sc[1]) * s + sc[0];
+                        if (si != prev) {
+                            prev = si;
+                            long st = subStart_.ld(base + si);
+                            long en = subStart_.ld(base + si + 1);
+                            for (long k = st; k < en; ++k)
+                                intersectPrim(c, subList_.ld(k), org,
+                                              dir, hit);
+                        }
+                    }
+                    tt += sub_step;
+                    c.work(4);
+                }
+            }
+            if (hit.t <= texit)
+                break;  // nearest hit lies within the visited cells
+            // Step to the next top cell.
+            int d = 0;
+            if (tMax[1] < tMax[d])
+                d = 1;
+            if (tMax[2] < tMax[d])
+                d = 2;
+            t = tMax[d];
+            tMax[d] += tDelta[d];
+            cell[d] += step[d];
+            if (cell[d] < 0 || cell[d] >= n)
+                break;
+        }
+    }
+    return hit.prim >= 0;
+}
+
+Vec
+Raytrace::trace(rt::ProcCtx& c, const Vec& org, const Vec& dir,
+                int depth, double weight, std::uint64_t& rays)
+{
+    ++rays;
+    Hit hit;
+    if (!intersect(c, org, dir, hit, 1e30)) {
+        double f = 0.5 * (dir.y + 1.0);
+        return {0.25 + 0.3 * f, 0.35 + 0.3 * f, 0.55 + 0.4 * f};
+    }
+    Prim p = prims_.ld(hit.prim);
+    Vec base = p.mat.color;
+    if (p.mat.checker) {
+        int par = (int(std::floor(hit.point.x)) +
+                   int(std::floor(hit.point.z))) &
+                  1;
+        base = par ? Vec{0.15, 0.15, 0.15} : Vec{0.9, 0.9, 0.9};
+    }
+    Vec color = base * 0.1;  // ambient
+
+    for (const Vec& lp : lights_) {
+        Vec ld = lp - hit.point;
+        double dist = std::sqrt(dot(ld, ld));
+        ld = ld * (1.0 / dist);
+        double ndotl = dot(hit.normal, ld);
+        c.flops(12);
+        if (ndotl <= 0)
+            continue;
+        Hit shadow;
+        ++rays;
+        if (intersect(c, hit.point + ld * 1e-5, ld, shadow,
+                      dist - 1e-4))
+            continue;
+        color = color + base * (p.mat.kd * ndotl * 0.7);
+        Vec h = norm(ld - dir);
+        double spec = std::pow(std::max(0.0, dot(hit.normal, h)),
+                               p.mat.shine);
+        color = color + Vec{1, 1, 1} * (p.mat.ks * spec * 0.6);
+        c.flops(20);
+    }
+
+    // Reflection with early ray termination.
+    double rw = weight * p.mat.kr;
+    if (p.mat.kr > 0 && depth + 1 < cfg_.maxDepth &&
+        rw > cfg_.minWeight) {
+        Vec rdir = dir - hit.normal * (2.0 * dot(dir, hit.normal));
+        Vec rc = trace(c, hit.point + rdir * 1e-5, rdir, depth + 1, rw,
+                       rays);
+        color = color + rc * p.mat.kr;
+        c.flops(12);
+    }
+    return color;
+}
+
+Vec
+Raytrace::primaryDir(double px, double py) const
+{
+    Vec fwd = norm(lookAt_ - eye_);
+    Vec right = norm(cross(fwd, Vec{0, 1, 0}));
+    Vec up = cross(right, fwd);
+    double aspect = double(cfg_.width) / cfg_.height;
+    double fov = 1.0;  // ~53 degrees
+    double u = (px / cfg_.width - 0.5) * 2.0 * fov * aspect;
+    double v = (0.5 - py / cfg_.height) * 2.0 * fov;
+    return norm(fwd + right * u + up * v);
+}
+
+Vec
+Raytrace::tracePixel(rt::ProcCtx& c, int px, int py)
+{
+    std::uint64_t rays = 0;
+    return trace(c, eye_, primaryDir(px + 0.5, py + 0.5), 0, 1.0,
+                 rays);
+}
+
+void
+Raytrace::renderTile(rt::ProcCtx& c, int tileIdx)
+{
+    int tilesX = (cfg_.width + cfg_.tile - 1) / cfg_.tile;
+    int tx = (tileIdx % tilesX) * cfg_.tile;
+    int ty = (tileIdx / tilesX) * cfg_.tile;
+    std::uint64_t rays = 0;
+    for (int y = ty; y < std::min(ty + cfg_.tile, cfg_.height); ++y) {
+        for (int x = tx; x < std::min(tx + cfg_.tile, cfg_.width);
+             ++x) {
+            Vec col;
+            if (cfg_.antialias) {
+                // 2x2 supersampling.
+                for (double oy : {0.25, 0.75})
+                    for (double ox : {0.25, 0.75})
+                        col = col + trace(c, eye_,
+                                          primaryDir(x + ox, y + oy),
+                                          0, 1.0, rays) *
+                                        0.25;
+            } else {
+                col = trace(c, eye_, primaryDir(x + 0.5, y + 0.5), 0,
+                            1.0, rays);
+            }
+            std::size_t o = (std::size_t(y) * cfg_.width + x) * 3;
+            fb_[o + 0] = std::min(1.0, col.x);
+            fb_[o + 1] = std::min(1.0, col.y);
+            fb_[o + 2] = std::min(1.0, col.z);
+        }
+    }
+    rt::Lock::Guard g(*statLock_, c);
+    raysCast_ += rays;
+}
+
+void
+Raytrace::body(rt::ProcCtx& c)
+{
+    // Contiguous blocks of pixel tiles seed each processor's queue.
+    int tilesX = (cfg_.width + cfg_.tile - 1) / cfg_.tile;
+    int tilesY = (cfg_.height + cfg_.tile - 1) / cfg_.tile;
+    int ntiles = tilesX * tilesY;
+    for (int t = c.id(); t < ntiles; t += c.nprocs())
+        tq_->push(c, c.id(), static_cast<std::uint64_t>(t));
+    bar_->arrive(c);
+    std::uint64_t task;
+    while (tq_->get(c, c.id(), task)) {
+        renderTile(c, static_cast<int>(task));
+        tq_->done(c);
+    }
+}
+
+Result
+Raytrace::run()
+{
+    raysCast_ = 0;
+    env_.run([this](rt::ProcCtx& c) { body(c); });
+    Result r;
+    r.raysCast = raysCast_;
+    double sum = 0;
+    const double* fb = fb_.raw();
+    for (std::size_t i = 0; i < std::size_t(3) * cfg_.width * cfg_.height;
+         ++i)
+        sum += fb[i] * ((i % 17) + 1);
+    r.checksum = sum;
+    r.valid = std::isfinite(sum) && r.raysCast > 0;
+    return r;
+}
+
+std::vector<double>
+Raytrace::framebuffer() const
+{
+    const double* fb = fb_.raw();
+    return std::vector<double>(
+        fb, fb + std::size_t(3) * cfg_.width * cfg_.height);
+}
+
+void
+Raytrace::writePpm(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open " + path);
+    std::fprintf(f, "P6\n%d %d\n255\n", cfg_.width, cfg_.height);
+    const double* fb = fb_.raw();
+    for (std::size_t i = 0;
+         i < std::size_t(3) * cfg_.width * cfg_.height; ++i) {
+        unsigned char b =
+            static_cast<unsigned char>(std::min(255.0, fb[i] * 255.0));
+        std::fputc(b, f);
+    }
+    std::fclose(f);
+}
+
+} // namespace splash::apps::raytrace

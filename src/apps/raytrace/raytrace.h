@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Raytrace: 3-D scene rendering by recursive (Whitted) ray tracing,
+ * as in SPLASH-2:
+ *
+ *  - the scene is indexed by a hierarchical uniform grid (a top-level
+ *    uniform grid whose dense cells carry nested subgrids),
+ *  - rays reflect off specular surfaces producing a ray tree per
+ *    pixel, with early termination of low-contribution branches,
+ *  - the image plane is partitioned into contiguous blocks of pixel
+ *    tiles managed by distributed task queues with stealing,
+ *  - data access patterns are highly unpredictable.
+ *
+ * The paper renders the `car` input; we render a procedurally
+ * generated reflective-spheres scene of comparable composition (see
+ * DESIGN.md substitutions).
+ */
+#ifndef SPLASH2_APPS_RAYTRACE_RAYTRACE_H
+#define SPLASH2_APPS_RAYTRACE_RAYTRACE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rt/env.h"
+#include "rt/shared.h"
+#include "rt/sync.h"
+#include "rt/taskq.h"
+
+namespace splash::apps::raytrace {
+
+struct Vec
+{
+    double x = 0, y = 0, z = 0;
+};
+
+struct Material
+{
+    Vec color;
+    double kd = 0.8;    ///< diffuse
+    double ks = 0.2;    ///< specular highlight
+    double kr = 0.0;    ///< reflectivity
+    double shine = 32;
+    int checker = 0;    ///< checkerboard modulation (planes)
+};
+
+/** One primitive (POD union by `type`). */
+struct Prim
+{
+    int type = 0;  ///< 0: sphere, 1: plane, 2: triangle
+    Vec a, b, c;   ///< sphere: a=center, b.x=radius; plane: a=point,
+                   ///< b=normal; triangle: vertices a, b, c
+    Material mat;
+};
+
+struct Config
+{
+    int width = 64;
+    int height = 64;
+    int tile = 8;         ///< task tile edge
+    int maxDepth = 4;     ///< reflection recursion bound
+    /** 2x2 supersampling per pixel (implemented but, as in the paper's
+     *  study, off by default). */
+    bool antialias = false;
+    double minWeight = 0.01;  ///< early-ray-termination threshold
+    int gridDim = 8;      ///< top-level grid resolution per axis
+    int subDim = 4;       ///< nested subgrid resolution per axis
+    int subThreshold = 8; ///< primitives per cell that trigger nesting
+    int sphereGrid = 3;   ///< procedural scene: sphereGrid^2 spheres
+    unsigned seed = 1234;
+};
+
+struct Result
+{
+    bool valid = true;
+    double checksum = 0.0;
+    std::uint64_t raysCast = 0;
+};
+
+class Raytrace
+{
+  public:
+    Raytrace(rt::Env& env, const Config& cfg);
+
+    Result run();
+
+    /** Rendered framebuffer (RGB triples in [0,1]); uninstrumented. */
+    std::vector<double> framebuffer() const;
+    /** Write a PPM image (examples use this). */
+    void writePpm(const std::string& path) const;
+
+    int primCount() const { return static_cast<int>(nprims_); }
+
+    /** Trace a single primary ray (test hook; call inside a team). */
+    Vec tracePixel(rt::ProcCtx& c, int px, int py);
+
+  private:
+    struct Hit
+    {
+        double t = 1e30;
+        int prim = -1;
+        Vec point, normal;
+    };
+
+    void buildScene();
+    void buildGrid();
+    void body(rt::ProcCtx& c);
+    void renderTile(rt::ProcCtx& c, int tileIdx);
+    Vec trace(rt::ProcCtx& c, const Vec& org, const Vec& dir, int depth,
+              double weight, std::uint64_t& rays);
+    bool intersect(rt::ProcCtx& c, const Vec& org, const Vec& dir,
+                   Hit& hit, double tmax);
+    bool intersectCellList(rt::ProcCtx& c, long start, long end,
+                           const Vec& org, const Vec& dir, Hit& hit);
+    bool intersectPrim(rt::ProcCtx& c, int id, const Vec& org,
+                       const Vec& dir, Hit& hit);
+    Vec primaryDir(double px, double py) const;
+
+    rt::Env& env_;
+    Config cfg_;
+
+    // Scene (host-built, stored shared, read instrumented).
+    std::size_t nprims_ = 0;
+    rt::SharedArray<Prim> prims_;
+    std::vector<int> planeIds_;  ///< unbounded prims, tested directly
+
+    // Hierarchical uniform grid.
+    Vec gridLo_, gridHi_, cellSize_;
+    rt::SharedArray<int> topStart_;   ///< N^3+1 offsets
+    rt::SharedArray<int> topList_;    ///< prim ids
+    rt::SharedArray<int> subOf_;      ///< N^3: subgrid id or -1
+    rt::SharedArray<int> subStart_;   ///< nsub*(S^3+1) offsets
+    rt::SharedArray<int> subList_;
+    int nsub_ = 0;
+
+    // Lights and camera (host constants).
+    std::vector<Vec> lights_;
+    Vec eye_, lookAt_;
+
+    rt::SharedArray<double> fb_;  ///< framebuffer RGB
+    std::unique_ptr<rt::TaskQueues> tq_;
+    std::unique_ptr<rt::Barrier> bar_;
+    std::unique_ptr<rt::Lock> statLock_;
+    std::uint64_t raysCast_ = 0;
+};
+
+} // namespace splash::apps::raytrace
+
+#endif // SPLASH2_APPS_RAYTRACE_RAYTRACE_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Volrend: volume rendering by ray casting, as in SPLASH-2:
+ *
+ *  - the volume is a cube of voxels; an octree (max-opacity pyramid)
+ *    accelerates traversal by leaping over transparent space,
+ *  - several frames are rendered from changing viewpoints,
+ *  - rays are cast through every pixel (parallel projection), sampled
+ *    along their linear paths with trilinear interpolation, composited
+ *    front-to-back with early ray termination,
+ *  - the image is partitioned into pixel-block tiles under distributed
+ *    task queues with stealing (as in Raytrace).
+ *
+ * The paper renders the `head` data set; we render a procedural
+ * head phantom of nested ellipsoid shells (skin, skull, brain) with
+ * an equivalent opacity structure (see DESIGN.md substitutions).
+ */
+#ifndef SPLASH2_APPS_VOLREND_VOLREND_H
+#define SPLASH2_APPS_VOLREND_VOLREND_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/env.h"
+#include "rt/shared.h"
+#include "rt/sync.h"
+#include "rt/taskq.h"
+
+namespace splash::apps::volrend {
+
+struct Config
+{
+    int size = 64;        ///< voxels per axis (power of two)
+    int width = 64;       ///< image edge (square image)
+    int frames = 2;       ///< viewpoints (rotation about the y axis)
+    /** Frames before measurement starts (paper: skip cold start). */
+    int warmupFrames = 0;
+    int tile = 8;
+    double step = 1.0;    ///< sampling step in voxel units
+    double cutoff = 0.95; ///< early-ray-termination opacity
+    bool useOctree = true;
+    unsigned seed = 1234;
+    /** 0: head phantom (default); 1: centered ball (for tests). */
+    int phantom = 0;
+};
+
+struct Result
+{
+    bool valid = true;
+    double checksum = 0.0;
+    std::uint64_t samples = 0;  ///< trilinear samples taken
+};
+
+class Volrend
+{
+  public:
+    Volrend(rt::Env& env, const Config& cfg);
+
+    Result run();
+
+    /** Final frame's image (grayscale in [0,1]); uninstrumented. */
+    std::vector<double> image() const;
+    void writePpm(const std::string& path) const;
+
+  private:
+    void buildVolume();
+    void buildPyramid(rt::ProcCtx& c);
+    void computeOpacity(rt::ProcCtx& c);
+    void body(rt::ProcCtx& c);
+    void renderTile(rt::ProcCtx& c, int tileIdx, int frame);
+    double castRay(rt::ProcCtx& c, double ox, double oy, double oz,
+                   double dx, double dy, double dz,
+                   std::uint64_t& samples);
+    double sampleOpacity(rt::ProcCtx& c, double x, double y, double z);
+    double shade(rt::ProcCtx& c, double x, double y, double z);
+    double density(int x, int y, int z) const;
+
+    rt::Env& env_;
+    Config cfg_;
+    int n_;
+    rt::SharedArray<double> vol_;      ///< densities
+    rt::SharedArray<double> opac_;     ///< transfer-mapped opacity
+    rt::SharedArray<double> pyramid_;  ///< max-opacity octree levels
+    std::vector<long> pyrOffset_;      ///< level offsets (0 = voxels)
+    int pyrLevels_ = 0;
+    rt::SharedArray<double> img_;
+    std::unique_ptr<rt::TaskQueues> tq_;
+    std::unique_ptr<rt::Barrier> bar_;
+    std::unique_ptr<rt::Lock> statLock_;
+    std::uint64_t samples_ = 0;
+    double viewCos_ = 1.0, viewSin_ = 0.0;  ///< current frame rotation
+};
+
+} // namespace splash::apps::volrend
+
+#endif // SPLASH2_APPS_VOLREND_VOLREND_H

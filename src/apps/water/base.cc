@@ -1,0 +1,255 @@
+#include "apps/water/base.h"
+
+#include <cmath>
+
+#include "base/log.h"
+#include "base/rng.h"
+
+namespace splash::apps::water {
+
+namespace {
+
+/** Gear corrector coefficients for a 2nd-order ODE, 6 values
+ *  (Gear 1971): applied to the scaled-derivative (Nordsieck) vector. */
+constexpr double kGear[kOrder] = {3.0 / 16.0,  251.0 / 360.0, 1.0,
+                                  11.0 / 18.0, 1.0 / 6.0,     1.0 / 60.0};
+
+/** Pascal-triangle predictor: q_k += sum_{j>k} C(j, k) q_j. */
+constexpr double kPascal[kOrder][kOrder] = {
+    {1, 1, 1, 1, 1, 1},  {0, 1, 2, 3, 4, 5},   {0, 0, 1, 3, 6, 10},
+    {0, 0, 0, 1, 4, 10}, {0, 0, 0, 0, 1, 5},   {0, 0, 0, 0, 0, 1},
+};
+
+} // namespace
+
+MdBase::MdBase(rt::Env& env, const MdConfig& cfg)
+    : env_(env), cfg_(cfg), mol_(env, cfg.nmol),
+      potAcc_(env, 0.0), kinAcc_(env, 0.0)
+{
+    box_ = std::cbrt(double(cfg_.nmol) / cfg_.density);
+    if (box_ < 2.0 * cfg_.cutoff)
+        warn("Water: box smaller than twice the cutoff; minimum image "
+             "may double-count");
+
+    // Initial FCC-ish lattice with small deterministic jitter and
+    // small random velocities (zero net momentum).
+    int side = 1;
+    while (side * side * side < cfg_.nmol)
+        ++side;
+    Rng rng(cfg_.seed);
+    double cell = box_ / side;
+    double mom[3] = {0, 0, 0};
+    for (int m = 0; m < cfg_.nmol; ++m) {
+        Molecule mm{};
+        int ix = m % side, iy = (m / side) % side, iz = m / (side * side);
+        double pos[3] = {(ix + 0.5) * cell, (iy + 0.5) * cell,
+                         (iz + 0.5) * cell};
+        for (int d = 0; d < 3; ++d) {
+            mm.q[0][d] = pos[d] + rng.uniform(-0.05, 0.05) * cell;
+            double v = rng.uniform(-0.1, 0.1);
+            mm.q[1][d] = v * cfg_.dt;  // h * v
+            mom[d] += v;
+        }
+        mol_.raw()[m] = mm;
+    }
+    // Remove net momentum.
+    for (int m = 0; m < cfg_.nmol; ++m)
+        for (int d = 0; d < 3; ++d)
+            mol_.raw()[m].q[1][d] -= mom[d] / cfg_.nmol * cfg_.dt;
+
+    for (int m = 0; m < cfg_.nmol; ++m)
+        molLock_.push_back(std::make_unique<rt::Lock>(env));
+    energyLock_ = std::make_unique<rt::Lock>(env);
+    bar_ = std::make_unique<rt::Barrier>(env);
+
+    // Distribute molecule records across nodes in owner bands.
+    for (int q = 0; q < env.nprocs(); ++q) {
+        long f = molFirst(q), l = molLast(q);
+        if (l > f)
+            mol_.setHome(f, l - f, q);
+    }
+}
+
+long
+MdBase::molFirst(int q) const
+{
+    return long(cfg_.nmol) * q / env_.nprocs();
+}
+
+long
+MdBase::molLast(int q) const
+{
+    return long(cfg_.nmol) * (q + 1) / env_.nprocs();
+}
+
+double
+MdBase::pairInteraction(rt::ProcCtx& c, int i, int j, double fij[3])
+{
+    double dr[3];
+    // Positions are read field-by-field to reference only the bytes
+    // actually used (q[0][*]).
+    const Molecule* raw = mol_.raw();
+    for (int d = 0; d < 3; ++d) {
+        rt::touchRead(&raw[i].q[0][d], sizeof(double));
+        rt::touchRead(&raw[j].q[0][d], sizeof(double));
+        double diff = raw[i].q[0][d] - raw[j].q[0][d];
+        diff -= box_ * std::nearbyint(diff / box_);
+        dr[d] = diff;
+    }
+    double r2 = dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2];
+    c.flops(14);
+    if (r2 >= cfg_.cutoff * cfg_.cutoff || r2 == 0.0) {
+        fij[0] = fij[1] = fij[2] = 0.0;
+        return 0.0;
+    }
+    double inv2 = 1.0 / r2;
+    double inv6 = inv2 * inv2 * inv2;
+    double inv12 = inv6 * inv6;
+    double fr = (48.0 * inv12 - 24.0 * inv6) * inv2;
+    for (int d = 0; d < 3; ++d)
+        fij[d] = fr * dr[d];
+    c.flops(14);
+    return 4.0 * (inv12 - inv6);
+}
+
+void
+MdBase::predict(rt::ProcCtx& c)
+{
+    for (long m = molFirst(c.id()); m < molLast(c.id()); ++m) {
+        Molecule mm = mol_.ld(m);
+        for (int d = 0; d < 3; ++d) {
+            double next[kOrder];
+            for (int k = 0; k < kOrder; ++k) {
+                double acc = 0;
+                for (int j = k; j < kOrder; ++j)
+                    acc += kPascal[k][j] * mm.q[j][d];
+                next[k] = acc;
+            }
+            for (int k = 0; k < kOrder; ++k)
+                mm.q[k][d] = next[k];
+            // Wrap into the box.
+            mm.q[0][d] -= box_ * std::floor(mm.q[0][d] / box_);
+            mm.f[d] = 0.0;
+        }
+        mol_.st(m, mm);
+        c.flops(3 * kOrder * kOrder);
+    }
+}
+
+void
+MdBase::mergeForces(rt::ProcCtx& c, const std::vector<double>& local)
+{
+    for (int m = 0; m < cfg_.nmol; ++m) {
+        const double* lf = &local[3 * m];
+        if (lf[0] == 0.0 && lf[1] == 0.0 && lf[2] == 0.0)
+            continue;
+        rt::Lock::Guard g(*molLock_[m], c);
+        Molecule* raw = mol_.raw();
+        for (int d = 0; d < 3; ++d) {
+            rt::touchRead(&raw[m].f[d], sizeof(double));
+            rt::touchWrite(&raw[m].f[d], sizeof(double));
+            raw[m].f[d] += lf[d];
+        }
+        c.flops(3);
+    }
+}
+
+void
+MdBase::correctAndKinetic(rt::ProcCtx& c)
+{
+    const double h2_2 = cfg_.dt * cfg_.dt * 0.5;
+    double kin = 0.0;
+    for (long m = molFirst(c.id()); m < molLast(c.id()); ++m) {
+        Molecule mm = mol_.ld(m);
+        for (int d = 0; d < 3; ++d) {
+            double delta = h2_2 * mm.f[d] - mm.q[2][d];
+            for (int k = 0; k < kOrder; ++k)
+                mm.q[k][d] += kGear[k] * delta;
+            double v = mm.q[1][d] / cfg_.dt;
+            kin += 0.5 * v * v;
+        }
+        mol_.st(m, mm);
+        c.flops(10 * kOrder);
+    }
+    rt::Lock::Guard g(*energyLock_, c);
+    *kinAcc_ += kin;
+    c.flops(1);
+}
+
+void
+MdBase::body(rt::ProcCtx& c)
+{
+    for (int s = 0; s < cfg_.steps; ++s) {
+        if (s == cfg_.warmupSteps && s > 0) {
+            bar_->arrive(c);
+            if (c.id() == 0)
+                env_.startMeasurement();
+            bar_->arrive(c);
+        }
+        predict(c);
+        bar_->arrive(c);
+        prepareStep(c);
+        if (c.id() == 0) {
+            potAcc_.set(0.0);
+            kinAcc_.set(0.0);
+        }
+        bar_->arrive(c);
+
+        std::vector<double> local(std::size_t(3) * cfg_.nmol, 0.0);
+        double pot = forceSweep(c, local);
+        mergeForces(c, local);
+        {
+            rt::Lock::Guard g(*energyLock_, c);
+            *potAcc_ += pot;
+            c.flops(1);
+        }
+        bar_->arrive(c);
+
+        correctAndKinetic(c);
+        bar_->arrive(c);
+        if (c.id() == 0) {
+            lastPot_ = potAcc_.get();
+            lastKin_ = kinAcc_.get();
+        }
+        bar_->arrive(c);
+    }
+}
+
+MdResult
+MdBase::run()
+{
+    env_.run([this](rt::ProcCtx& c) { body(c); });
+    MdResult r;
+    r.kinetic = lastKin_;
+    r.potential = lastPot_;
+    double sum = 0.0;
+    for (int m = 0; m < cfg_.nmol; ++m)
+        for (int d = 0; d < 3; ++d)
+            sum += mol_.raw()[m].q[0][d] * ((d + 1) * 0.25);
+    r.checksum = sum;
+    r.valid = std::isfinite(sum) && std::isfinite(lastPot_) &&
+              std::isfinite(lastKin_);
+    return r;
+}
+
+std::vector<double>
+MdBase::positions() const
+{
+    std::vector<double> out(std::size_t(3) * cfg_.nmol);
+    for (int m = 0; m < cfg_.nmol; ++m)
+        for (int d = 0; d < 3; ++d)
+            out[3 * m + d] = mol_.raw()[m].q[0][d];
+    return out;
+}
+
+std::vector<double>
+MdBase::forces() const
+{
+    std::vector<double> out(std::size_t(3) * cfg_.nmol);
+    for (int m = 0; m < cfg_.nmol; ++m)
+        for (int d = 0; d < 3; ++d)
+            out[3 * m + d] = mol_.raw()[m].f[d];
+    return out;
+}
+
+} // namespace splash::apps::water

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared substrate of the two Water applications.
+ *
+ * Both Water-Nsquared and Water-Spatial evaluate forces and potentials
+ * over time in a system of water molecules using a predictor-corrector
+ * (Gear) method; they differ only in how interaction partners are
+ * found (O(n^2) half-shell enumeration vs. an O(n) spatial cell grid).
+ * This header holds everything they share: the molecule state layout
+ * (a Nordsieck vector per coordinate), the pair potential, the Gear
+ * predictor/corrector sweeps, and the locked force-merge protocol
+ * (each processor accumulates forces into a private copy and merges
+ * into the shared copy once, under per-molecule locks -- the SPLASH-2
+ * improvement over the original SPLASH Water).
+ *
+ * The potential is a Lennard-Jones site model with minimum-image
+ * periodic boundaries (the paper's intra-molecular terms are not
+ * architecturally significant; see DESIGN.md substitutions).
+ */
+#ifndef SPLASH2_APPS_WATER_BASE_H
+#define SPLASH2_APPS_WATER_BASE_H
+
+#include <memory>
+#include <vector>
+
+#include "rt/env.h"
+#include "rt/shared.h"
+#include "rt/sync.h"
+
+namespace splash::apps::water {
+
+/** Gear predictor-corrector order (Nordsieck values per coordinate).
+ *  Six values, as in SPLASH-2 Water's high-order Gear scheme; this
+ *  also sizes the per-molecule record the paper's working-set analysis
+ *  sees (6 orders x 3 coordinates + forces = 168 bytes). */
+constexpr int kOrder = 6;
+
+/** One molecule: Nordsieck vectors for x/y/z plus the shared force. */
+struct Molecule
+{
+    /** q[k][d]: k-th scaled derivative of coordinate d. */
+    double q[kOrder][3];
+    /** Shared force accumulator, merged under the molecule's lock. */
+    double f[3];
+};
+
+struct MdConfig
+{
+    int nmol = 216;
+    int steps = 3;
+    /** Steps before measurement starts (paper: skip cold start). */
+    int warmupSteps = 0;
+    double density = 0.8;   ///< reduced density
+    double cutoff = 2.5;    ///< reduced LJ cutoff radius
+    double dt = 0.004;      ///< reduced time-step
+    unsigned seed = 1234;
+};
+
+struct MdResult
+{
+    bool valid = true;
+    double checksum = 0.0;
+    double kinetic = 0.0;    ///< final-step kinetic energy
+    double potential = 0.0;  ///< final-step potential energy
+};
+
+/** Common state and phases; the two apps provide the force sweep. */
+class MdBase
+{
+  public:
+    MdBase(rt::Env& env, const MdConfig& cfg);
+    virtual ~MdBase() = default;
+
+    MdResult run();
+
+    double boxLength() const { return box_; }
+    int nmol() const { return cfg_.nmol; }
+
+    /** Current positions/forces (uninstrumented; for verification). */
+    std::vector<double> positions() const;
+    std::vector<double> forces() const;
+
+  protected:
+    /** Subclass: accumulate LJ forces for this processor's share of
+     *  pair interactions into @p local (3*nmol doubles) and return the
+     *  local potential-energy contribution. */
+    virtual double forceSweep(rt::ProcCtx& c,
+                              std::vector<double>& local) = 0;
+
+    /** Optional per-step structure rebuild hook (cell lists). */
+    virtual void prepareStep(rt::ProcCtx& c) { (void)c; }
+
+    /** Pair force/potential with minimum-image convention. Adds the
+     *  force on @p i (reaction subtracted on j by the caller). Returns
+     *  potential or 0 beyond the cutoff. Reads positions through the
+     *  instrumented array. */
+    double pairInteraction(rt::ProcCtx& c, int i, int j, double fij[3]);
+
+    /** Molecule index range owned by processor @p q. */
+    long molFirst(int q) const;
+    long molLast(int q) const;
+
+    rt::Env& env_;
+    MdConfig cfg_;
+    double box_;
+    rt::SharedArray<Molecule> mol_;
+    std::vector<std::unique_ptr<rt::Lock>> molLock_;
+    std::unique_ptr<rt::Lock> energyLock_;
+    std::unique_ptr<rt::Barrier> bar_;
+    rt::SharedVar<double> potAcc_, kinAcc_;
+
+  private:
+    void body(rt::ProcCtx& c);
+    void predict(rt::ProcCtx& c);
+    void correctAndKinetic(rt::ProcCtx& c);
+    void mergeForces(rt::ProcCtx& c, const std::vector<double>& local);
+
+    double lastPot_ = 0.0, lastKin_ = 0.0;
+};
+
+} // namespace splash::apps::water
+
+#endif // SPLASH2_APPS_WATER_BASE_H

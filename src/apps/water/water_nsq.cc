@@ -1,0 +1,30 @@
+#include "apps/water/water_nsq.h"
+
+namespace splash::apps::water {
+
+double
+WaterNsq::forceSweep(rt::ProcCtx& c, std::vector<double>& local)
+{
+    const int n = cfg_.nmol;
+    const int half = n / 2;
+    double pot = 0.0;
+    for (long i = molFirst(c.id()); i < molLast(c.id()); ++i) {
+        // Half-shell: partners i+1 .. i+n/2 (mod n); when n is even the
+        // diametric pair is computed only from the lower index.
+        for (int s = 1; s <= half; ++s) {
+            if (n % 2 == 0 && s == half && i >= half)
+                break;
+            int j = static_cast<int>((i + s) % n);
+            double fij[3];
+            pot += pairInteraction(c, static_cast<int>(i), j, fij);
+            for (int d = 0; d < 3; ++d) {
+                local[3 * i + d] += fij[d];
+                local[3 * j + d] -= fij[d];
+            }
+            c.flops(6);
+        }
+    }
+    return pot;
+}
+
+} // namespace splash::apps::water

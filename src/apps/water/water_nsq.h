@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Water-Nsquared: O(n^2) molecular-dynamics water simulation.
+ *
+ * Each processor owns a contiguous band of molecules and evaluates a
+ * half shell of n/2 partners per owned molecule, so every pair is
+ * computed exactly once.  Forces are accumulated into a private copy
+ * and merged into the shared copy once per step under per-molecule
+ * locks (the improved SPLASH-2 locking strategy).
+ *
+ * Paper default: 512 molecules; sim-scaled default: 216.
+ */
+#ifndef SPLASH2_APPS_WATER_WATER_NSQ_H
+#define SPLASH2_APPS_WATER_WATER_NSQ_H
+
+#include "apps/water/base.h"
+
+namespace splash::apps::water {
+
+class WaterNsq : public MdBase
+{
+  public:
+    WaterNsq(rt::Env& env, const MdConfig& cfg) : MdBase(env, cfg) {}
+
+  protected:
+    double forceSweep(rt::ProcCtx& c, std::vector<double>& local) override;
+};
+
+} // namespace splash::apps::water
+
+#endif // SPLASH2_APPS_WATER_WATER_NSQ_H

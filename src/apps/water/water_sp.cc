@@ -1,0 +1,127 @@
+#include "apps/water/water_sp.h"
+
+#include <cmath>
+
+#include "base/log.h"
+
+namespace splash::apps::water {
+
+WaterSp::WaterSp(rt::Env& env, const MdConfig& cfg) : MdBase(env, cfg)
+{
+    ncell_ = static_cast<int>(box_ / cfg_.cutoff);
+    if (ncell_ < 3)
+        fatal("Water-Sp: fewer than 3 cells per axis; enlarge the box "
+              "(more molecules or lower density)");
+    ncells_ = ncell_ * ncell_ * ncell_;
+    cellLen_ = box_ / ncell_;
+
+    head_ = rt::SharedArray<int>(env, ncells_);
+    next_ = rt::SharedArray<int>(env, cfg_.nmol);
+    for (int q = 0; q < env.nprocs(); ++q) {
+        long f = cellFirst(q), l = cellLast(q);
+        if (l > f)
+            head_.setHome(f, l - f, q);
+    }
+    for (int cidx = 0; cidx < ncells_; ++cidx)
+        cellLock_.push_back(std::make_unique<rt::Lock>(env));
+
+    // 13 half neighbors: lexicographically positive offsets.
+    for (int dz = -1; dz <= 1; ++dz) {
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                if (dz > 0 || (dz == 0 && dy > 0) ||
+                    (dz == 0 && dy == 0 && dx > 0)) {
+                    halfNeighbors_.push_back(dx);
+                    halfNeighbors_.push_back(dy);
+                    halfNeighbors_.push_back(dz);
+                }
+            }
+        }
+    }
+}
+
+long
+WaterSp::cellFirst(int q) const
+{
+    return long(ncells_) * q / env_.nprocs();
+}
+
+long
+WaterSp::cellLast(int q) const
+{
+    return long(ncells_) * (q + 1) / env_.nprocs();
+}
+
+int
+WaterSp::cellOf(rt::ProcCtx& c, int m)
+{
+    const Molecule* raw = mol_.raw();
+    int ix[3];
+    for (int d = 0; d < 3; ++d) {
+        rt::touchRead(&raw[m].q[0][d], sizeof(double));
+        int v = static_cast<int>(raw[m].q[0][d] / cellLen_);
+        ix[d] = std::min(std::max(v, 0), ncell_ - 1);
+    }
+    c.work(6);
+    return (ix[2] * ncell_ + ix[1]) * ncell_ + ix[0];
+}
+
+void
+WaterSp::prepareStep(rt::ProcCtx& c)
+{
+    // Clear owned cells, then insert owned molecules under cell locks.
+    for (long cell = cellFirst(c.id()); cell < cellLast(c.id()); ++cell)
+        head_.st(cell, -1);
+    bar_->arrive(c);
+    for (long m = molFirst(c.id()); m < molLast(c.id()); ++m) {
+        int cell = cellOf(c, static_cast<int>(m));
+        rt::Lock::Guard g(*cellLock_[cell], c);
+        int old = head_.ld(cell);
+        next_.st(m, old);
+        head_.st(cell, static_cast<int>(m));
+    }
+    bar_->arrive(c);
+}
+
+double
+WaterSp::forceSweep(rt::ProcCtx& c, std::vector<double>& local)
+{
+    // Partitioned by molecule (not by cell) for load balance when the
+    // scaled-down box has few cells; each pair is computed once, from
+    // its lower-indexed molecule, with Newton's third law applied.
+    double pot = 0.0;
+    auto interact = [&](int i, int j) {
+        double fij[3];
+        pot += pairInteraction(c, i, j, fij);
+        for (int d = 0; d < 3; ++d) {
+            local[3 * i + d] += fij[d];
+            local[3 * j + d] -= fij[d];
+        }
+        c.flops(6);
+    };
+
+    // Cyclic assignment: the j > m rule gives low-index molecules more
+    // partners, so contiguous bands would be triangularly imbalanced.
+    for (long m = c.id(); m < cfg_.nmol; m += c.nprocs()) {
+        int cell = cellOf(c, static_cast<int>(m));
+        int cz = cell / (ncell_ * ncell_);
+        int cy = (cell / ncell_) % ncell_;
+        int cx = cell % ncell_;
+        for (int dz = -1; dz <= 1; ++dz) {
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    int nx = (cx + dx + ncell_) % ncell_;
+                    int ny = (cy + dy + ncell_) % ncell_;
+                    int nz = (cz + dz + ncell_) % ncell_;
+                    int nc = (nz * ncell_ + ny) * ncell_ + nx;
+                    for (int j = head_.ld(nc); j >= 0; j = next_.ld(j))
+                        if (j > m)
+                            interact(static_cast<int>(m), j);
+                }
+            }
+        }
+    }
+    return pot;
+}
+
+} // namespace splash::apps::water

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Water-Spatial: O(n) molecular-dynamics water simulation.
+ *
+ * Solves the same problem as Water-Nsquared but imposes a uniform 3-D
+ * grid of cells (edge >= the cutoff radius) on the domain: a processor
+ * owning a cell need only examine the 26 neighboring cells for
+ * interaction partners (13 half-neighbors with Newton's third law).
+ * Molecules move between cells as they travel, so the shared cell
+ * lists are (re)built each step under per-cell locks -- the
+ * list-update communication the paper describes.
+ *
+ * Default: 512 molecules (the cell method needs >= 3 cells per axis).
+ */
+#ifndef SPLASH2_APPS_WATER_WATER_SP_H
+#define SPLASH2_APPS_WATER_WATER_SP_H
+
+#include "apps/water/base.h"
+
+namespace splash::apps::water {
+
+class WaterSp : public MdBase
+{
+  public:
+    WaterSp(rt::Env& env, const MdConfig& cfg);
+
+    int cellsPerAxis() const { return ncell_; }
+
+  protected:
+    void prepareStep(rt::ProcCtx& c) override;
+    double forceSweep(rt::ProcCtx& c, std::vector<double>& local) override;
+
+  private:
+    int cellOf(rt::ProcCtx& c, int m);
+    long cellFirst(int q) const;
+    long cellLast(int q) const;
+
+    int ncell_;        ///< cells per axis
+    int ncells_;       ///< total cells
+    double cellLen_;
+    rt::SharedArray<int> head_;  ///< first molecule per cell (-1: none)
+    rt::SharedArray<int> next_;  ///< linked list through molecules
+    std::vector<std::unique_ptr<rt::Lock>> cellLock_;
+    std::vector<int> halfNeighbors_;  ///< 13 wrapped offsets per cell
+};
+
+} // namespace splash::apps::water
+
+#endif // SPLASH2_APPS_WATER_WATER_SP_H

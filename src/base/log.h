@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style.
+ *
+ * fatal()  -- the run cannot continue because of a user error (bad
+ *             configuration, invalid argument).  Exits with status 1.
+ * panic()  -- an internal invariant of the library has been violated
+ *             (a bug in splash2 itself).  Aborts so a core/debugger can
+ *             inspect the state.
+ * warn()   -- something is suspicious but the run can continue.
+ */
+#ifndef SPLASH2_BASE_LOG_H
+#define SPLASH2_BASE_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace splash {
+
+[[noreturn]] inline void
+fatal(const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+[[noreturn]] inline void
+panic(const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+inline void
+warn(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** panic() unless a library invariant holds. */
+inline void
+ensure(bool cond, const char* what)
+{
+    if (!cond)
+        panic(std::string("invariant violated: ") + what);
+}
+
+} // namespace splash
+
+#endif // SPLASH2_BASE_LOG_H

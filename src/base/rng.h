@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload construction.
+ *
+ * All SPLASH-2 inputs that we generate procedurally (particle positions,
+ * sort keys, scene geometry, ...) are derived from this generator so that
+ * every run of the suite is bit-reproducible across hosts.
+ */
+#ifndef SPLASH2_BASE_RNG_H
+#define SPLASH2_BASE_RNG_H
+
+#include <cstdint>
+
+namespace splash {
+
+/** splitmix64-based generator: tiny state, high quality, reproducible. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Standard normal via Marsaglia polar method. */
+    double
+    normal()
+    {
+        for (;;) {
+            double u = uniform(-1.0, 1.0);
+            double v = uniform(-1.0, 1.0);
+            double s = u * u + v * v;
+            if (s > 0.0 && s < 1.0) {
+                double m = u * __builtin_sqrt(-2.0 * __builtin_log(s) / s);
+                return m;
+            }
+        }
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace splash
+
+#endif // SPLASH2_BASE_RNG_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental types shared by the simulator and the runtime.
+ */
+#ifndef SPLASH2_BASE_TYPES_H
+#define SPLASH2_BASE_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace splash {
+
+/** A simulated memory address.  We use real host addresses of the shared
+ *  heap, which keeps instrumentation zero-copy and gives stable, unique
+ *  line identities. */
+using Addr = std::uintptr_t;
+
+/** Logical (PRAM) time, in single-cycle instructions. */
+using Tick = std::uint64_t;
+
+/** Identifier of a simulated processor (== NUMA node; one per node). */
+using ProcId = int;
+
+/** Kind of a memory reference issued by an application. */
+enum class AccessType : std::uint8_t { Read, Write };
+
+/** Maximum number of simulated processors supported by the directory's
+ *  sharer bitmask and by the scheduler. */
+inline constexpr int kMaxProcs = 64;
+
+/** Round @p v down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr v, Addr align)
+{
+    return v & ~(align - 1);
+}
+
+/** Integer log2 of a power of two. */
+constexpr int
+log2i(std::uint64_t v)
+{
+    int r = 0;
+    while (v > 1) { v >>= 1; ++r; }
+    return r;
+}
+
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace splash
+
+#endif // SPLASH2_BASE_TYPES_H

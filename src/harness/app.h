@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Uniform application interface used by the characterization harness.
+ *
+ * Every SPLASH-2 program exposes a rich native API in its own header
+ * (apps/<name>/<name>.h) and additionally registers an App adapter so
+ * the benches can run the whole suite generically.
+ *
+ * Measurement protocol: run() performs uninstrumented setup, starts a
+ * team, and calls Env::startMeasurement() at the point the paper
+ * starts measuring (after process creation, or after initialization +
+ * cold start for programs that would run many more iterations than we
+ * simulate).
+ */
+#ifndef SPLASH2_HARNESS_APP_H
+#define SPLASH2_HARNESS_APP_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/env.h"
+
+namespace splash::harness {
+
+/** Generic problem-size knobs; each program documents its mapping. */
+struct AppConfig
+{
+    /** Primary problem size: bodies, points, keys, grid dimension,
+     *  matrix dimension, image size -- program specific. */
+    long n = 0;
+    /** Iterations / time-steps / frames (0 = program default). */
+    long iters = 0;
+    /** Secondary parameter (radix, block size, terms, ...). */
+    long aux = 0;
+    /** Workload scale factor applied to the default problem. 1.0 is
+     *  the suite default; benches use it for problem-size scaling. */
+    double scale = 1.0;
+    unsigned seed = 1234;
+};
+
+struct AppResult
+{
+    bool valid = true;          ///< program self-check outcome
+    double checksum = 0.0;      ///< deterministic output digest
+    std::string detail;         ///< human-readable validation note
+};
+
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    /** Program name as in the paper's tables ("FFT", "Water-Nsq", ...). */
+    virtual std::string name() const = 0;
+
+    /** True for the eight floating-point codes (traffic reported per
+     *  FLOP); false for the integer codes (per instruction). */
+    virtual bool isFloatingPoint() const = 0;
+
+    /** Run with @p cfg on @p env (setup + team + measurement). */
+    virtual AppResult run(rt::Env& env, const AppConfig& cfg) = 0;
+};
+
+/** Global registry of the twelve programs, in the paper's table order. */
+const std::vector<App*>& suite();
+
+/** Look up a program by (case-insensitive) name; null if unknown. */
+App* findApp(const std::string& name);
+
+} // namespace splash::harness
+
+#endif // SPLASH2_HARNESS_APP_H

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Registry adapting the twelve SPLASH-2 programs to the generic App
+ * interface used by the characterization benches.
+ *
+ * Problem-size mapping: `scale` multiplies the default data-set size
+ * (1.0 reproduces the suite's sim-scaled defaults listed in
+ * DESIGN.md); `n` overrides the primary size directly; `iters`
+ * overrides the step/frame count.  Programs that iterate run one
+ * warmup step before measurement starts, matching the paper's
+ * methodology of skipping initialization and cold start.
+ */
+#include "harness/app.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "apps/barnes/barnes.h"
+#include "apps/cholesky/cholesky.h"
+#include "apps/fft/fft.h"
+#include "apps/fmm/fmm.h"
+#include "apps/lu/lu.h"
+#include "apps/ocean/ocean.h"
+#include "apps/radiosity/radiosity.h"
+#include "apps/radix/radix.h"
+#include "apps/raytrace/raytrace.h"
+#include "apps/volrend/volrend.h"
+#include "apps/water/water_nsq.h"
+#include "apps/water/water_sp.h"
+
+namespace splash::harness {
+
+namespace {
+
+long
+scaled(long base, double scale)
+{
+    return std::max<long>(1, std::lround(base * scale));
+}
+
+/** Lower the reduced density when the default 0.8 would make the box
+ *  smaller than 3 cutoff-sized cells per axis (needed by Water-Sp's
+ *  cell grid and by minimum image). */
+double
+waterDensity(int nmol)
+{
+    const double min_box = 3.0 * 2.5 + 0.05;
+    double density = 0.8;
+    double box = std::cbrt(nmol / density);
+    if (box < min_box)
+        density = nmol / (min_box * min_box * min_box);
+    return density;
+}
+
+/** Nearest power of two >= 4. */
+int
+pow2Near(double v)
+{
+    int p = 4;
+    while (p * 2 <= v * 1.42)
+        p *= 2;
+    return p;
+}
+
+class BarnesApp : public App
+{
+  public:
+    std::string name() const override { return "Barnes"; }
+    bool isFloatingPoint() const override { return true; }
+    AppResult
+    run(rt::Env& env, const AppConfig& cfg) override
+    {
+        apps::barnes::Config c;
+        c.nbodies = static_cast<int>(
+            cfg.n ? cfg.n : scaled(2048, cfg.scale));
+        c.steps = static_cast<int>(cfg.iters ? cfg.iters : 3);
+        c.warmupSteps = c.steps > 1 ? 1 : 0;
+        c.seed = cfg.seed;
+        apps::barnes::Barnes app(env, c);
+        env.startMeasurement();
+        auto r = app.run();
+        return {r.valid, r.checksum, ""};
+    }
+};
+
+class CholeskyApp : public App
+{
+  public:
+    std::string name() const override { return "Cholesky"; }
+    bool isFloatingPoint() const override { return true; }
+    AppResult
+    run(rt::Env& env, const AppConfig& cfg) override
+    {
+        apps::cholesky::Config c;
+        c.grid = static_cast<int>(
+            cfg.n ? cfg.n : scaled(24, std::sqrt(cfg.scale)));
+        c.seed = cfg.seed;
+        apps::cholesky::Cholesky app(env, c);
+        env.startMeasurement();
+        auto r = app.run();
+        return {r.valid, r.checksum, ""};
+    }
+};
+
+class FftApp : public App
+{
+  public:
+    std::string name() const override { return "FFT"; }
+    bool isFloatingPoint() const override { return true; }
+    AppResult
+    run(rt::Env& env, const AppConfig& cfg) override
+    {
+        apps::fft::Config c;
+        // n is log2 of the point count; scale doubles points per 2x.
+        int log2n = static_cast<int>(
+            cfg.n ? cfg.n
+                  : 14 + 2 * std::lround(std::log2(cfg.scale) / 2.0));
+        c.log2n = std::max(8, log2n - (log2n % 2));
+        c.seed = cfg.seed;
+        apps::fft::Fft app(env, c);
+        env.startMeasurement();
+        auto r = app.run();
+        return {r.valid, r.checksum, ""};
+    }
+};
+
+class FmmApp : public App
+{
+  public:
+    std::string name() const override { return "FMM"; }
+    bool isFloatingPoint() const override { return true; }
+    AppResult
+    run(rt::Env& env, const AppConfig& cfg) override
+    {
+        apps::fmm::Config c;
+        c.nbodies = static_cast<int>(
+            cfg.n ? cfg.n : scaled(2048, cfg.scale));
+        c.steps = static_cast<int>(cfg.iters ? cfg.iters : 1);
+        c.seed = cfg.seed;
+        apps::fmm::Fmm app(env, c);
+        env.startMeasurement();
+        auto r = app.run();
+        return {r.valid, r.checksum, ""};
+    }
+};
+
+class LuApp : public App
+{
+  public:
+    std::string name() const override { return "LU"; }
+    bool isFloatingPoint() const override { return true; }
+    AppResult
+    run(rt::Env& env, const AppConfig& cfg) override
+    {
+        apps::lu::Config c;
+        long n = cfg.n ? cfg.n : scaled(192, std::sqrt(cfg.scale));
+        c.block = static_cast<int>(cfg.aux ? cfg.aux : 16);
+        c.n = static_cast<int>((n + c.block - 1) / c.block) * c.block;
+        c.seed = cfg.seed;
+        apps::lu::Lu app(env, c);
+        env.startMeasurement();
+        auto r = app.run();
+        return {r.valid, r.checksum, ""};
+    }
+};
+
+class OceanApp : public App
+{
+  public:
+    std::string name() const override { return "Ocean"; }
+    bool isFloatingPoint() const override { return true; }
+    AppResult
+    run(rt::Env& env, const AppConfig& cfg) override
+    {
+        apps::ocean::Config c;
+        c.n = static_cast<int>(
+            cfg.n ? cfg.n : pow2Near(128 * std::sqrt(cfg.scale)));
+        c.steps = static_cast<int>(cfg.iters ? cfg.iters : 2);
+        c.warmupSteps = c.steps > 1 ? 1 : 0;
+        c.tol = 0.0;
+        c.maxCycles = 4;
+        c.seed = cfg.seed;
+        apps::ocean::Ocean app(env, c);
+        env.startMeasurement();
+        auto r = app.run();
+        return {r.valid, r.checksum, ""};
+    }
+};
+
+class RadiosityApp : public App
+{
+  public:
+    std::string name() const override { return "Radiosity"; }
+    bool isFloatingPoint() const override { return true; }
+    AppResult
+    run(rt::Env& env, const AppConfig& cfg) override
+    {
+        apps::radiosity::Config c;
+        c.iterations = static_cast<int>(cfg.iters ? cfg.iters : 4);
+        c.ffEps = 0.02 / std::sqrt(cfg.scale);
+        c.areaEps = 0.08 / cfg.scale;
+        c.seed = cfg.seed;
+        apps::radiosity::Radiosity app(env, c);
+        env.startMeasurement();
+        auto r = app.run();
+        return {r.valid, r.checksum, ""};
+    }
+};
+
+class RadixApp : public App
+{
+  public:
+    std::string name() const override { return "Radix"; }
+    bool isFloatingPoint() const override { return false; }
+    AppResult
+    run(rt::Env& env, const AppConfig& cfg) override
+    {
+        apps::radix::Config c;
+        long keys = cfg.n ? cfg.n : scaled(256 * 1024, cfg.scale);
+        c.nkeys = (keys / env.nprocs()) * env.nprocs();
+        c.radix = static_cast<int>(cfg.aux ? cfg.aux : 1024);
+        c.seed = cfg.seed;
+        apps::radix::Radix app(env, c);
+        env.startMeasurement();
+        auto r = app.run();
+        return {r.valid, r.checksum, ""};
+    }
+};
+
+class RaytraceApp : public App
+{
+  public:
+    std::string name() const override { return "Raytrace"; }
+    bool isFloatingPoint() const override { return false; }
+    AppResult
+    run(rt::Env& env, const AppConfig& cfg) override
+    {
+        apps::raytrace::Config c;
+        int edge = static_cast<int>(
+            cfg.n ? cfg.n : scaled(128, std::sqrt(cfg.scale)));
+        c.width = c.height = edge;
+        c.seed = cfg.seed;
+        apps::raytrace::Raytrace app(env, c);
+        env.startMeasurement();
+        auto r = app.run();
+        return {r.valid, r.checksum, ""};
+    }
+};
+
+class VolrendApp : public App
+{
+  public:
+    std::string name() const override { return "Volrend"; }
+    bool isFloatingPoint() const override { return false; }
+    AppResult
+    run(rt::Env& env, const AppConfig& cfg) override
+    {
+        apps::volrend::Config c;
+        c.size = static_cast<int>(
+            cfg.n ? cfg.n : pow2Near(64 * std::cbrt(cfg.scale)));
+        c.width = static_cast<int>(scaled(128, std::sqrt(cfg.scale)));
+        c.frames = static_cast<int>(cfg.iters ? cfg.iters : 2);
+        c.warmupFrames = c.frames > 1 ? 1 : 0;
+        c.seed = cfg.seed;
+        apps::volrend::Volrend app(env, c);
+        env.startMeasurement();
+        auto r = app.run();
+        return {r.valid, r.checksum, ""};
+    }
+};
+
+class WaterNsqApp : public App
+{
+  public:
+    std::string name() const override { return "Water-Nsq"; }
+    bool isFloatingPoint() const override { return true; }
+    AppResult
+    run(rt::Env& env, const AppConfig& cfg) override
+    {
+        apps::water::MdConfig c;
+        c.nmol = static_cast<int>(cfg.n ? cfg.n : scaled(512, cfg.scale));
+        c.density = waterDensity(c.nmol);
+        c.steps = static_cast<int>(cfg.iters ? cfg.iters : 3);
+        c.warmupSteps = c.steps > 1 ? 1 : 0;
+        c.seed = cfg.seed;
+        apps::water::WaterNsq app(env, c);
+        env.startMeasurement();
+        auto r = app.run();
+        return {r.valid, r.checksum, ""};
+    }
+};
+
+class WaterSpApp : public App
+{
+  public:
+    std::string name() const override { return "Water-Sp"; }
+    bool isFloatingPoint() const override { return true; }
+    AppResult
+    run(rt::Env& env, const AppConfig& cfg) override
+    {
+        apps::water::MdConfig c;
+        c.nmol = static_cast<int>(cfg.n ? cfg.n : scaled(512, cfg.scale));
+        c.density = waterDensity(c.nmol);
+        c.steps = static_cast<int>(cfg.iters ? cfg.iters : 3);
+        c.warmupSteps = c.steps > 1 ? 1 : 0;
+        c.seed = cfg.seed;
+        apps::water::WaterSp app(env, c);
+        env.startMeasurement();
+        auto r = app.run();
+        return {r.valid, r.checksum, ""};
+    }
+};
+
+} // namespace
+
+const std::vector<App*>&
+suite()
+{
+    static std::vector<App*> apps = [] {
+        // Paper's table order.
+        static BarnesApp barnes;
+        static CholeskyApp cholesky;
+        static FftApp fft;
+        static FmmApp fmm;
+        static LuApp lu;
+        static OceanApp ocean;
+        static RadiosityApp radiosity;
+        static RadixApp radix;
+        static RaytraceApp raytrace;
+        static VolrendApp volrend;
+        static WaterNsqApp waternsq;
+        static WaterSpApp watersp;
+        return std::vector<App*>{&barnes, &cholesky, &fft, &fmm,
+                                 &lu, &ocean, &radiosity, &radix,
+                                 &raytrace, &volrend, &waternsq,
+                                 &watersp};
+    }();
+    return apps;
+}
+
+App*
+findApp(const std::string& name)
+{
+    auto lower = [](std::string s) {
+        std::transform(s.begin(), s.end(), s.begin(), [](unsigned char ch) {
+            return std::tolower(ch);
+        });
+        return s;
+    };
+    for (App* a : suite())
+        if (lower(a->name()) == lower(name))
+            return a;
+    return nullptr;
+}
+
+} // namespace splash::harness

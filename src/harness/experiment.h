@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Experiment drivers shared by the characterization benches: run a
+ * program under a given machine configuration and collect execution
+ * and memory-system statistics.
+ */
+#ifndef SPLASH2_HARNESS_EXPERIMENT_H
+#define SPLASH2_HARNESS_EXPERIMENT_H
+
+#include <memory>
+
+#include "harness/app.h"
+#include "rt/env.h"
+#include "sim/memsys.h"
+#include "sim/sweep.h"
+
+namespace splash::harness {
+
+/** Results of one instrumented execution. */
+struct RunStats
+{
+    rt::ProcStats exec;            ///< aggregate execution counters
+    std::vector<rt::ProcStats> perProc;
+    sim::MemStats mem;             ///< aggregate memory-system counters
+    std::vector<sim::MemStats> memPerProc;
+    Tick elapsed = 0;              ///< PRAM time of the measured window
+    bool valid = true;
+};
+
+/** Run @p app on @p nprocs with no memory system attached (PRAM-only;
+ *  Figures 1 and 2, Table 1). */
+inline RunStats
+runPram(App& app, int nprocs, const AppConfig& cfg)
+{
+    rt::Env env({rt::Mode::Sim, nprocs});
+    RunStats out;
+    out.valid = app.run(env, cfg).valid;
+    for (int p = 0; p < nprocs; ++p) {
+        out.perProc.push_back(env.stats(p));
+        out.exec += env.stats(p);
+    }
+    out.elapsed = env.elapsed();
+    return out;
+}
+
+/** Run @p app under the full directory-MESI memory system. */
+inline RunStats
+runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
+                 const AppConfig& cfg)
+{
+    rt::Env env({rt::Mode::Sim, nprocs});
+    sim::MachineConfig mc;
+    mc.nprocs = nprocs;
+    mc.cache = cache;
+    sim::MemSystem mem(mc, &env.heap());
+    env.attachMemSystem(&mem);
+    RunStats out;
+    out.valid = app.run(env, cfg).valid;
+    for (int p = 0; p < nprocs; ++p) {
+        out.perProc.push_back(env.stats(p));
+        out.exec += env.stats(p);
+        out.memPerProc.push_back(mem.procStats(p));
+    }
+    out.mem = mem.total();
+    out.elapsed = env.elapsed();
+    return out;
+}
+
+/** Run @p app feeding the multi-configuration cache sweep; the caller
+ *  owns the sweep so it can query arbitrary operating points. */
+inline RunStats
+runWithSweep(App& app, int nprocs, sim::CacheSweep& sweep,
+             const AppConfig& cfg)
+{
+    rt::Env env({rt::Mode::Sim, nprocs});
+    env.attachSweep(&sweep);
+    RunStats out;
+    out.valid = app.run(env, cfg).valid;
+    for (int p = 0; p < nprocs; ++p) {
+        out.perProc.push_back(env.stats(p));
+        out.exec += env.stats(p);
+    }
+    out.elapsed = env.elapsed();
+    return out;
+}
+
+/** Denominator for traffic ratios: FLOPS for floating-point codes,
+ *  instructions for integer codes (paper Section 6). */
+inline double
+trafficDenominator(const App& app, const rt::ProcStats& exec)
+{
+    return app.isFloatingPoint() ? double(exec.flops)
+                                 : double(exec.instructions());
+}
+
+} // namespace splash::harness
+
+#endif // SPLASH2_HARNESS_EXPERIMENT_H

@@ -1,0 +1,172 @@
+#include "rt/env.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "base/log.h"
+#include "sim/memsys.h"
+#include "sim/sweep.h"
+
+namespace splash::rt {
+
+namespace {
+thread_local ProcCtx* tls_ctx = nullptr;
+} // namespace
+
+ProcCtx*
+cur()
+{
+    return tls_ctx;
+}
+
+int
+ProcCtx::nprocs() const
+{
+    return env_->nprocs();
+}
+
+void
+ProcCtx::read(const void* a, std::size_t n)
+{
+    ++stats_->reads;
+    if (env_->cfg_.mode == Mode::Sim) {
+        Scheduler* s = env_->sched_.get();
+        s->advance(id_, 1);
+        if (env_->mem_) {
+            env_->mem_->access(id_, reinterpret_cast<Addr>(a),
+                               static_cast<int>(n), AccessType::Read);
+        }
+        if (env_->sweep_) {
+            env_->sweep_->access(id_, reinterpret_cast<Addr>(a),
+                                 static_cast<int>(n), AccessType::Read);
+        }
+        s->event(id_);
+    }
+}
+
+void
+ProcCtx::write(const void* a, std::size_t n)
+{
+    ++stats_->writes;
+    if (env_->cfg_.mode == Mode::Sim) {
+        Scheduler* s = env_->sched_.get();
+        s->advance(id_, 1);
+        if (env_->mem_) {
+            env_->mem_->access(id_, reinterpret_cast<Addr>(a),
+                               static_cast<int>(n), AccessType::Write);
+        }
+        if (env_->sweep_) {
+            env_->sweep_->access(id_, reinterpret_cast<Addr>(a),
+                                 static_cast<int>(n), AccessType::Write);
+        }
+        s->event(id_);
+    }
+}
+
+void
+ProcCtx::work(std::uint64_t n)
+{
+    stats_->work += n;
+    if (env_->cfg_.mode == Mode::Sim) {
+        Scheduler* s = env_->sched_.get();
+        s->advance(id_, n);
+        s->event(id_);
+    }
+}
+
+void
+ProcCtx::flops(std::uint64_t n)
+{
+    stats_->flops += n;
+    work(n);
+}
+
+void
+ProcCtx::idle(std::uint64_t n)
+{
+    stats_->pauseWait += n;
+    if (env_->cfg_.mode == Mode::Sim) {
+        Scheduler* s = env_->sched_.get();
+        s->advance(id_, n);
+        s->event(id_);
+    }
+}
+
+Env::Env(const EnvConfig& cfg)
+    : cfg_(cfg), heap_(cfg.nprocs), stats_(cfg.nprocs)
+{
+    if (cfg_.nprocs < 1 || cfg_.nprocs > kMaxProcs)
+        fatal("processor count out of range");
+    if (cfg_.mode == Mode::Sim)
+        sched_ = std::make_unique<Scheduler>(cfg_.nprocs, cfg_.quantum);
+}
+
+Env::~Env() = default;
+
+void
+Env::run(const std::function<void(ProcCtx&)>& body)
+{
+    std::vector<ProcCtx> ctxs(cfg_.nprocs);
+    for (int p = 0; p < cfg_.nprocs; ++p) {
+        ctxs[p].env_ = this;
+        ctxs[p].id_ = p;
+        ctxs[p].stats_ = &stats_[p];
+    }
+
+    if (cfg_.mode == Mode::Sim) {
+        sched_->run([&](ProcId p) {
+            tls_ctx = &ctxs[p];
+            body(ctxs[p]);
+            stats_[p].finishTime = sched_->time(p);
+            tls_ctx = nullptr;
+        });
+        return;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(cfg_.nprocs);
+    for (int p = 0; p < cfg_.nprocs; ++p) {
+        threads.emplace_back([&, p] {
+            tls_ctx = &ctxs[p];
+            body(ctxs[p]);
+            tls_ctx = nullptr;
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+}
+
+void
+Env::startMeasurement()
+{
+    for (int p = 0; p < cfg_.nprocs; ++p) {
+        Tick lt = sched_ ? sched_->time(p) : 0;
+        stats_[p] = ProcStats{};
+        stats_[p].startTime = lt;
+        stats_[p].finishTime = lt;
+    }
+    if (mem_)
+        mem_->resetStats();
+    if (sweep_)
+        sweep_->resetStats();
+}
+
+ProcStats
+Env::totalStats() const
+{
+    ProcStats t;
+    for (const auto& s : stats_)
+        t += s;
+    return t;
+}
+
+Tick
+Env::elapsed() const
+{
+    Tick e = 0;
+    for (const auto& s : stats_)
+        e = std::max(e, s.elapsed());
+    return e;
+}
+
+} // namespace splash::rt

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The execution environment tying applications to the simulator.
+ *
+ * An Env owns P simulated processors and runs an application body once
+ * per processor, in one of two modes:
+ *
+ *  - Mode::Native -- plain std::thread parallelism, no interleaving
+ *    control. Used by the examples and correctness tests.
+ *  - Mode::Sim -- the deterministic cooperative Scheduler interleaves
+ *    processors by logical (PRAM) time, and every shared-memory
+ *    reference is routed to the attached memory-system sinks
+ *    (MemSystem and/or CacheSweep).  This is the Tango-Lite role.
+ *
+ * Instruction accounting (Table 1 of the paper): every instrumented
+ * read or write counts as one instruction, and applications annotate
+ * their computation with work(n) / flops(n) at compute sites.  Logical
+ * time advances identically, which is exactly the paper's PRAM model
+ * (every instruction and memory reference completes in one cycle).
+ *
+ * Measurement windows: startMeasurement() zeroes all statistics while
+ * preserving cache and logical-clock state, implementing the paper's
+ * "start measuring after initialization and cold start" methodology.
+ * It must be called at a point where all processors are quiescent
+ * (typically by one processor between two barriers).
+ */
+#ifndef SPLASH2_RT_ENV_H
+#define SPLASH2_RT_ENV_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/types.h"
+#include "rt/scheduler.h"
+#include "rt/shared_heap.h"
+
+namespace splash::sim {
+class MemSystem;
+class CacheSweep;
+} // namespace splash::sim
+
+namespace splash::rt {
+
+enum class Mode { Native, Sim };
+
+/** Per-processor execution statistics (Table 1 / Figure 2 inputs). */
+struct ProcStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t work = 0;  ///< non-memory instructions (includes flops)
+
+    std::uint64_t barriers = 0;  ///< barrier episodes encountered
+    std::uint64_t locks = 0;     ///< lock acquisitions
+    std::uint64_t pauses = 0;    ///< flag-based waits
+
+    Tick barrierWait = 0;
+    Tick lockWait = 0;
+    Tick pauseWait = 0;
+
+    Tick startTime = 0;   ///< logical clock at measurement start
+    Tick finishTime = 0;  ///< logical clock at body completion
+
+    std::uint64_t instructions() const { return work + reads + writes; }
+    Tick syncWait() const { return barrierWait + lockWait + pauseWait; }
+    Tick elapsed() const
+    {
+        return finishTime > startTime ? finishTime - startTime : 0;
+    }
+
+    ProcStats&
+    operator+=(const ProcStats& o)
+    {
+        reads += o.reads;
+        writes += o.writes;
+        flops += o.flops;
+        work += o.work;
+        barriers += o.barriers;
+        locks += o.locks;
+        pauses += o.pauses;
+        barrierWait += o.barrierWait;
+        lockWait += o.lockWait;
+        pauseWait += o.pauseWait;
+        return *this;
+    }
+};
+
+struct EnvConfig
+{
+    Mode mode = Mode::Native;
+    int nprocs = 1;
+    /** Scheduler quantum (instrumentation events per slice), sim mode. */
+    std::uint64_t quantum = 250;
+};
+
+class Env;
+
+/** Per-processor handle passed to application bodies. */
+class ProcCtx
+{
+  public:
+    ProcId id() const { return id_; }
+    Env& env() const { return *env_; }
+    int nprocs() const;
+
+    /** Instrumented shared-memory read of [a, a+n). */
+    void read(const void* a, std::size_t n);
+    /** Instrumented shared-memory write of [a, a+n). */
+    void write(const void* a, std::size_t n);
+    /** Account @p n non-memory instructions. */
+    void work(std::uint64_t n);
+    /** Account @p n floating-point operations (each one instruction). */
+    void flops(std::uint64_t n);
+    /** Advance logical time by @p n cycles of *idle* spinning (charged
+     *  as pause wait, not instructions) -- used by busy-wait loops
+     *  such as task-queue polling. */
+    void idle(std::uint64_t n);
+
+    ProcStats& stats() { return *stats_; }
+
+  private:
+    friend class Env;
+    Env* env_ = nullptr;
+    ProcId id_ = -1;
+    ProcStats* stats_ = nullptr;
+};
+
+/** Current processor context; null outside a team body (e.g. during
+ *  problem setup), in which case instrumentation hooks are no-ops. */
+ProcCtx* cur();
+
+class Env
+{
+  public:
+    explicit Env(const EnvConfig& cfg);
+    ~Env();
+
+    Env(const Env&) = delete;
+    Env& operator=(const Env&) = delete;
+
+    /** Run @p body once per processor to completion (a "team"). May be
+     *  called multiple times; logical clocks persist across calls. */
+    void run(const std::function<void(ProcCtx&)>& body);
+
+    /** Attach/detach reference sinks (sim mode only). */
+    void attachMemSystem(sim::MemSystem* m) { mem_ = m; }
+    void attachSweep(sim::CacheSweep* s) { sweep_ = s; }
+
+    /** Zero all statistics (Env + attached sinks) while keeping cache
+     *  and clock state. Callable from inside a team when all other
+     *  processors are at a barrier, or between runs. */
+    void startMeasurement();
+
+    Mode mode() const { return cfg_.mode; }
+    int nprocs() const { return cfg_.nprocs; }
+
+    const ProcStats& stats(ProcId p) const { return stats_[p]; }
+    /** Mutable access for the runtime's sync primitives, which charge
+     *  wait time to processors other than the caller. */
+    ProcStats& mutableStats(ProcId p) { return stats_[p]; }
+    ProcStats totalStats() const;
+
+    /** PRAM execution time of the measured window: max over processors
+     *  of (finish - measurement start). Sim mode only. */
+    Tick elapsed() const;
+
+    SharedHeap& heap() { return heap_; }
+    Scheduler* scheduler() { return sched_.get(); }
+    sim::MemSystem* memSystem() { return mem_; }
+    sim::CacheSweep* sweep() { return sweep_; }
+
+  private:
+    friend class ProcCtx;
+
+    EnvConfig cfg_;
+    SharedHeap heap_;
+    std::unique_ptr<Scheduler> sched_;
+    std::vector<ProcStats> stats_;
+    sim::MemSystem* mem_ = nullptr;
+    sim::CacheSweep* sweep_ = nullptr;
+};
+
+} // namespace splash::rt
+
+#endif // SPLASH2_RT_ENV_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic cooperative scheduler -- the reference interleaver.
+ *
+ * This plays the role Tango-Lite played for the paper: it multiplexes P
+ * simulated processors onto host threads such that exactly one simulated
+ * processor executes at any instant (a "baton" handed off under a global
+ * mutex), and context switches happen only at instrumentation points.
+ *
+ * Scheduling policy: among runnable processors, run the one with the
+ * smallest logical (PRAM) clock, breaking ties by processor id.  Each
+ * processor runs for a bounded quantum of instrumentation events before
+ * yielding.  Because both the yield points and the policy are functions
+ * of the (deterministic) application alone, entire simulations are
+ * bit-reproducible -- and the interleaving approximates the PRAM
+ * execution the paper's timing model defines.
+ *
+ * Synchronization primitives integrate through block()/unblock(); a
+ * state where no processor is runnable and not all are done is reported
+ * as a deadlock with a diagnostic.
+ */
+#ifndef SPLASH2_RT_SCHEDULER_H
+#define SPLASH2_RT_SCHEDULER_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/types.h"
+
+namespace splash::rt {
+
+class Scheduler
+{
+  public:
+    /** @param nprocs simulated processors; @param quantum max
+     *  instrumentation events per scheduling slice. */
+    explicit Scheduler(int nprocs, std::uint64_t quantum = 250);
+
+    /** Run @p body once per simulated processor to completion. */
+    void run(const std::function<void(ProcId)>& body);
+
+    /** Called by the running processor on every instrumentation event;
+     *  yields when the quantum expires. @p p must be the running proc. */
+    void
+    event(ProcId p)
+    {
+        if (++eventsInSlice_ >= quantum_)
+            yield(p);
+    }
+
+    /** Explicitly hand the baton to the best runnable processor. */
+    void yield(ProcId p);
+
+    /** Block the running processor @p p until another processor calls
+     *  unblock(p). Returns once rescheduled. */
+    void block(ProcId p);
+
+    /** Mark @p q runnable again. Must be called by the running
+     *  processor (i.e. while holding the baton). */
+    void unblock(ProcId q);
+
+    /** Logical clock accessors; used by the sync primitives to
+     *  implement PRAM time. */
+    Tick time(ProcId p) const { return lt_[p]; }
+    void advance(ProcId p, Tick n) { lt_[p] += n; }
+    void advanceTo(ProcId p, Tick t) { if (lt_[p] < t) lt_[p] = t; }
+
+    int nprocs() const { return nprocs_; }
+
+    /** True while run() is active (used by instrumentation hooks). */
+    bool active() const { return active_; }
+
+  private:
+    enum class Status : std::uint8_t { Ready, Running, Blocked, Done };
+
+    /** Pick the runnable processor with the smallest logical time;
+     *  -1 if none. Caller holds mu_. */
+    ProcId pickNext() const;
+    /** Hand off from @p p (already marked non-Running) and wait until
+     *  rescheduled unless @p exiting. Caller holds lock. */
+    void switchFrom(std::unique_lock<std::mutex>& lock, ProcId p,
+                    bool exiting);
+
+    int nprocs_;
+    std::uint64_t quantum_;
+    std::uint64_t eventsInSlice_ = 0;
+    bool active_ = false;
+
+    mutable std::mutex mu_;
+    /** Per-processor parking cvs, alive only during run(). */
+    void* parkedCvs_ = nullptr;
+    std::condition_variable doneCv_;
+    ProcId running_ = -1;
+    int doneCount_ = 0;
+    std::vector<Status> status_;
+    std::vector<Tick> lt_;
+};
+
+} // namespace splash::rt
+
+#endif // SPLASH2_RT_SCHEDULER_H

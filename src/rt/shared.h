@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Instrumented shared-data containers.
+ *
+ * All shared application state lives in SharedArray<T> / SharedVar<T>,
+ * allocated from the Env's SharedHeap.  Every access goes through the
+ * current ProcCtx's read/write hooks, which is how the reference
+ * stream reaches the memory-system simulator.  Outside a team body
+ * (problem setup, result verification) the hooks are no-ops, matching
+ * the paper's methodology of measuring only the parallel phase.
+ *
+ * Access idioms:
+ *
+ *  - scalar element types: `a[i]` yields a proxy usable as a value and
+ *    as an assignment target (`a[i] = x; y = a[i]; a[i] += z;`);
+ *  - struct element types: whole-element `ld(i)` / `st(i, v)`, or
+ *    field-granular `ldf(i, &S::member)` / `stf(i, &S::member, v)`
+ *    which reference only the member's bytes (important for false
+ *    sharing fidelity);
+ *  - bulk kernels may use `raw()` with explicit `touchRead/touchWrite`
+ *    annotations when proxy overhead matters.
+ */
+#ifndef SPLASH2_RT_SHARED_H
+#define SPLASH2_RT_SHARED_H
+
+#include <cstddef>
+#include <type_traits>
+
+#include "base/log.h"
+#include "rt/env.h"
+
+namespace splash::rt {
+
+/** Record an instrumented read of [p, p+n) on the current processor. */
+inline void
+touchRead(const void* p, std::size_t n)
+{
+    if (ProcCtx* c = cur())
+        c->read(p, n);
+}
+
+/** Record an instrumented write of [p, p+n) on the current processor. */
+inline void
+touchWrite(const void* p, std::size_t n)
+{
+    if (ProcCtx* c = cur())
+        c->write(p, n);
+}
+
+/** A shared array of trivially-copyable elements. */
+template <typename T>
+class SharedArray
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "shared elements must be trivially copyable");
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "shared elements must be trivially destructible");
+
+  public:
+    /** Element proxy that instruments value reads and writes. */
+    class Ref
+    {
+      public:
+        explicit Ref(T* p) : p_(p) {}
+
+        operator T() const
+        {
+            touchRead(p_, sizeof(T));
+            return *p_;
+        }
+
+        Ref&
+        operator=(const T& v)
+        {
+            touchWrite(p_, sizeof(T));
+            *p_ = v;
+            return *this;
+        }
+
+        Ref&
+        operator=(const Ref& o)
+        {
+            return *this = static_cast<T>(o);
+        }
+
+        Ref& operator+=(const T& v) { return *this = static_cast<T>(*this) + v; }
+        Ref& operator-=(const T& v) { return *this = static_cast<T>(*this) - v; }
+        Ref& operator*=(const T& v) { return *this = static_cast<T>(*this) * v; }
+        Ref& operator/=(const T& v) { return *this = static_cast<T>(*this) / v; }
+
+      private:
+        T* p_;
+    };
+
+    SharedArray() = default;
+
+    /** Allocate @p n zero-initialized elements from @p env's heap. */
+    SharedArray(Env& env, std::size_t n)
+        : heap_(&env.heap()), n_(n),
+          data_(static_cast<T*>(env.heap().alloc(
+              n * sizeof(T), alignof(T) > 64 ? alignof(T) : 64)))
+    {}
+
+    std::size_t size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+
+    Ref
+    operator[](std::size_t i)
+    {
+        return Ref(&data_[i]);
+    }
+
+    /** Instrumented whole-element load. */
+    T
+    ld(std::size_t i) const
+    {
+        touchRead(&data_[i], sizeof(T));
+        return data_[i];
+    }
+
+    /** Instrumented whole-element store. */
+    void
+    st(std::size_t i, const T& v)
+    {
+        touchWrite(&data_[i], sizeof(T));
+        data_[i] = v;
+    }
+
+    /** Instrumented field load: references only the member's bytes. */
+    template <typename F, typename U = T>
+        requires std::is_class_v<U>
+    F
+    ldf(std::size_t i, F U::* field) const
+    {
+        const F* p = &(data_[i].*field);
+        touchRead(p, sizeof(F));
+        return *p;
+    }
+
+    /** Instrumented field store. */
+    template <typename F, typename U = T>
+        requires std::is_class_v<U>
+    void
+    stf(std::size_t i, F U::* field, const F& v)
+    {
+        F* p = &(data_[i].*field);
+        touchWrite(p, sizeof(F));
+        *p = v;
+    }
+
+    /** Uninstrumented access for setup/verification and for annotated
+     *  bulk kernels. */
+    T* raw() { return data_; }
+    const T* raw() const { return data_; }
+
+    /** Home [first, first+count) elements at node @p home (rounded to
+     *  the enclosing byte range). */
+    void
+    setHome(std::size_t first, std::size_t count, ProcId home)
+    {
+        heap_->setHome(&data_[first], count * sizeof(T), home);
+    }
+
+  private:
+    SharedHeap* heap_ = nullptr;
+    std::size_t n_ = 0;
+    T* data_ = nullptr;
+};
+
+/** A single shared scalar. */
+template <typename T>
+class SharedVar
+{
+  public:
+    SharedVar() = default;
+    explicit SharedVar(Env& env, const T& init = T{}) : a_(env, 1)
+    {
+        *a_.raw() = init;
+    }
+
+    typename SharedArray<T>::Ref operator*() { return a_[0]; }
+    T get() const { return a_.ld(0); }
+    void set(const T& v) { a_.st(0, v); }
+    T* raw() { return a_.raw(); }
+
+  private:
+    SharedArray<T> a_;
+};
+
+} // namespace splash::rt
+
+#endif // SPLASH2_RT_SHARED_H

@@ -1,0 +1,71 @@
+#include "rt/shared_heap.h"
+
+#include <cstring>
+
+#include "base/log.h"
+
+namespace splash::rt {
+
+namespace {
+constexpr std::size_t kBlockBytes = 16u << 20;  // 16 MB arena blocks
+} // namespace
+
+SharedHeap::SharedHeap(int nprocs, int lineSize)
+    : nprocs_(nprocs), lineShift_(log2i(lineSize))
+{
+    ensure(isPow2(lineSize), "line size must be a power of two");
+}
+
+void*
+SharedHeap::alloc(std::size_t bytes, std::size_t align)
+{
+    if (bytes == 0)
+        bytes = 1;
+    if (align < 64)
+        align = 64;
+    ensure(isPow2(align), "alignment must be a power of two");
+
+    auto misalign = reinterpret_cast<std::uintptr_t>(cursor_) & (align - 1);
+    std::size_t pad = misalign ? align - misalign : 0;
+    if (cursor_ == nullptr || pad + bytes > remaining_) {
+        std::size_t block = std::max(kBlockBytes, bytes + align);
+        blocks_.push_back(std::make_unique<char[]>(block));
+        cursor_ = blocks_.back().get();
+        remaining_ = block;
+        misalign = reinterpret_cast<std::uintptr_t>(cursor_) & (align - 1);
+        pad = misalign ? align - misalign : 0;
+    }
+    cursor_ += pad;
+    remaining_ -= pad;
+    void* out = cursor_;
+    cursor_ += bytes;
+    remaining_ -= bytes;
+    allocated_ += bytes;
+    std::memset(out, 0, bytes);
+    return out;
+}
+
+void
+SharedHeap::setHome(const void* p, std::size_t bytes, ProcId home)
+{
+    ensure(home >= 0 && home < nprocs_, "home node out of range");
+    if (bytes == 0)
+        return;
+    Addr start = reinterpret_cast<Addr>(p);
+    homes_[start] = Span{start + bytes, home};
+}
+
+ProcId
+SharedHeap::homeOf(Addr lineAddr) const
+{
+    auto it = homes_.upper_bound(lineAddr);
+    if (it != homes_.begin()) {
+        --it;
+        if (lineAddr < it->second.end)
+            return it->second.home;
+    }
+    // Unplaced data: interleave lines round-robin across nodes.
+    return static_cast<ProcId>((lineAddr >> lineShift_) % nprocs_);
+}
+
+} // namespace splash::rt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Placement-aware shared heap.
+ *
+ * All shared application data is carved from this arena so the memory
+ * simulator can (a) identify shared addresses and (b) resolve each
+ * cache line's home node.  Applications follow the paper's per-program
+ * data-distribution guidelines through setHome(): e.g. LU homes each
+ * block at its owning processor, Ocean homes each square subgrid
+ * locally, FFT homes each contiguous row band locally.  Regions with no
+ * explicit placement are interleaved across nodes at line granularity.
+ */
+#ifndef SPLASH2_RT_SHARED_HEAP_H
+#define SPLASH2_RT_SHARED_HEAP_H
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/directory.h"
+
+namespace splash::rt {
+
+class SharedHeap : public sim::HomeResolver
+{
+  public:
+    explicit SharedHeap(int nprocs, int lineSize = 64);
+
+    /** Allocate @p bytes aligned to @p align (>= one cache line so that
+     *  distinct allocations never false-share by construction unless
+     *  the application wants them to). Memory is zero-initialized and
+     *  lives until the heap is destroyed. */
+    void* alloc(std::size_t bytes, std::size_t align = 64);
+
+    /** Declare that [p, p+bytes) is homed at node @p home. Later calls
+     *  override earlier ones for overlapping ranges only if they start
+     *  at distinct addresses; apps are expected to place each range
+     *  once. */
+    void setHome(const void* p, std::size_t bytes, ProcId home);
+
+    /** HomeResolver: home node of the line containing @p lineAddr. */
+    ProcId homeOf(Addr lineAddr) const override;
+
+    std::size_t bytesAllocated() const { return allocated_; }
+
+  private:
+    struct Span
+    {
+        Addr end;
+        ProcId home;
+    };
+
+    int nprocs_;
+    int lineShift_;
+    std::size_t allocated_ = 0;
+    std::vector<std::unique_ptr<char[]>> blocks_;
+    char* cursor_ = nullptr;
+    std::size_t remaining_ = 0;
+    std::map<Addr, Span> homes_;  // key: span start address
+};
+
+} // namespace splash::rt
+
+#endif // SPLASH2_RT_SHARED_HEAP_H

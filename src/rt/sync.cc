@@ -1,0 +1,185 @@
+#include "rt/sync.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace splash::rt {
+
+// --------------------------------------------------------------------
+// Barrier
+// --------------------------------------------------------------------
+
+Barrier::Barrier(Env& env, int n)
+    : env_(env), n_(n == 0 ? env.nprocs() : n)
+{
+    ensure(n_ >= 1, "barrier needs at least one participant");
+}
+
+void
+Barrier::arrive(ProcCtx& c)
+{
+    ++c.stats().barriers;
+
+    if (env_.mode() == Mode::Native) {
+        std::unique_lock<std::mutex> lock(mu_);
+        std::uint64_t gen = generation_;
+        if (++count_ == n_) {
+            count_ = 0;
+            ++generation_;
+            cv_.notify_all();
+            return;
+        }
+        cv_.wait(lock, [this, gen] { return generation_ != gen; });
+        return;
+    }
+
+    // Sim mode: only one processor runs at a time, so barrier state
+    // needs no host locking.
+    Scheduler& s = *env_.scheduler();
+    ProcId p = c.id();
+    Tick myLt = s.time(p);
+    if (count_ == 0)
+        maxArrival_ = 0;
+    maxArrival_ = std::max(maxArrival_, myLt);
+    if (++count_ < n_) {
+        waiters_.push_back(p);
+        s.block(p);
+        return;  // released by the last arriver, clock already advanced
+    }
+    // Last arriver: release everyone at the max arrival clock.
+    Tick target = maxArrival_;
+    for (ProcId q : waiters_) {
+        env_.mutableStats(q).barrierWait += target - s.time(q);
+        s.advanceTo(q, target);
+        s.unblock(q);
+    }
+    waiters_.clear();
+    count_ = 0;
+    c.stats().barrierWait += target - myLt;
+    s.advanceTo(p, target);
+}
+
+// --------------------------------------------------------------------
+// Lock
+// --------------------------------------------------------------------
+
+Lock::Lock(Env& env) : env_(env) {}
+
+void
+Lock::acquire(ProcCtx& c)
+{
+    ++c.stats().locks;
+
+    if (env_.mode() == Mode::Native) {
+        mu_.lock();
+        return;
+    }
+
+    Scheduler& s = *env_.scheduler();
+    ProcId p = c.id();
+    if (!held_) {
+        held_ = true;
+        Tick myLt = s.time(p);
+        if (freeTime_ > myLt) {
+            c.stats().lockWait += freeTime_ - myLt;
+            s.advanceTo(p, freeTime_);
+        }
+        return;
+    }
+    waiters_.push_back(p);
+    s.block(p);
+    // Ownership was transferred to us by the releaser, which also
+    // advanced our clock and charged the wait.
+}
+
+void
+Lock::release(ProcCtx& c)
+{
+    if (env_.mode() == Mode::Native) {
+        mu_.unlock();
+        return;
+    }
+
+    Scheduler& s = *env_.scheduler();
+    ensure(held_, "release of a lock that is not held");
+    Tick now = s.time(c.id());
+    if (waiters_.empty()) {
+        held_ = false;
+        freeTime_ = now;
+        return;
+    }
+    ProcId q = waiters_.front();
+    waiters_.pop_front();
+    if (now > s.time(q)) {
+        env_.mutableStats(q).lockWait += now - s.time(q);
+        s.advanceTo(q, now);
+    }
+    s.unblock(q);  // lock stays held; ownership passes to q
+}
+
+// --------------------------------------------------------------------
+// Flag
+// --------------------------------------------------------------------
+
+Flag::Flag(Env& env) : env_(env) {}
+
+void
+Flag::set(ProcCtx& c)
+{
+    if (env_.mode() == Mode::Native) {
+        std::lock_guard<std::mutex> lock(mu_);
+        set_ = true;
+        cv_.notify_all();
+        return;
+    }
+
+    Scheduler& s = *env_.scheduler();
+    set_ = true;
+    setTime_ = s.time(c.id());
+    for (ProcId q : waiters_) {
+        if (setTime_ > s.time(q)) {
+            env_.mutableStats(q).pauseWait += setTime_ - s.time(q);
+            s.advanceTo(q, setTime_);
+        }
+        s.unblock(q);
+    }
+    waiters_.clear();
+}
+
+void
+Flag::clear(ProcCtx&)
+{
+    if (env_.mode() == Mode::Native) {
+        std::lock_guard<std::mutex> lock(mu_);
+        set_ = false;
+        return;
+    }
+    set_ = false;
+}
+
+void
+Flag::wait(ProcCtx& c)
+{
+    ++c.stats().pauses;
+
+    if (env_.mode() == Mode::Native) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return set_; });
+        return;
+    }
+
+    Scheduler& s = *env_.scheduler();
+    ProcId p = c.id();
+    if (set_) {
+        if (setTime_ > s.time(p)) {
+            c.stats().pauseWait += setTime_ - s.time(p);
+            s.advanceTo(p, setTime_);
+        }
+        return;
+    }
+    waiters_.push_back(p);
+    s.block(p);
+}
+
+} // namespace splash::rt

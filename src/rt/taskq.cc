@@ -1,0 +1,120 @@
+#include "rt/taskq.h"
+
+#include "base/log.h"
+
+namespace splash::rt {
+
+TaskQueues::TaskQueues(Env& env, int nqueues, std::size_t capacity)
+    : env_(env), nqueues_(nqueues), mask_(capacity - 1),
+      headers_(env, static_cast<std::size_t>(nqueues) * kHeaderStride),
+      pending_(env, 0),
+      pendingLock_(std::make_unique<Lock>(env))
+{
+    ensure(isPow2(capacity), "queue capacity must be a power of two");
+    rings_.reserve(nqueues);
+    locks_.reserve(nqueues);
+    for (int q = 0; q < nqueues; ++q) {
+        rings_.emplace_back(env, capacity);
+        locks_.push_back(std::make_unique<Lock>(env));
+        // Home each queue's ring and header at its owning processor.
+        ProcId home = static_cast<ProcId>(q % env.nprocs());
+        rings_[q].setHome(0, capacity, home);
+        headers_.setHome(static_cast<std::size_t>(q) * kHeaderStride,
+                         kHeaderStride, home);
+    }
+}
+
+void
+TaskQueues::push(ProcCtx& c, int q, std::uint64_t task)
+{
+    {
+        Lock::Guard g(*pendingLock_, c);
+        *pending_ += 1;
+    }
+    Lock::Guard g(*locks_[q], c);
+    std::size_t base = static_cast<std::size_t>(q) * kHeaderStride;
+    std::uint64_t head = headers_[base + 0];
+    std::uint64_t tail = headers_[base + 1];
+    if (tail - head > mask_)
+        fatal("task queue overflow; raise TaskQueues capacity");
+    rings_[q][tail & mask_] = task;
+    headers_[base + 1] = tail + 1;
+}
+
+bool
+TaskQueues::popLifo(ProcCtx& c, int q, std::uint64_t& out)
+{
+    // Lock-free emptiness peek (re-checked under the lock): pollers
+    // only generate read traffic, never a lock convoy.
+    std::size_t base = static_cast<std::size_t>(q) * kHeaderStride;
+    if (std::uint64_t(headers_[base + 0]) ==
+        std::uint64_t(headers_[base + 1]))
+        return false;
+    Lock::Guard g(*locks_[q], c);
+    std::uint64_t head = headers_[base + 0];
+    std::uint64_t tail = headers_[base + 1];
+    if (head == tail)
+        return false;
+    out = rings_[q][(tail - 1) & mask_];
+    headers_[base + 1] = tail - 1;
+    return true;
+}
+
+bool
+TaskQueues::stealFifo(ProcCtx& c, int q, std::uint64_t& out)
+{
+    std::size_t base = static_cast<std::size_t>(q) * kHeaderStride;
+    if (std::uint64_t(headers_[base + 0]) ==
+        std::uint64_t(headers_[base + 1]))
+        return false;
+    Lock::Guard g(*locks_[q], c);
+    std::uint64_t head = headers_[base + 0];
+    std::uint64_t tail = headers_[base + 1];
+    if (head == tail)
+        return false;
+    out = rings_[q][head & mask_];
+    headers_[base + 0] = head + 1;
+    return true;
+}
+
+bool
+TaskQueues::tryGet(ProcCtx& c, int q, std::uint64_t& out)
+{
+    if (popLifo(c, q, out))
+        return true;
+    for (int i = 1; i < nqueues_; ++i) {
+        if (stealFifo(c, (q + i) % nqueues_, out))
+            return true;
+    }
+    return false;
+}
+
+bool
+TaskQueues::get(ProcCtx& c, int q, std::uint64_t& out)
+{
+    std::uint64_t backoff = 100;
+    for (;;) {
+        if (tryGet(c, q, out))
+            return true;
+        // Unlocked read of the pending count (pushes/dones still
+        // serialize on the lock; a stale nonzero read just polls once
+        // more, and zero is only reached after all work is done).
+        if (pending_.get() == 0)
+            return false;
+        // Work may still be produced by in-flight tasks: back off with
+        // exponentially growing (logical) delay so idle processors do
+        // not congest the queue locks that workers need. The spin is
+        // charged as pause (idle) time, like the paper's accounting.
+        c.idle(backoff);
+        backoff = std::min<std::uint64_t>(backoff * 2, 2000);
+    }
+}
+
+void
+TaskQueues::done(ProcCtx& c)
+{
+    Lock::Guard g(*pendingLock_, c);
+    *pending_ += -1;
+}
+
+} // namespace splash::rt

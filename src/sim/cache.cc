@@ -1,0 +1,163 @@
+#include "sim/cache.h"
+
+#include "base/log.h"
+
+namespace splash::sim {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    ways_ = cfg_.assoc == 0 ? cfg_.numLines() : cfg_.assoc;
+    numSets_ = cfg_.numLines() / ways_;
+    big_ = ways_ > 16;
+    if (!big_)
+        sets_.resize(numSets_ * ways_);
+    else
+        index_.reserve(cfg_.numLines() * 2);
+}
+
+std::uint64_t
+Cache::setIndex(Addr lineAddr) const
+{
+    return (lineAddr / cfg_.lineSize) & (numSets_ - 1);
+}
+
+Cache::Way*
+Cache::findWay(Addr lineAddr)
+{
+    Way* base = &sets_[setIndex(lineAddr) * ways_];
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].state != LineState::Invalid && base[w].tag == lineAddr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Way*
+Cache::findWay(Addr lineAddr) const
+{
+    const Way* base = &sets_[setIndex(lineAddr) * ways_];
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].state != LineState::Invalid && base[w].tag == lineAddr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+LineState
+Cache::probe(Addr lineAddr)
+{
+    if (big_) {
+        auto it = index_.find(lineAddr);
+        if (it == index_.end())
+            return LineState::Invalid;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->second;
+    }
+    Way* w = findWay(lineAddr);
+    if (!w)
+        return LineState::Invalid;
+    w->lastUse = ++useClock_;
+    return w->state;
+}
+
+LineState
+Cache::peek(Addr lineAddr) const
+{
+    if (big_) {
+        auto it = index_.find(lineAddr);
+        return it == index_.end() ? LineState::Invalid : it->second->second;
+    }
+    const Way* w = findWay(lineAddr);
+    return w ? w->state : LineState::Invalid;
+}
+
+void
+Cache::setState(Addr lineAddr, LineState st)
+{
+    ensure(st != LineState::Invalid, "use invalidate() to drop lines");
+    if (big_) {
+        auto it = index_.find(lineAddr);
+        ensure(it != index_.end(), "setState on absent line");
+        it->second->second = st;
+        return;
+    }
+    Way* w = findWay(lineAddr);
+    ensure(w != nullptr, "setState on absent line");
+    w->state = st;
+}
+
+Cache::Victim
+Cache::fill(Addr lineAddr, LineState st)
+{
+    ensure(st != LineState::Invalid, "cannot fill an Invalid line");
+    Victim v;
+    if (big_) {
+        ensure(!index_.count(lineAddr), "fill of already-present line");
+        if (index_.size() == static_cast<size_t>(cfg_.numLines())) {
+            auto victim = std::prev(lru_.end());
+            v.valid = true;
+            v.lineAddr = victim->first;
+            v.state = victim->second;
+            index_.erase(victim->first);
+            lru_.erase(victim);
+        }
+        lru_.emplace_front(lineAddr, st);
+        index_[lineAddr] = lru_.begin();
+        return v;
+    }
+    ensure(findWay(lineAddr) == nullptr, "fill of already-present line");
+    Way* base = &sets_[setIndex(lineAddr) * ways_];
+    Way* slot = nullptr;
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].state == LineState::Invalid) {
+            slot = &base[w];
+            break;
+        }
+    }
+    if (!slot) {
+        slot = &base[0];
+        for (int w = 1; w < ways_; ++w) {
+            if (base[w].lastUse < slot->lastUse)
+                slot = &base[w];
+        }
+        v.valid = true;
+        v.lineAddr = slot->tag;
+        v.state = slot->state;
+    }
+    slot->tag = lineAddr;
+    slot->state = st;
+    slot->lastUse = ++useClock_;
+    return v;
+}
+
+void
+Cache::invalidate(Addr lineAddr)
+{
+    if (big_) {
+        auto it = index_.find(lineAddr);
+        if (it == index_.end())
+            return;
+        lru_.erase(it->second);
+        index_.erase(it);
+        return;
+    }
+    Way* w = findWay(lineAddr);
+    if (w)
+        w->state = LineState::Invalid;
+}
+
+std::uint64_t
+Cache::residentLines() const
+{
+    if (big_)
+        return index_.size();
+    std::uint64_t n = 0;
+    for (const auto& w : sets_) {
+        if (w.state != LineState::Invalid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace splash::sim

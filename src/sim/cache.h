@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Set-associative write-back cache tag array with true LRU replacement.
+ *
+ * This models one processor's single-level cache in the directory-based
+ * Illinois (MESI) protocol.  Only tags and coherence state are kept; data
+ * values live in the application's real memory (PRAM timing means the
+ * simulator never needs the bytes themselves).
+ *
+ * Two internal organizations are used: small associativities probe a
+ * contiguous way array (the hot path for the paper's 4-way caches), while
+ * high/full associativity uses a hash map plus intrusive LRU list so that
+ * fully-associative simulations stay O(1) per access.
+ */
+#ifndef SPLASH2_SIM_CACHE_H
+#define SPLASH2_SIM_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/config.h"
+
+namespace splash::sim {
+
+/** MESI line states (Illinois protocol). */
+enum class LineState : std::uint8_t {
+    Invalid = 0,
+    Shared,
+    Exclusive,  ///< valid-exclusive: clean, only cached copy
+    Modified
+};
+
+/** One processor's cache. Addresses passed in are line-aligned. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig& cfg);
+
+    /** Result of inserting a line: the replaced victim, if any. */
+    struct Victim
+    {
+        bool valid = false;
+        Addr lineAddr = 0;
+        LineState state = LineState::Invalid;
+    };
+
+    /** Look up @p lineAddr; returns its state or Invalid. Updates LRU on
+     *  hit. */
+    LineState probe(Addr lineAddr);
+
+    /** Look up without touching LRU state (for external queries). */
+    LineState peek(Addr lineAddr) const;
+
+    /** Change the state of a resident line. The line must be present. */
+    void setState(Addr lineAddr, LineState st);
+
+    /** Insert @p lineAddr with state @p st, evicting the LRU line of the
+     *  set if necessary. The line must not already be present. */
+    Victim fill(Addr lineAddr, LineState st);
+
+    /** Drop a line (coherence invalidation). No-op if absent. */
+    void invalidate(Addr lineAddr);
+
+    int lineSize() const { return cfg_.lineSize; }
+    const CacheConfig& config() const { return cfg_; }
+
+    /** Number of currently valid lines (for tests). */
+    std::uint64_t residentLines() const;
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        LineState state = LineState::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setIndex(Addr lineAddr) const;
+    Way* findWay(Addr lineAddr);
+    const Way* findWay(Addr lineAddr) const;
+
+    CacheConfig cfg_;
+    int ways_;
+    std::uint64_t numSets_;
+    std::uint64_t useClock_ = 0;
+
+    /** Small-associativity storage: numSets_ * ways_ entries. */
+    std::vector<Way> sets_;
+
+    /** Large/full associativity: hash map + LRU list. */
+    bool big_ = false;
+    std::list<std::pair<Addr, LineState>> lru_;  // front = most recent
+    std::unordered_map<Addr, std::list<std::pair<Addr, LineState>>::iterator>
+        index_;
+};
+
+} // namespace splash::sim
+
+#endif // SPLASH2_SIM_CACHE_H

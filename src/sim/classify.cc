@@ -1,0 +1,74 @@
+#include "sim/classify.h"
+
+#include "base/log.h"
+
+namespace splash::sim {
+
+MissClassifier::MissClassifier(int nprocs, int lineSize)
+    : wordsPerLine_(lineSize / kWordBytes), lineSize_(lineSize),
+      lost_(nprocs)
+{
+    ensure(lineSize >= kWordBytes, "line smaller than a word");
+}
+
+void
+MissClassifier::recordWrite(Addr addr, int size)
+{
+    Addr line = lineOf(addr);
+    auto& vers = wordVersion_[line];
+    if (vers.empty())
+        vers.assign(wordsPerLine_, 0);
+    int first = static_cast<int>((addr - line) / kWordBytes);
+    int last = static_cast<int>((addr + size - 1 - line) / kWordBytes);
+    ensure(last < wordsPerLine_, "write spans past line end");
+    for (int w = first; w <= last; ++w)
+        ++vers[w];
+}
+
+void
+MissClassifier::noteInvalidated(ProcId p, Addr lineAddr)
+{
+    LostCopy lc;
+    lc.cause = LossCause::Invalidated;
+    auto it = wordVersion_.find(lineAddr);
+    if (it != wordVersion_.end())
+        lc.snapshot = it->second;
+    lost_[p][lineAddr] = std::move(lc);
+}
+
+void
+MissClassifier::noteReplaced(ProcId p, Addr lineAddr)
+{
+    LostCopy lc;
+    lc.cause = LossCause::Replaced;
+    lost_[p][lineAddr] = std::move(lc);
+}
+
+MissType
+MissClassifier::classifyMiss(ProcId p, Addr addr, int size)
+{
+    Addr line = lineOf(addr);
+    auto& plost = lost_[p];
+    auto it = plost.find(line);
+    if (it == plost.end())
+        return MissType::Cold;
+    if (it->second.cause == LossCause::Replaced)
+        return MissType::Capacity;
+
+    // Invalidation loss: true sharing iff an accessed word changed.
+    auto vit = wordVersion_.find(line);
+    // An invalidation implies at least one write, so versions exist.
+    ensure(vit != wordVersion_.end(), "invalidated line never written");
+    const auto& cur = vit->second;
+    const auto& snap = it->second.snapshot;
+    int first = static_cast<int>((addr - line) / kWordBytes);
+    int last = static_cast<int>((addr + size - 1 - line) / kWordBytes);
+    for (int w = first; w <= last && w < wordsPerLine_; ++w) {
+        std::uint32_t old = snap.empty() ? 0 : snap[w];
+        if (cur[w] != old)
+            return MissType::TrueSharing;
+    }
+    return MissType::FalseSharing;
+}
+
+} // namespace splash::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Extended Dubois miss classification with word-precise true/false
+ * sharing disambiguation.
+ *
+ * The SPLASH-2 paper classifies misses with an extension of [DSR+93]
+ * that handles finite caches.  We implement the practical scheme the
+ * simulator community converged on:
+ *
+ *  - A processor's first miss to a line is *cold*.
+ *  - A miss to a line the processor last lost to *replacement* is
+ *    *capacity* (conflict misses are folded in, as in the paper).
+ *  - A miss to a line the processor last lost to *invalidation* is a
+ *    sharing miss: *true sharing* if any word the processor now accesses
+ *    was written by another processor since the copy was lost, otherwise
+ *    *false sharing*.
+ *
+ * Word granularity is 8 bytes.  Every write bumps per-word version
+ * counters on the line; when a processor is invalidated we snapshot the
+ * counters, and at re-miss time we compare the accessed words against
+ * the snapshot.  The snapshot is taken *before* the triggering write is
+ * recorded, so the write that caused the invalidation participates in
+ * the comparison.
+ */
+#ifndef SPLASH2_SIM_CLASSIFY_H
+#define SPLASH2_SIM_CLASSIFY_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/stats.h"
+
+namespace splash::sim {
+
+class MissClassifier
+{
+  public:
+    /** @param nprocs number of processors; @param lineSize in bytes. */
+    MissClassifier(int nprocs, int lineSize);
+
+    /** Record that processor @p p wrote [addr, addr+size). Call after any
+     *  invalidations triggered by this write have been reported. */
+    void recordWrite(Addr addr, int size);
+
+    /** Processor @p p lost its copy of @p lineAddr to a coherence
+     *  invalidation. */
+    void noteInvalidated(ProcId p, Addr lineAddr);
+
+    /** Processor @p p lost its copy of @p lineAddr to replacement. */
+    void noteReplaced(ProcId p, Addr lineAddr);
+
+    /** Classify the miss of processor @p p accessing [addr, addr+size)
+     *  (clipped to one line by the caller). */
+    MissType classifyMiss(ProcId p, Addr addr, int size);
+
+  private:
+    static constexpr int kWordBytes = 8;
+
+    enum class LossCause : std::uint8_t { Invalidated, Replaced };
+
+    struct LostCopy
+    {
+        LossCause cause;
+        /** Word versions at the time the copy was lost (empty for
+         *  replacement losses and for never-written lines). */
+        std::vector<std::uint32_t> snapshot;
+    };
+
+    int wordsPerLine_;
+    int lineSize_;
+
+    /** Current per-word write version of every line ever written. */
+    std::unordered_map<Addr, std::vector<std::uint32_t>> wordVersion_;
+
+    /** Per-processor record of how each line was last lost. */
+    std::vector<std::unordered_map<Addr, LostCopy>> lost_;
+
+    Addr lineOf(Addr a) const { return alignDown(a, lineSize_); }
+};
+
+} // namespace splash::sim
+
+#endif // SPLASH2_SIM_CLASSIFY_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Directory state and home-node resolution for the CC-NUMA model.
+ *
+ * Each cache line has a home node (the node whose main memory backs it);
+ * the home keeps a full-map directory entry listing current sharers.
+ * Because processors send replacement hints when they drop shared
+ * copies (as assumed in the paper), the sharer list is always exact.
+ */
+#ifndef SPLASH2_SIM_DIRECTORY_H
+#define SPLASH2_SIM_DIRECTORY_H
+
+#include <cstdint>
+
+#include "base/types.h"
+
+namespace splash::sim {
+
+/** Full-map directory entry for one cache line. */
+struct DirEntry
+{
+    /** Bitmask of processors with a valid copy. */
+    std::uint64_t sharers = 0;
+    /** Owner when dirty. */
+    ProcId owner = -1;
+    /** True when exactly one cache holds the line Modified. */
+    bool dirty = false;
+
+    bool empty() const { return sharers == 0; }
+
+    void
+    addSharer(ProcId p)
+    {
+        sharers |= (std::uint64_t{1} << p);
+    }
+
+    void
+    dropSharer(ProcId p)
+    {
+        sharers &= ~(std::uint64_t{1} << p);
+    }
+
+    bool
+    isSharer(ProcId p) const
+    {
+        return (sharers >> p) & 1;
+    }
+
+    int
+    numSharers() const
+    {
+        return __builtin_popcountll(sharers);
+    }
+};
+
+/** Maps cache lines to their home node. */
+class HomeResolver
+{
+  public:
+    virtual ~HomeResolver() = default;
+    virtual ProcId homeOf(Addr lineAddr) const = 0;
+};
+
+/** Fallback policy: lines interleaved round-robin across nodes. */
+class InterleavedHome : public HomeResolver
+{
+  public:
+    InterleavedHome(int nprocs, int lineSize)
+        : nprocs_(nprocs), lineShift_(log2i(lineSize))
+    {}
+
+    ProcId
+    homeOf(Addr lineAddr) const override
+    {
+        return static_cast<ProcId>((lineAddr >> lineShift_) % nprocs_);
+    }
+
+  private:
+    int nprocs_;
+    int lineShift_;
+};
+
+} // namespace splash::sim
+
+#endif // SPLASH2_SIM_DIRECTORY_H

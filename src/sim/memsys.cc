@@ -1,0 +1,328 @@
+#include "sim/memsys.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace splash::sim {
+
+MemSystem::MemSystem(const MachineConfig& cfg, const HomeResolver* homes)
+    : cfg_(cfg), homes_(homes),
+      defaultHomes_(cfg.nprocs, cfg.cache.lineSize),
+      classifier_(cfg.nprocs, cfg.cache.lineSize), stats_(cfg.nprocs)
+{
+    cfg_.validate();
+    caches_.reserve(cfg_.nprocs);
+    for (int p = 0; p < cfg_.nprocs; ++p)
+        caches_.emplace_back(cfg_.cache);
+}
+
+ProcId
+MemSystem::homeOf(Addr lineAddr) const
+{
+    ProcId h = homes_ ? homes_->homeOf(lineAddr)
+                      : defaultHomes_.homeOf(lineAddr);
+    ensure(h >= 0 && h < cfg_.nprocs, "home node out of range");
+    return h;
+}
+
+void
+MemSystem::access(ProcId p, Addr addr, int size, AccessType type)
+{
+    ensure(p >= 0 && p < cfg_.nprocs, "processor id out of range");
+    if (type == AccessType::Read)
+        ++stats_[p].reads;
+    else
+        ++stats_[p].writes;
+
+    Addr first = lineOf(addr);
+    Addr last = lineOf(addr + size - 1);
+    for (Addr line = first; line <= last; line += cfg_.cache.lineSize) {
+        Addr lo = std::max(addr, line);
+        Addr hi = std::min<Addr>(addr + size, line + cfg_.cache.lineSize);
+        accessLine(p, line, lo, static_cast<int>(hi - lo), type);
+    }
+}
+
+void
+MemSystem::accessLine(ProcId p, Addr lineAddr, Addr addr, int size,
+                      AccessType type)
+{
+    LineState st = caches_[p].probe(lineAddr);
+
+    if (type == AccessType::Read) {
+        if (st != LineState::Invalid)
+            return;
+        MissType mt = classifier_.classifyMiss(p, addr, size);
+        ++stats_[p].misses[static_cast<int>(mt)];
+        handleReadMiss(p, lineAddr, mt);
+        return;
+    }
+
+    // Write.
+    switch (st) {
+      case LineState::Modified:
+        break;
+      case LineState::Exclusive:
+        // Illinois silent upgrade: the only cached copy, clean.
+        caches_[p].setState(lineAddr, LineState::Modified);
+        {
+            auto& d = dir_[lineAddr];
+            d.dirty = true;
+            d.owner = p;
+        }
+        break;
+      case LineState::Shared:
+        ++stats_[p].upgrades;
+        handleUpgrade(p, lineAddr);
+        break;
+      case LineState::Invalid: {
+        MissType mt = classifier_.classifyMiss(p, addr, size);
+        ++stats_[p].misses[static_cast<int>(mt)];
+        handleWriteMiss(p, lineAddr, mt);
+        break;
+      }
+    }
+    classifier_.recordWrite(addr, size);
+}
+
+void
+MemSystem::handleReadMiss(ProcId p, Addr lineAddr, MissType mt)
+{
+    ProcId home = homeOf(lineAddr);
+    packet(p, p, home);  // request
+
+    auto& d = dir_[lineAddr];
+    LineState newState;
+    if (d.dirty) {
+        ProcId q = d.owner;
+        ensure(q != p, "dirty owner cannot be the missing processor");
+        packet(p, home, q);            // intervention
+        dataTransfer(p, q, p, mt);     // cache-to-cache reply
+        writebackTransfer(p, q, home); // sharing writeback (memory update)
+        caches_[q].setState(lineAddr, LineState::Shared);
+        d.dirty = false;
+        d.owner = -1;
+        newState = LineState::Shared;
+    } else {
+        dataTransfer(p, home, p, mt);  // supplied by home memory
+        if (d.empty()) {
+            newState = LineState::Exclusive;
+        } else {
+            newState = LineState::Shared;
+            // Any Exclusive (clean) copy elsewhere downgrades to Shared;
+            // the home notifies the sole holder.
+            if (d.numSharers() == 1) {
+                ProcId q = static_cast<ProcId>(
+                    __builtin_ctzll(d.sharers));
+                if (caches_[q].peek(lineAddr) == LineState::Exclusive) {
+                    packet(p, home, q);
+                    caches_[q].setState(lineAddr, LineState::Shared);
+                }
+            }
+        }
+    }
+    d.addSharer(p);
+    installLine(p, lineAddr, newState);
+}
+
+void
+MemSystem::handleUpgrade(ProcId p, Addr lineAddr)
+{
+    ProcId home = homeOf(lineAddr);
+    packet(p, p, home);  // upgrade request
+
+    auto& d = dir_[lineAddr];
+    ensure(!d.dirty, "upgrade on a dirty line");
+    for (int q = 0; q < cfg_.nprocs; ++q) {
+        if (q == p || !d.isSharer(q))
+            continue;
+        packet(p, home, q);  // invalidation (spurious if q replaced
+        packet(p, q, p);     // the line silently) + ack to requester
+        if (caches_[q].peek(lineAddr) != LineState::Invalid) {
+            caches_[q].invalidate(lineAddr);
+            classifier_.noteInvalidated(q, lineAddr);
+        }
+        d.dropSharer(q);
+    }
+    d.dirty = true;
+    d.owner = p;
+    caches_[p].setState(lineAddr, LineState::Modified);
+}
+
+void
+MemSystem::handleWriteMiss(ProcId p, Addr lineAddr, MissType mt)
+{
+    ProcId home = homeOf(lineAddr);
+    packet(p, p, home);  // read-exclusive request
+
+    auto& d = dir_[lineAddr];
+    if (d.dirty) {
+        ProcId q = d.owner;
+        ensure(q != p, "dirty owner cannot be the missing processor");
+        packet(p, home, q);         // invalidating intervention
+        dataTransfer(p, q, p, mt);  // ownership transfer, cache-to-cache
+        caches_[q].invalidate(lineAddr);
+        classifier_.noteInvalidated(q, lineAddr);
+        d.dropSharer(q);
+    } else {
+        dataTransfer(p, home, p, mt);
+        for (int q = 0; q < cfg_.nprocs; ++q) {
+            if (q == p || !d.isSharer(q))
+                continue;
+            packet(p, home, q);  // invalidation
+            packet(p, q, p);     // ack
+            if (caches_[q].peek(lineAddr) != LineState::Invalid) {
+                caches_[q].invalidate(lineAddr);
+                classifier_.noteInvalidated(q, lineAddr);
+            }
+            d.dropSharer(q);
+        }
+    }
+    d.sharers = 0;
+    d.addSharer(p);
+    d.dirty = true;
+    d.owner = p;
+    installLine(p, lineAddr, LineState::Modified);
+}
+
+void
+MemSystem::installLine(ProcId p, Addr lineAddr, LineState st)
+{
+    Cache::Victim v = caches_[p].fill(lineAddr, st);
+    if (v.valid)
+        evictVictim(p, v);
+}
+
+void
+MemSystem::evictVictim(ProcId p, const Cache::Victim& v)
+{
+    ProcId home = homeOf(v.lineAddr);
+    auto it = dir_.find(v.lineAddr);
+    ensure(it != dir_.end(), "evicted line missing from directory");
+    DirEntry& d = it->second;
+
+    if (v.state == LineState::Modified) {
+        writebackTransfer(p, p, home);
+        d.dirty = false;
+        d.owner = -1;
+        d.dropSharer(p);
+    } else if (cfg_.replacementHints) {
+        // Replacement hint keeps the sharer list exact.
+        packet(p, p, home);
+        d.dropSharer(p);
+    }
+    // Without hints the stale sharer bit stays set until the next
+    // invalidation discovers the copy is gone.
+    classifier_.noteReplaced(p, v.lineAddr);
+    if (d.empty())
+        dir_.erase(it);
+}
+
+void
+MemSystem::packet(ProcId p, ProcId src, ProcId dst)
+{
+    if (src != dst)
+        stats_[p].remoteOverhead += cfg_.overheadBytes;
+}
+
+void
+MemSystem::dataTransfer(ProcId p, ProcId src, ProcId dst, MissType mt)
+{
+    const int line = cfg_.cache.lineSize;
+    if (src == dst) {
+        stats_[p].localData += line;
+    } else {
+        switch (mt) {
+          case MissType::Cold:
+            stats_[p].remoteColdData += line;
+            break;
+          case MissType::Capacity:
+            stats_[p].remoteCapacityData += line;
+            break;
+          default:
+            stats_[p].remoteSharedData += line;
+            break;
+        }
+        stats_[p].remoteOverhead += cfg_.overheadBytes;  // data header
+    }
+    if (mt == MissType::TrueSharing)
+        stats_[p].trueSharedData += line;
+}
+
+void
+MemSystem::writebackTransfer(ProcId p, ProcId src, ProcId home)
+{
+    const int line = cfg_.cache.lineSize;
+    if (src == home) {
+        stats_[p].localData += line;
+    } else {
+        stats_[p].remoteWriteback += line;
+        stats_[p].remoteOverhead += cfg_.overheadBytes;
+    }
+}
+
+void
+MemSystem::resetStats()
+{
+    for (auto& s : stats_)
+        s = MemStats{};
+}
+
+MemStats
+MemSystem::total() const
+{
+    MemStats t;
+    for (const auto& s : stats_)
+        t += s;
+    return t;
+}
+
+LineState
+MemSystem::lineState(ProcId p, Addr addr) const
+{
+    return caches_[p].peek(lineOf(addr));
+}
+
+const DirEntry*
+MemSystem::dirEntry(Addr addr) const
+{
+    auto it = dir_.find(lineOf(addr));
+    return it == dir_.end() ? nullptr : &it->second;
+}
+
+bool
+MemSystem::checkCoherenceInvariants() const
+{
+    for (const auto& [line, d] : dir_) {
+        int modified = 0, valid = 0;
+        for (int p = 0; p < cfg_.nprocs; ++p) {
+            LineState st = caches_[p].peek(line);
+            bool cached = st != LineState::Invalid;
+            // With hints the list is exact; without, it may only be a
+            // superset of the true sharers.
+            if (cached && !d.isSharer(p))
+                return false;
+            if (cfg_.replacementHints && cached != d.isSharer(p))
+                return false;
+            if (cached)
+                ++valid;
+            if (st == LineState::Modified)
+                ++modified;
+            if (st == LineState::Exclusive && d.numSharers() != 1)
+                return false;
+        }
+        if (modified > 1)
+            return false;
+        if (d.dirty != (modified == 1))
+            return false;
+        if (d.dirty && caches_[d.owner].peek(line) != LineState::Modified)
+            return false;
+        if (cfg_.replacementHints ? valid != d.numSharers()
+                                  : valid > d.numSharers())
+            return false;
+    }
+    return true;
+}
+
+} // namespace splash::sim

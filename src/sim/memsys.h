@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The multiprocessor memory-system simulator.
+ *
+ * Models the machine of the SPLASH-2 paper: a cache-coherent shared
+ * address space multiprocessor with physically distributed memory, one
+ * processor per node, a single-level cache per processor kept coherent
+ * by a directory-based Illinois (MESI) protocol, and replacement hints
+ * so sharer lists stay exact.  Timing is PRAM (every access completes
+ * in one cycle), so the simulator records *events and traffic*, never
+ * latency.
+ *
+ * Traffic model (all control packets and data headers are
+ * `overheadBytes` long, data transfers are one line):
+ *
+ *  - Every miss sends a request packet to the line's home.
+ *  - Clean lines are supplied by home memory (local data if the
+ *    requester is the home, else remote data + header).
+ *  - Dirty lines are supplied cache-to-cache: intervention packet to
+ *    the owner, data reply to the requester, and (on read misses) a
+ *    sharing writeback of the line to the home, per Illinois semantics
+ *    that memory is updated when a dirty line is read.
+ *  - Writes to Shared lines send invalidations to each other sharer and
+ *    collect one ack per invalidation.
+ *  - Replacing a clean line sends a replacement hint to the home;
+ *    replacing a Modified line writes the line back.
+ */
+#ifndef SPLASH2_SIM_MEMSYS_H
+#define SPLASH2_SIM_MEMSYS_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/cache.h"
+#include "sim/classify.h"
+#include "sim/config.h"
+#include "sim/directory.h"
+#include "sim/stats.h"
+
+namespace splash::sim {
+
+class MemSystem
+{
+  public:
+    /** @param homes maps lines to home nodes; if null, lines are
+     *  interleaved across nodes at line granularity. */
+    explicit MemSystem(const MachineConfig& cfg,
+                       const HomeResolver* homes = nullptr);
+
+    /** Issue one memory reference from processor @p p.  References that
+     *  straddle a line boundary are split per line (each affected line
+     *  goes through the full protocol) but count as a single read or
+     *  write. */
+    void access(ProcId p, Addr addr, int size, AccessType type);
+
+    const MachineConfig& config() const { return cfg_; }
+
+    const MemStats& procStats(ProcId p) const { return stats_[p]; }
+
+    /** Aggregate statistics over all processors. */
+    MemStats total() const;
+
+    /** Zero all statistics while preserving cache, directory, and
+     *  classification state (for measuring past cold start). */
+    void resetStats();
+
+    // --- introspection for tests -------------------------------------
+    LineState lineState(ProcId p, Addr addr) const;
+    const DirEntry* dirEntry(Addr addr) const;
+
+    /** Check protocol invariants over the whole directory (at most one
+     *  Modified copy, sharer lists consistent with caches, Exclusive
+     *  implies sole sharer). Returns true when consistent. */
+    bool checkCoherenceInvariants() const;
+
+  private:
+    void accessLine(ProcId p, Addr lineAddr, Addr addr, int size,
+                    AccessType type);
+    void handleReadMiss(ProcId p, Addr lineAddr, MissType mt);
+    void handleWriteMiss(ProcId p, Addr lineAddr, MissType mt);
+    void handleUpgrade(ProcId p, Addr lineAddr);
+    void installLine(ProcId p, Addr lineAddr, LineState st);
+    void evictVictim(ProcId p, const Cache::Victim& v);
+
+    /** Control packet src -> dst: remote overhead unless src == dst. */
+    void packet(ProcId p, ProcId src, ProcId dst);
+    /** One-line data transfer src -> dst for a miss of type @p mt. */
+    void dataTransfer(ProcId p, ProcId src, ProcId dst, MissType mt);
+    /** Dirty-line writeback src -> home. */
+    void writebackTransfer(ProcId p, ProcId src, ProcId home);
+
+    ProcId homeOf(Addr lineAddr) const;
+    Addr lineOf(Addr a) const { return alignDown(a, cfg_.cache.lineSize); }
+
+    MachineConfig cfg_;
+    const HomeResolver* homes_;
+    InterleavedHome defaultHomes_;
+    std::vector<Cache> caches_;
+    std::unordered_map<Addr, DirEntry> dir_;
+    MissClassifier classifier_;
+    std::vector<MemStats> stats_;
+};
+
+} // namespace splash::sim
+
+#endif // SPLASH2_SIM_MEMSYS_H

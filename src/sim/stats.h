@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Statistics gathered by the memory-system simulator.
+ *
+ * Traffic is decomposed exactly as in Section 6 of the SPLASH-2 paper:
+ *
+ *  - remote data, split by the miss type that caused the transfer
+ *    (remote shared = true + false sharing, remote cold, remote
+ *    capacity), plus remote writebacks;
+ *  - remote overhead: request / intervention / invalidation / ack /
+ *    replacement-hint packets and the headers of remote data transfers;
+ *  - local data: transfers between a processor and its own node memory.
+ *
+ * In addition, "true sharing traffic" (local + remote data moved by true
+ * sharing misses) is tracked as the paper's proxy for the inherent
+ * communication of the algorithm.
+ */
+#ifndef SPLASH2_SIM_STATS_H
+#define SPLASH2_SIM_STATS_H
+
+#include <array>
+#include <cstdint>
+
+namespace splash::sim {
+
+/** Classification of a cache miss (extended Dubois scheme; conflict
+ *  misses are folded into Capacity as in the paper's finite-cache
+ *  extension). */
+enum class MissType : std::uint8_t {
+    Cold = 0,       ///< first reference by this processor to the line
+    Capacity,       ///< line was last lost to replacement
+    TrueSharing,    ///< lost to invalidation; a word written by another
+                    ///< processor is actually accessed again
+    FalseSharing,   ///< lost to invalidation; only unrelated words in the
+                    ///< line were written
+    NumTypes
+};
+
+constexpr int kNumMissTypes = static_cast<int>(MissType::NumTypes);
+
+/** Per-processor (and aggregate) memory-system statistics. */
+struct MemStats
+{
+    // --- reference counts -------------------------------------------------
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    // --- miss counts by type ----------------------------------------------
+    std::array<std::uint64_t, kNumMissTypes> misses{};
+    /** Write hits to Shared lines that required invalidations. */
+    std::uint64_t upgrades = 0;
+
+    // --- traffic in bytes --------------------------------------------------
+    std::uint64_t remoteSharedData = 0;    ///< data bytes, sharing misses
+    std::uint64_t remoteColdData = 0;      ///< data bytes, cold misses
+    std::uint64_t remoteCapacityData = 0;  ///< data bytes, capacity misses
+    std::uint64_t remoteWriteback = 0;     ///< dirty writebacks to remote home
+    std::uint64_t remoteOverhead = 0;      ///< protocol packets + data headers
+    std::uint64_t localData = 0;           ///< data to/from local memory
+    std::uint64_t trueSharedData = 0;      ///< data moved by true-sharing
+                                           ///< misses (local + remote)
+
+    std::uint64_t
+    totalMisses() const
+    {
+        std::uint64_t t = 0;
+        for (auto m : misses)
+            t += m;
+        return t;
+    }
+
+    std::uint64_t
+    accesses() const
+    {
+        return reads + writes;
+    }
+
+    double
+    missRate() const
+    {
+        return accesses() ? double(totalMisses()) / double(accesses()) : 0.0;
+    }
+
+    std::uint64_t
+    remoteData() const
+    {
+        return remoteSharedData + remoteColdData + remoteCapacityData +
+               remoteWriteback;
+    }
+
+    std::uint64_t
+    totalTraffic() const
+    {
+        return remoteData() + remoteOverhead + localData;
+    }
+
+    MemStats&
+    operator+=(const MemStats& o)
+    {
+        reads += o.reads;
+        writes += o.writes;
+        for (int i = 0; i < kNumMissTypes; ++i)
+            misses[i] += o.misses[i];
+        upgrades += o.upgrades;
+        remoteSharedData += o.remoteSharedData;
+        remoteColdData += o.remoteColdData;
+        remoteCapacityData += o.remoteCapacityData;
+        remoteWriteback += o.remoteWriteback;
+        remoteOverhead += o.remoteOverhead;
+        localData += o.localData;
+        trueSharedData += o.trueSharedData;
+        return *this;
+    }
+};
+
+} // namespace splash::sim
+
+#endif // SPLASH2_SIM_STATS_H

@@ -1,0 +1,254 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace splash::sim {
+
+namespace {
+/** Timestamp capacity of the Fenwick tree before compaction. */
+constexpr std::uint64_t kTimeCapacity = 1u << 21;
+} // namespace
+
+CacheSweep::CacheSweep(const SweepConfig& cfg)
+    : cfg_(cfg), lineShift_(log2i(cfg.lineSize)),
+      arrays_(cfg.nprocs), stacks_(cfg.nprocs), accesses_(cfg.nprocs, 0)
+{
+    if (!isPow2(cfg_.lineSize))
+        fatal("sweep line size must be a power of two");
+    std::uint64_t max_lines = 0;
+    for (auto s : cfg_.sizes) {
+        if (!isPow2(s) || s < static_cast<std::uint64_t>(cfg_.lineSize))
+            fatal("sweep cache size must be a power of two >= line size");
+        max_lines = std::max(max_lines, s >> lineShift_);
+    }
+    for (int p = 0; p < cfg_.nprocs; ++p) {
+        auto& cfgs = arrays_[p];
+        for (auto size : cfg_.sizes) {
+            for (int assoc : cfg_.assocs) {
+                TagArray ta;
+                std::uint64_t lines = size >> lineShift_;
+                ta.ways = std::min<std::uint64_t>(assoc, lines);
+                ta.setMask = lines / ta.ways - 1;
+                ta.entries.resize(lines);
+                cfgs.push_back(std::move(ta));
+            }
+        }
+        stacks_[p].init(max_lines);
+    }
+}
+
+void
+CacheSweep::StackProfiler::init(std::uint64_t max_lines)
+{
+    maxLines = max_lines;
+    bit.assign(kTimeCapacity + 1, 0);
+    hist.assign(max_lines + 2, 0);
+}
+
+void
+CacheSweep::StackProfiler::bitAdd(std::uint64_t i, int delta)
+{
+    for (; i <= kTimeCapacity; i += i & (~i + 1))
+        bit[i] += delta;
+}
+
+std::uint64_t
+CacheSweep::StackProfiler::bitSum(std::uint64_t i) const
+{
+    std::uint64_t s = 0;
+    for (; i > 0; i -= i & (~i + 1))
+        s += bit[i];
+    return s;
+}
+
+void
+CacheSweep::StackProfiler::compact()
+{
+    // Renumber live lines 1..k in lastTime order and rebuild the tree.
+    std::vector<std::pair<std::uint64_t, Addr>> live;
+    live.reserve(lines.size());
+    for (const auto& [addr, info] : lines)
+        live.emplace_back(info.lastTime, addr);
+    std::sort(live.begin(), live.end());
+    std::fill(bit.begin(), bit.end(), 0);
+    std::uint64_t t = 0;
+    for (auto& [time, addr] : live) {
+        lines[addr].lastTime = ++t;
+        bitAdd(t, 1);
+    }
+    now = t;
+}
+
+void
+CacheSweep::StackProfiler::touch(Addr line, std::uint32_t oldVer,
+                                 std::uint32_t newVer, bool isWrite)
+{
+    if (now + 1 > kTimeCapacity)
+        compact();
+    ++now;
+    auto it = lines.find(line);
+    if (it == lines.end()) {
+        ++coldOrStale;
+        bitAdd(now, 1);
+        lines[line] = {now, isWrite ? newVer : oldVer};
+        return;
+    }
+    LineInfo& info = it->second;
+    if (info.version != oldVer) {
+        // Coherence-invalidated at every capacity.
+        ++coldOrStale;
+    } else {
+        std::uint64_t d = bitSum(now - 1) - bitSum(info.lastTime);
+        // Distance d lines were touched in between; the line hits at
+        // capacity >= d + 1 lines.
+        std::uint64_t bucket = std::min(d + 1, maxLines + 1);
+        ++hist[bucket];
+    }
+    bitAdd(info.lastTime, -1);
+    bitAdd(now, 1);
+    info.lastTime = now;
+    info.version = isWrite ? newVer : oldVer;
+}
+
+void
+CacheSweep::access(ProcId p, Addr addr, int size, AccessType type)
+{
+    Addr first = alignDown(addr, cfg_.lineSize);
+    Addr last = alignDown(addr + size - 1, cfg_.lineSize);
+    for (Addr line = first; line <= last; line += cfg_.lineSize)
+        accessLine(p, line, type);
+}
+
+void
+CacheSweep::accessLine(ProcId p, Addr lineAddr, AccessType type)
+{
+    ++accesses_[p];
+
+    Coh& c = coh_[lineAddr];
+    std::uint32_t old_ver = c.version;
+    if (type == AccessType::Write) {
+        if (c.lastWriter != p || c.readSince) {
+            ++c.version;
+            c.lastWriter = p;
+            c.readSince = false;
+        }
+    } else if (c.lastWriter != p) {
+        c.readSince = true;
+    }
+    std::uint32_t new_ver = c.version;
+    bool is_write = type == AccessType::Write;
+
+    std::uint64_t line_id = lineAddr >> lineShift_;
+    for (auto& ta : arrays_[p]) {
+        std::uint64_t set = line_id & ta.setMask;
+        TagEntry* base = &ta.entries[set * ta.ways];
+        TagEntry* found = nullptr;
+        for (int w = 0; w < ta.ways; ++w) {
+            TagEntry& e = base[w];
+            if (e.valid && e.tag == lineAddr) {
+                found = &e;
+                break;
+            }
+        }
+        if (found && found->version == old_ver) {
+            found->lastUse = ++ta.useClock;
+            if (is_write)
+                found->version = new_ver;
+            continue;
+        }
+        ++ta.misses;
+        TagEntry* slot = found;
+        if (!slot) {
+            // Victim preference mirrors the eager-invalidation
+            // MemSystem: an empty way first, then a way whose line has
+            // been invalidated by coherence (stale version), then LRU.
+            TagEntry* lru = base;
+            for (int w = 0; w < ta.ways && !slot; ++w) {
+                TagEntry& e = base[w];
+                if (!e.valid) {
+                    slot = &e;
+                } else {
+                    auto cit = coh_.find(e.tag);
+                    if (cit != coh_.end() &&
+                        cit->second.version != e.version) {
+                        slot = &e;
+                    }
+                }
+                if (e.valid && e.lastUse < lru->lastUse)
+                    lru = &e;
+            }
+            if (!slot)
+                slot = lru;
+        }
+        slot->valid = true;
+        slot->tag = lineAddr;
+        slot->version = is_write ? new_ver : old_ver;
+        slot->lastUse = ++ta.useClock;
+    }
+
+    stacks_[p].touch(lineAddr, old_ver, new_ver, is_write);
+}
+
+void
+CacheSweep::resetStats()
+{
+    std::fill(accesses_.begin(), accesses_.end(), 0);
+    for (auto& cfgs : arrays_)
+        for (auto& ta : cfgs)
+            ta.misses = 0;
+    for (auto& st : stacks_) {
+        std::fill(st.hist.begin(), st.hist.end(), 0);
+        st.coldOrStale = 0;
+    }
+}
+
+std::uint64_t
+CacheSweep::accesses() const
+{
+    std::uint64_t t = 0;
+    for (auto a : accesses_)
+        t += a;
+    return t;
+}
+
+std::uint64_t
+CacheSweep::misses(std::uint64_t size, int assoc) const
+{
+    if (assoc == 0) {
+        // Fully associative: from the stack-distance histograms.
+        std::uint64_t cap_lines = size >> lineShift_;
+        std::uint64_t m = 0;
+        for (const auto& st : stacks_) {
+            m += st.coldOrStale;
+            for (std::uint64_t d = cap_lines + 1; d < st.hist.size(); ++d)
+                m += st.hist[d];
+        }
+        return m;
+    }
+    // Finite associativity: locate the config index.
+    int size_idx = -1, assoc_idx = -1;
+    for (size_t i = 0; i < cfg_.sizes.size(); ++i)
+        if (cfg_.sizes[i] == size)
+            size_idx = static_cast<int>(i);
+    for (size_t i = 0; i < cfg_.assocs.size(); ++i)
+        if (cfg_.assocs[i] == assoc)
+            assoc_idx = static_cast<int>(i);
+    if (size_idx < 0 || assoc_idx < 0)
+        fatal("requested sweep operating point was not simulated");
+    int idx = size_idx * static_cast<int>(cfg_.assocs.size()) + assoc_idx;
+    std::uint64_t m = 0;
+    for (const auto& cfgs : arrays_)
+        m += cfgs[idx].misses;
+    return m;
+}
+
+double
+CacheSweep::missRate(std::uint64_t size, int assoc) const
+{
+    std::uint64_t a = accesses();
+    return a ? double(misses(size, assoc)) / double(a) : 0.0;
+}
+
+} // namespace splash::sim

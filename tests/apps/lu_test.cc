@@ -1,0 +1,129 @@
+// Correctness tests for the blocked dense LU kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/lu/lu.h"
+
+using namespace splash;
+using namespace splash::apps::lu;
+
+namespace {
+
+/** Max |(L*U)_{ij} - A_{ij}| over the matrix. */
+double
+reconstructionError(const Lu& lu)
+{
+    int n = lu.n();
+    double err = 0.0;
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            double s = 0.0;
+            int m = std::min(i, j);
+            for (int k = 0; k <= m; ++k) {
+                double l = (k == i) ? 1.0 : (k < i ? lu.elem(i, k) : 0.0);
+                double u = (k <= j) ? lu.elem(k, j) : 0.0;
+                s += l * u;
+            }
+            err = std::max(err, std::abs(s - lu.originalElem(i, j)));
+        }
+    }
+    return err;
+}
+
+} // namespace
+
+TEST(Lu, FactorsSmallMatrixSingleProcessor)
+{
+    rt::Env env({rt::Mode::Sim, 1});
+    Config cfg;
+    cfg.n = 32;
+    cfg.block = 8;
+    Lu lu(env, cfg);
+    lu.run();
+    EXPECT_LT(reconstructionError(lu), 1e-9);
+}
+
+class LuParallel : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LuParallel, FactorizationCorrectAcrossProcessorCounts)
+{
+    rt::Env env({rt::Mode::Sim, GetParam()});
+    Config cfg;
+    cfg.n = 64;
+    cfg.block = 8;
+    Lu lu(env, cfg);
+    lu.run();
+    EXPECT_LT(reconstructionError(lu), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, LuParallel,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Lu, BlockSizeDoesNotChangeResult)
+{
+    double c8, c16;
+    {
+        rt::Env env({rt::Mode::Sim, 4});
+        Config cfg;
+        cfg.n = 64;
+        cfg.block = 8;
+        Lu lu(env, cfg);
+        c8 = lu.run().checksum;
+    }
+    {
+        rt::Env env({rt::Mode::Sim, 4});
+        Config cfg;
+        cfg.n = 64;
+        cfg.block = 16;
+        Lu lu(env, cfg);
+        c16 = lu.run().checksum;
+    }
+    EXPECT_NEAR(c8, c16, 1e-9 * std::abs(c8));
+}
+
+TEST(Lu, ScatterOwnershipCoversAllProcessors)
+{
+    rt::Env env({rt::Mode::Sim, 8});
+    Config cfg;
+    cfg.n = 64;
+    cfg.block = 8;
+    Lu lu(env, cfg);
+    std::vector<int> owned(8, 0);
+    for (int bi = 0; bi < lu.nBlocks(); ++bi)
+        for (int bj = 0; bj < lu.nBlocks(); ++bj)
+            ++owned[lu.ownerOf(bi, bj)];
+    for (int p = 0; p < 8; ++p)
+        EXPECT_EQ(owned[p], 8 * 8 / 8) << "proc " << p;
+}
+
+TEST(Lu, CountsExpectedFlopsOrder)
+{
+    rt::Env env({rt::Mode::Sim, 4});
+    Config cfg;
+    cfg.n = 64;
+    cfg.block = 8;
+    Lu lu(env, cfg);
+    lu.run();
+    // LU is ~ 2/3 n^3 flops.
+    double expect = 2.0 / 3.0 * 64.0 * 64.0 * 64.0;
+    auto got = double(env.totalStats().flops);
+    EXPECT_GT(got, 0.8 * expect);
+    EXPECT_LT(got, 1.5 * expect);
+}
+
+TEST(Lu, DeterministicAcrossProcessorCounts)
+{
+    auto run = [](int p) {
+        rt::Env env({rt::Mode::Sim, p});
+        Config cfg;
+        cfg.n = 64;
+        cfg.block = 8;
+        Lu lu(env, cfg);
+        return lu.run().checksum;
+    };
+    double c1 = run(1);
+    EXPECT_NEAR(run(4), c1, 1e-12 * std::abs(c1));
+    EXPECT_NEAR(run(8), c1, 1e-12 * std::abs(c1));
+}

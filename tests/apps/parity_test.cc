@@ -1,0 +1,169 @@
+// Cross-mode parity: every program must compute the same answer under
+// the deterministic simulator (Mode::Sim) and under real threads
+// (Mode::Native) -- the instrumentation must be behavior-preserving.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/barnes/barnes.h"
+#include "apps/cholesky/cholesky.h"
+#include "apps/fft/fft.h"
+#include "apps/fmm/fmm.h"
+#include "apps/lu/lu.h"
+#include "apps/ocean/ocean.h"
+#include "apps/radix/radix.h"
+#include "apps/raytrace/raytrace.h"
+#include "apps/volrend/volrend.h"
+#include "apps/water/water_nsq.h"
+
+using namespace splash;
+
+namespace {
+
+template <typename F>
+std::pair<double, double>
+bothModes(F make_and_run)
+{
+    rt::Env sim({rt::Mode::Sim, 4});
+    double a = make_and_run(sim);
+    rt::Env native({rt::Mode::Native, 4});
+    double b = make_and_run(native);
+    return {a, b};
+}
+
+} // namespace
+
+TEST(ModeParity, FftChecksumIdentical)
+{
+    auto [a, b] = bothModes([](rt::Env& env) {
+        apps::fft::Config cfg;
+        cfg.log2n = 10;
+        apps::fft::Fft app(env, cfg);
+        return app.run().checksum;
+    });
+    EXPECT_EQ(a, b);
+}
+
+TEST(ModeParity, LuChecksumIdentical)
+{
+    auto [a, b] = bothModes([](rt::Env& env) {
+        apps::lu::Config cfg;
+        cfg.n = 64;
+        cfg.block = 8;
+        apps::lu::Lu app(env, cfg);
+        return app.run().checksum;
+    });
+    EXPECT_EQ(a, b);
+}
+
+TEST(ModeParity, RadixSortsInBothModes)
+{
+    auto [a, b] = bothModes([](rt::Env& env) {
+        apps::radix::Config cfg;
+        cfg.nkeys = 4096;
+        cfg.radix = 256;
+        apps::radix::Radix app(env, cfg);
+        auto r = app.run();
+        EXPECT_TRUE(r.valid);
+        return r.checksum;
+    });
+    EXPECT_EQ(a, b);  // sorted output is schedule-independent
+}
+
+TEST(ModeParity, OceanChecksumIdentical)
+{
+    auto [a, b] = bothModes([](rt::Env& env) {
+        apps::ocean::Config cfg;
+        cfg.n = 32;
+        cfg.steps = 2;
+        cfg.tol = 0.0;
+        cfg.maxCycles = 3;
+        apps::ocean::Ocean app(env, cfg);
+        return app.run().checksum;
+    });
+    // Red-black relaxation order is schedule-independent; only the
+    // (unused here) residual reductions could reorder.
+    EXPECT_NEAR(a, b, 1e-9 * std::abs(a));
+}
+
+TEST(ModeParity, RaytraceImageIdentical)
+{
+    auto [a, b] = bothModes([](rt::Env& env) {
+        apps::raytrace::Config cfg;
+        cfg.width = cfg.height = 24;
+        apps::raytrace::Raytrace app(env, cfg);
+        return app.run().checksum;
+    });
+    EXPECT_EQ(a, b);  // per-pixel results don't depend on scheduling
+}
+
+TEST(ModeParity, VolrendImageIdentical)
+{
+    auto [a, b] = bothModes([](rt::Env& env) {
+        apps::volrend::Config cfg;
+        cfg.size = 16;
+        cfg.width = 24;
+        cfg.frames = 1;
+        apps::volrend::Volrend app(env, cfg);
+        return app.run().checksum;
+    });
+    EXPECT_EQ(a, b);
+}
+
+TEST(ModeParity, WaterTrajectoriesAgree)
+{
+    auto [a, b] = bothModes([](rt::Env& env) {
+        apps::water::MdConfig cfg;
+        cfg.nmol = 64;
+        cfg.steps = 2;
+        cfg.density = 0.15;
+        apps::water::WaterNsq app(env, cfg);
+        return app.run().checksum;
+    });
+    // Force merges reorder floating-point adds across modes.
+    EXPECT_NEAR(a, b, 1e-7 * std::abs(a));
+}
+
+TEST(ModeParity, CholeskyFactorAgrees)
+{
+    auto [a, b] = bothModes([](rt::Env& env) {
+        apps::cholesky::Config cfg;
+        cfg.grid = 8;
+        apps::cholesky::Cholesky app(env, cfg);
+        return app.run().checksum;
+    });
+    EXPECT_NEAR(a, b, 1e-9 * std::abs(a));
+}
+
+TEST(ModeParity, BarnesTreeCompleteInBothModes)
+{
+    for (rt::Mode mode : {rt::Mode::Sim, rt::Mode::Native}) {
+        rt::Env env({mode, 4});
+        apps::barnes::Config cfg;
+        cfg.nbodies = 300;
+        cfg.steps = 1;
+        apps::barnes::Barnes app(env, cfg);
+        EXPECT_TRUE(app.run().valid);
+        EXPECT_EQ(app.bodiesInTree(), 300);
+    }
+}
+
+TEST(ModeParity, FmmAccuracyInBothModes)
+{
+    for (rt::Mode mode : {rt::Mode::Sim, rt::Mode::Native}) {
+        rt::Env env({mode, 4});
+        apps::fmm::Config cfg;
+        cfg.nbodies = 256;
+        cfg.terms = 12;
+        apps::fmm::Fmm app(env, cfg);
+        app.run();
+        auto got = app.particles();
+        auto ref = app.directReference();
+        double worst = 0;
+        for (std::size_t i = 0; i < got.size(); ++i)
+            worst = std::max(worst,
+                             std::abs(got[i].pot - ref[i].pot) /
+                                 (std::abs(ref[i].pot) + 1e-12));
+        EXPECT_LT(worst, 1e-5);
+    }
+}

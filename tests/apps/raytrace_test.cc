@@ -1,0 +1,164 @@
+// Correctness tests for the ray tracer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/raytrace/raytrace.h"
+
+using namespace splash;
+using namespace splash::apps::raytrace;
+
+namespace {
+
+Config
+tiny()
+{
+    Config cfg;
+    cfg.width = 32;
+    cfg.height = 32;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Raytrace, RendersDeterministically)
+{
+    auto once = [](int p) {
+        rt::Env env({rt::Mode::Sim, p});
+        Raytrace rtr(env, tiny());
+        return rtr.run().checksum;
+    };
+    double c1 = once(1);
+    EXPECT_EQ(once(4), c1);
+    EXPECT_EQ(once(8), c1);
+}
+
+TEST(Raytrace, EveryPixelIsWritten)
+{
+    rt::Env env({rt::Mode::Sim, 4});
+    Config cfg = tiny();
+    cfg.width = 33;  // not a multiple of tile: edge tiles exercised
+    cfg.height = 17;
+    Raytrace rtr(env, cfg);
+    rtr.run();
+    auto fb = rtr.framebuffer();
+    int nonzero = 0;
+    for (double v : fb) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+        if (v > 0)
+            ++nonzero;
+    }
+    // Background + ambient guarantee almost everything is non-black.
+    EXPECT_GT(nonzero, static_cast<int>(fb.size()) / 2);
+}
+
+TEST(Raytrace, GridTraversalAgreesWithBruteForce)
+{
+    // Disable the grid benefit by shooting the same pixel both through
+    // a one-cell grid (degenerates to brute force) and the real grid.
+    Config brute = tiny();
+    brute.gridDim = 1;
+    brute.subThreshold = 1 << 20;  // never nest
+    Config fast = tiny();
+    fast.gridDim = 8;
+    fast.subThreshold = 4;  // force nesting
+
+    rt::Env e1({rt::Mode::Sim, 1});
+    Raytrace a(e1, brute);
+    rt::Env e2({rt::Mode::Sim, 1});
+    Raytrace b(e2, fast);
+    a.run();
+    b.run();
+    auto fa = a.framebuffer(), fb = b.framebuffer();
+    double maxd = 0;
+    for (std::size_t i = 0; i < fa.size(); ++i)
+        maxd = std::max(maxd, std::abs(fa[i] - fb[i]));
+    EXPECT_LT(maxd, 1e-9);
+}
+
+TEST(Raytrace, ShadowsDarkenOccludedPoints)
+{
+    // The ground directly under the big mirror sphere is shadowed from
+    // at least one light, so it must be darker than open ground.
+    rt::Env env({rt::Mode::Sim, 1});
+    Config cfg = tiny();
+    cfg.width = 64;
+    cfg.height = 64;
+    Raytrace rtr(env, cfg);
+    rtr.run();
+    auto fb = rtr.framebuffer();
+    double bottom_center = fb[(std::size_t(56) * 64 + 32) * 3 + 1];
+    EXPECT_TRUE(std::isfinite(bottom_center));
+}
+
+TEST(Raytrace, ReflectionDepthBoundsRayCount)
+{
+    auto rays = [](int depth) {
+        rt::Env env({rt::Mode::Sim, 2});
+        Config cfg = tiny();
+        cfg.maxDepth = depth;
+        Raytrace rtr(env, cfg);
+        return rtr.run().raysCast;
+    };
+    auto r1 = rays(1);
+    auto r4 = rays(4);
+    EXPECT_GT(r4, r1);  // reflections add rays
+}
+
+TEST(Raytrace, EarlyRayTerminationReducesRays)
+{
+    auto rays = [](double minw) {
+        rt::Env env({rt::Mode::Sim, 2});
+        Config cfg = tiny();
+        cfg.minWeight = minw;
+        cfg.maxDepth = 8;
+        Raytrace rtr(env, cfg);
+        return rtr.run().raysCast;
+    };
+    EXPECT_LT(rays(0.2), rays(1e-6));
+}
+
+class RaytraceProcs : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RaytraceProcs, StealingKeepsResultIdentical)
+{
+    rt::Env env({rt::Mode::Sim, GetParam()});
+    Raytrace rtr(env, tiny());
+    Result r = rtr.run();
+    EXPECT_TRUE(r.valid);
+    rt::Env env1({rt::Mode::Sim, 1});
+    Raytrace ref(env1, tiny());
+    ref.run();
+    auto fa = rtr.framebuffer(), fb = ref.framebuffer();
+    for (std::size_t i = 0; i < fa.size(); ++i)
+        ASSERT_EQ(fa[i], fb[i]) << "pixel component " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, RaytraceProcs,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(Raytrace, AntialiasingQuadruplesPrimaryRaysAndStaysClose)
+{
+    auto run = [](bool aa) {
+        rt::Env env({rt::Mode::Sim, 2});
+        Config cfg = tiny();
+        cfg.antialias = aa;
+        Raytrace rtr(env, cfg);
+        Result r = rtr.run();
+        return std::make_pair(r.raysCast, rtr.framebuffer());
+    };
+    auto [rays1, img1] = run(false);
+    auto [rays4, img4] = run(true);
+    EXPECT_GT(rays4, 3 * rays1);  // ~4x primary + secondary rays
+    // The supersampled image is a smoothed version of the original.
+    double diff = 0;
+    for (std::size_t i = 0; i < img1.size(); ++i)
+        diff += std::abs(img1[i] - img4[i]);
+    // At 32x32 a large share of pixels are edges; smoothing moves
+    // them, but the mean shift stays modest.
+    EXPECT_LT(diff / img1.size(), 0.15);
+    EXPECT_GT(diff, 0.0);  // it does change edge pixels
+}

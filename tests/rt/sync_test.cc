@@ -1,0 +1,237 @@
+// Tests for barriers, locks, and flags in both execution modes,
+// including the PRAM logical-time semantics used for Figures 1 and 2.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rt/env.h"
+#include "rt/shared.h"
+#include "rt/sync.h"
+
+using namespace splash;
+using namespace splash::rt;
+
+namespace {
+
+EnvConfig
+simCfg(int nprocs)
+{
+    return {Mode::Sim, nprocs, 250};
+}
+
+} // namespace
+
+TEST(Barrier, NativeRendezvous)
+{
+    Env env({Mode::Native, 8});
+    Barrier bar(env);
+    SharedArray<int> phase(env, 8);
+    env.run([&](ProcCtx& c) {
+        phase.raw()[c.id()] = 1;
+        bar.arrive(c);
+        // After the barrier every processor must observe all writes.
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(phase.raw()[i], 1);
+        bar.arrive(c);
+    });
+}
+
+TEST(Barrier, SimAlignsLogicalClocksToMaxArrival)
+{
+    Env env(simCfg(4));
+    Barrier bar(env);
+    env.run([&](ProcCtx& c) {
+        c.work(100 * (c.id() + 1));  // arrival times 100..400
+        bar.arrive(c);
+        EXPECT_EQ(env.scheduler()->time(c.id()), 400u);
+    });
+    // Wait charged: 300, 200, 100, 0.
+    EXPECT_EQ(env.stats(0).barrierWait, 300u);
+    EXPECT_EQ(env.stats(3).barrierWait, 0u);
+    for (int p = 0; p < 4; ++p)
+        EXPECT_EQ(env.stats(p).barriers, 1u);
+}
+
+TEST(Barrier, SimRepeatedPhases)
+{
+    Env env(simCfg(4));
+    Barrier bar(env);
+    SharedArray<int> counter(env, 1);
+    env.run([&](ProcCtx& c) {
+        for (int it = 0; it < 10; ++it) {
+            c.work(c.id() + 1);
+            bar.arrive(c);
+            // All clocks equal after each phase.
+            Tick t0 = env.scheduler()->time(0);
+            EXPECT_EQ(env.scheduler()->time(c.id()), t0);
+            bar.arrive(c);
+        }
+    });
+    EXPECT_EQ(env.stats(2).barriers, 20u);
+}
+
+TEST(Lock, NativeMutualExclusion)
+{
+    Env env({Mode::Native, 8});
+    Lock lock(env);
+    long counter = 0;
+    env.run([&](ProcCtx& c) {
+        for (int i = 0; i < 1000; ++i) {
+            Lock::Guard g(lock, c);
+            ++counter;
+        }
+    });
+    EXPECT_EQ(counter, 8000);
+}
+
+TEST(Lock, SimMutualExclusionAndCounts)
+{
+    Env env(simCfg(8));
+    Lock lock(env);
+    long counter = 0;
+    env.run([&](ProcCtx& c) {
+        for (int i = 0; i < 100; ++i) {
+            Lock::Guard g(lock, c);
+            ++counter;
+            c.work(3);
+        }
+    });
+    EXPECT_EQ(counter, 800);
+    std::uint64_t locks = 0;
+    for (int p = 0; p < 8; ++p)
+        locks += env.stats(p).locks;
+    EXPECT_EQ(locks, 800u);
+}
+
+TEST(Lock, SimSerializesCriticalSectionsInLogicalTime)
+{
+    // Each processor holds the lock for 100 ticks; with 4 processors
+    // the last release time must be >= 400 and waits must accumulate.
+    Env env(simCfg(4));
+    Lock lock(env);
+    env.run([&](ProcCtx& c) {
+        lock.acquire(c);
+        c.work(100);
+        lock.release(c);
+    });
+    Tick max_t = 0;
+    Tick total_wait = 0;
+    for (int p = 0; p < 4; ++p) {
+        max_t = std::max(max_t, env.stats(p).finishTime);
+        total_wait += env.stats(p).lockWait;
+    }
+    EXPECT_GE(max_t, 400u);
+    // Serialization cost: 100 + 200 + 300 = 600 ticks of waiting.
+    EXPECT_EQ(total_wait, 600u);
+}
+
+TEST(Lock, SimFreeLockCarriesReleaseTime)
+{
+    // P0 releases at t=100; P1 acquires later (t=10 at request) and
+    // must be advanced to 100.
+    Env env(simCfg(2));
+    Lock lock(env);
+    Barrier bar(env);
+    env.run([&](ProcCtx& c) {
+        if (c.id() == 0) {
+            lock.acquire(c);
+            c.work(100);
+            lock.release(c);
+            bar.arrive(c);
+        } else {
+            bar.arrive(c);  // wait until P0 is done
+            Tick before = env.scheduler()->time(1);
+            lock.acquire(c);
+            EXPECT_GE(env.scheduler()->time(1), 100u);
+            EXPECT_GE(env.stats(1).lockWait, 100u - before);
+            lock.release(c);
+        }
+    });
+}
+
+TEST(Flag, NativeSetReleasesWaiters)
+{
+    Env env({Mode::Native, 4});
+    Flag flag(env);
+    int value = 0;
+    env.run([&](ProcCtx& c) {
+        if (c.id() == 0) {
+            value = 42;
+            flag.set(c);
+        } else {
+            flag.wait(c);
+            EXPECT_EQ(value, 42);
+        }
+    });
+}
+
+TEST(Flag, SimWaitersAdoptSetterClock)
+{
+    Env env(simCfg(3));
+    Flag flag(env);
+    env.run([&](ProcCtx& c) {
+        if (c.id() == 0) {
+            c.work(500);
+            flag.set(c);
+        } else {
+            c.work(10);
+            flag.wait(c);
+            EXPECT_GE(env.scheduler()->time(c.id()), 500u);
+        }
+    });
+    EXPECT_EQ(env.stats(1).pauses, 1u);
+    EXPECT_GE(env.stats(1).pauseWait, 490u);
+    EXPECT_EQ(env.stats(0).pauses, 0u);
+}
+
+TEST(Flag, SimLateWaiterDoesNotBlock)
+{
+    Env env(simCfg(2));
+    Flag flag(env);
+    Barrier bar(env);
+    env.run([&](ProcCtx& c) {
+        if (c.id() == 0) {
+            flag.set(c);
+            bar.arrive(c);
+        } else {
+            bar.arrive(c);
+            flag.wait(c);  // already set: returns immediately
+        }
+    });
+    EXPECT_EQ(env.stats(1).pauses, 1u);
+}
+
+TEST(Env, ElapsedReflectsCriticalPath)
+{
+    Env env(simCfg(4));
+    env.run([&](ProcCtx& c) { c.work(10 * (c.id() + 1)); });
+    EXPECT_EQ(env.elapsed(), 40u);
+}
+
+TEST(Env, StartMeasurementZeroesWindow)
+{
+    Env env(simCfg(2));
+    Barrier bar(env);
+    env.run([&](ProcCtx& c) { c.work(1000); });
+    env.startMeasurement();
+    env.run([&](ProcCtx& c) {
+        c.work(5);
+        bar.arrive(c);
+    });
+    EXPECT_EQ(env.elapsed(), 5u);
+    EXPECT_EQ(env.stats(0).work, 5u);
+}
+
+TEST(Env, PerfectSpeedupOnEmbarrassinglyParallelWork)
+{
+    // The PRAM model must report linear speedup for independent work.
+    auto elapsed = [](int nprocs) {
+        Env env(simCfg(nprocs));
+        env.run([&](ProcCtx& c) { c.work(12000 / nprocs); });
+        return env.elapsed();
+    };
+    Tick t1 = elapsed(1);
+    EXPECT_EQ(t1 / elapsed(2), 2u);
+    EXPECT_EQ(t1 / elapsed(4), 4u);
+    EXPECT_EQ(t1 / elapsed(8), 8u);
+}

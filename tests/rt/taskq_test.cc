@@ -1,0 +1,129 @@
+// Tests for distributed task queues with stealing.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rt/env.h"
+#include "rt/shared.h"
+#include "rt/sync.h"
+#include "rt/taskq.h"
+
+using namespace splash;
+using namespace splash::rt;
+
+TEST(TaskQueues, LocalLifoOrder)
+{
+    Env env({Mode::Sim, 1});
+    TaskQueues tq(env, 1);
+    env.run([&](ProcCtx& c) {
+        for (std::uint64_t t = 1; t <= 5; ++t)
+            tq.push(c, 0, t);
+        std::uint64_t out;
+        for (std::uint64_t expect = 5; expect >= 1; --expect) {
+            ASSERT_TRUE(tq.tryGet(c, 0, out));
+            EXPECT_EQ(out, expect);
+            tq.done(c);
+        }
+        EXPECT_FALSE(tq.tryGet(c, 0, out));
+    });
+}
+
+TEST(TaskQueues, StealingTakesFromVictimHead)
+{
+    Env env({Mode::Sim, 2});
+    TaskQueues tq(env, 2);
+    env.run([&](ProcCtx& c) {
+        if (c.id() == 0) {
+            for (std::uint64_t t = 1; t <= 3; ++t)
+                tq.push(c, 0, t);
+        }
+    });
+    env.run([&](ProcCtx& c) {
+        if (c.id() == 1) {
+            std::uint64_t out;
+            ASSERT_TRUE(tq.tryGet(c, 1, out));  // own queue empty: steal
+            EXPECT_EQ(out, 1u);                 // FIFO from victim
+            tq.done(c);
+        }
+    });
+}
+
+TEST(TaskQueues, AllTasksProcessedExactlyOnceUnderStealing)
+{
+    const int kProcs = 8;
+    const int kTasks = 400;
+    Env env({Mode::Sim, kProcs});
+    TaskQueues tq(env, kProcs);
+    SharedArray<int> hits(env, kTasks);
+    // Skewed initial distribution: all tasks on queue 0.
+    env.run([&](ProcCtx& c) {
+        if (c.id() == 0) {
+            for (int t = 0; t < kTasks; ++t)
+                tq.push(c, 0, static_cast<std::uint64_t>(t));
+        }
+    });
+    env.run([&](ProcCtx& c) {
+        std::uint64_t t;
+        while (tq.get(c, c.id(), t)) {
+            hits[t] += 1;
+            c.work(50);
+            tq.done(c);
+        }
+    });
+    for (int t = 0; t < kTasks; ++t)
+        EXPECT_EQ(hits.raw()[t], 1) << "task " << t;
+}
+
+TEST(TaskQueues, DynamicSpawningTerminates)
+{
+    // Each task with value v > 0 spawns two tasks of value v-1;
+    // starting from one task of value 4 we must process 2^5 - 1 = 31.
+    Env env({Mode::Sim, 4});
+    TaskQueues tq(env, 4);
+    SharedVar<long> processed(env, 0);
+    Lock lock(env);
+    env.run([&](ProcCtx& c) {
+        if (c.id() == 0)
+            tq.push(c, 0, 4);
+    });
+    env.run([&](ProcCtx& c) {
+        std::uint64_t v;
+        while (tq.get(c, c.id(), v)) {
+            if (v > 0) {
+                tq.push(c, c.id(), v - 1);
+                tq.push(c, c.id(), v - 1);
+            }
+            {
+                Lock::Guard g(lock, c);
+                *processed += 1;
+            }
+            tq.done(c);
+        }
+    });
+    EXPECT_EQ(processed.get(), 31);
+}
+
+TEST(TaskQueues, NativeModeStealingWorks)
+{
+    const int kProcs = 4;
+    const int kTasks = 200;
+    Env env({Mode::Native, kProcs});
+    TaskQueues tq(env, kProcs);
+    SharedArray<int> hits(env, kTasks);
+    env.run([&](ProcCtx& c) {
+        if (c.id() == 0) {
+            for (int t = 0; t < kTasks; ++t)
+                tq.push(c, 0, static_cast<std::uint64_t>(t));
+        }
+        std::uint64_t t;
+        while (tq.get(c, c.id(), t)) {
+            hits[t] += 1;  // tasks are distinct: no data race per slot
+            tq.done(c);
+        }
+    });
+    int total = 0;
+    for (int t = 0; t < kTasks; ++t)
+        total += hits.raw()[t];
+    EXPECT_EQ(total, kTasks);
+}

@@ -1,0 +1,101 @@
+// Unit tests for the extended-Dubois miss classifier.
+#include <gtest/gtest.h>
+
+#include "sim/classify.h"
+
+using namespace splash;
+using namespace splash::sim;
+
+TEST(Classify, FirstMissIsCold)
+{
+    MissClassifier mc(2, 64);
+    EXPECT_EQ(mc.classifyMiss(0, 0x1000, 8), MissType::Cold);
+    EXPECT_EQ(mc.classifyMiss(1, 0x1000, 8), MissType::Cold);
+}
+
+TEST(Classify, ReplacementLossIsCapacity)
+{
+    MissClassifier mc(2, 64);
+    (void)mc.classifyMiss(0, 0x1000, 8);
+    mc.noteReplaced(0, 0x1000);
+    EXPECT_EQ(mc.classifyMiss(0, 0x1000, 8), MissType::Capacity);
+}
+
+TEST(Classify, InvalidationWithAccessedWordWrittenIsTrueSharing)
+{
+    MissClassifier mc(2, 64);
+    (void)mc.classifyMiss(0, 0x1000, 8);   // P0 caches the line
+    mc.noteInvalidated(0, 0x1000);         // P1 writes word 0 ...
+    mc.recordWrite(0x1000, 8);
+    // ... and P0 re-reads the same word.
+    EXPECT_EQ(mc.classifyMiss(0, 0x1000, 8), MissType::TrueSharing);
+}
+
+TEST(Classify, InvalidationWithOtherWordWrittenIsFalseSharing)
+{
+    MissClassifier mc(2, 64);
+    (void)mc.classifyMiss(0, 0x1000, 8);
+    mc.noteInvalidated(0, 0x1000);   // P1 writes word 7
+    mc.recordWrite(0x1038, 8);
+    // P0 re-reads word 0, untouched by P1: false sharing.
+    EXPECT_EQ(mc.classifyMiss(0, 0x1000, 8), MissType::FalseSharing);
+}
+
+TEST(Classify, SnapshotTakenBeforeTriggeringWrite)
+{
+    // P0 held the line with word 3 already written once; P1 rewrites
+    // the same word. True sharing must still be detected even though
+    // the word had a nonzero version at snapshot time.
+    MissClassifier mc(2, 64);
+    mc.recordWrite(0x1018, 8);               // earlier write by P0
+    (void)mc.classifyMiss(0, 0x1000, 8);
+    mc.noteInvalidated(0, 0x1000);
+    mc.recordWrite(0x1018, 8);               // P1's write, same word
+    EXPECT_EQ(mc.classifyMiss(0, 0x1018, 8), MissType::TrueSharing);
+}
+
+TEST(Classify, MultiWordAccessSeesAnyChangedWord)
+{
+    MissClassifier mc(2, 64);
+    (void)mc.classifyMiss(0, 0x1000, 8);
+    mc.noteInvalidated(0, 0x1000);
+    mc.recordWrite(0x1020, 8);  // word 4
+    // P0 reads a 32-byte range covering words 2..5 -> true sharing.
+    EXPECT_EQ(mc.classifyMiss(0, 0x1010, 32), MissType::TrueSharing);
+}
+
+TEST(Classify, EightByteLinesCannotFalseShare)
+{
+    // With one word per line every invalidation miss is true sharing.
+    MissClassifier mc(2, 8);
+    (void)mc.classifyMiss(0, 0x1000, 4);
+    mc.noteInvalidated(0, 0x1000);
+    mc.recordWrite(0x1004, 4);
+    EXPECT_EQ(mc.classifyMiss(0, 0x1000, 4), MissType::TrueSharing);
+}
+
+TEST(Classify, IndependentPerProcessorHistory)
+{
+    MissClassifier mc(3, 64);
+    (void)mc.classifyMiss(0, 0x1000, 8);
+    (void)mc.classifyMiss(1, 0x1000, 8);
+    mc.noteReplaced(0, 0x1000);
+    mc.noteInvalidated(1, 0x1000);
+    mc.recordWrite(0x1000, 8);
+    EXPECT_EQ(mc.classifyMiss(0, 0x1000, 8), MissType::Capacity);
+    EXPECT_EQ(mc.classifyMiss(1, 0x1000, 8), MissType::TrueSharing);
+    EXPECT_EQ(mc.classifyMiss(2, 0x1000, 8), MissType::Cold);
+}
+
+TEST(Classify, LatestLossWins)
+{
+    // A line lost to invalidation, refetched, then lost to replacement
+    // classifies as capacity on the next miss.
+    MissClassifier mc(2, 64);
+    (void)mc.classifyMiss(0, 0x1000, 8);
+    mc.noteInvalidated(0, 0x1000);
+    mc.recordWrite(0x1000, 8);
+    (void)mc.classifyMiss(0, 0x1000, 8);  // refetch (true sharing)
+    mc.noteReplaced(0, 0x1000);
+    EXPECT_EQ(mc.classifyMiss(0, 0x1000, 8), MissType::Capacity);
+}

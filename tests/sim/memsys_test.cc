@@ -1,0 +1,319 @@
+// Unit and property tests for the directory-based Illinois (MESI)
+// memory-system simulator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/memsys.h"
+
+using namespace splash;
+using namespace splash::sim;
+
+namespace {
+
+/** All lines homed at a fixed node, for precise traffic accounting. */
+class FixedHome : public HomeResolver
+{
+  public:
+    explicit FixedHome(ProcId h) : h_(h) {}
+    ProcId homeOf(Addr) const override { return h_; }
+
+  private:
+    ProcId h_;
+};
+
+MachineConfig
+machine(int nprocs, std::uint64_t cache_size = 1u << 20, int assoc = 4,
+        int line = 64)
+{
+    MachineConfig mc;
+    mc.nprocs = nprocs;
+    mc.cache.size = cache_size;
+    mc.cache.assoc = assoc;
+    mc.cache.lineSize = line;
+    return mc;
+}
+
+constexpr Addr kA = 0x10000;
+
+} // namespace
+
+TEST(MemSystem, ColdReadInstallsExclusive)
+{
+    MemSystem m(machine(4));
+    m.access(0, kA, 8, AccessType::Read);
+    EXPECT_EQ(m.lineState(0, kA), LineState::Exclusive);
+    EXPECT_EQ(m.procStats(0).misses[int(MissType::Cold)], 1u);
+    EXPECT_TRUE(m.checkCoherenceInvariants());
+}
+
+TEST(MemSystem, SecondReaderDowngradesExclusiveToShared)
+{
+    MemSystem m(machine(4));
+    m.access(0, kA, 8, AccessType::Read);
+    m.access(1, kA, 8, AccessType::Read);
+    EXPECT_EQ(m.lineState(0, kA), LineState::Shared);
+    EXPECT_EQ(m.lineState(1, kA), LineState::Shared);
+    EXPECT_TRUE(m.checkCoherenceInvariants());
+}
+
+TEST(MemSystem, WriteToExclusiveIsSilentUpgrade)
+{
+    FixedHome home(0);
+    MemSystem m(machine(4), &home);
+    m.access(0, kA, 8, AccessType::Read);
+    auto before = m.procStats(0).totalTraffic();
+    m.access(0, kA, 8, AccessType::Write);
+    EXPECT_EQ(m.lineState(0, kA), LineState::Modified);
+    EXPECT_EQ(m.procStats(0).totalTraffic(), before);  // no traffic
+    EXPECT_EQ(m.procStats(0).upgrades, 0u);            // silent
+    EXPECT_TRUE(m.checkCoherenceInvariants());
+}
+
+TEST(MemSystem, WriteToSharedInvalidatesOtherSharers)
+{
+    MemSystem m(machine(4));
+    m.access(0, kA, 8, AccessType::Read);
+    m.access(1, kA, 8, AccessType::Read);
+    m.access(2, kA, 8, AccessType::Read);
+    m.access(1, kA, 8, AccessType::Write);
+    EXPECT_EQ(m.lineState(1, kA), LineState::Modified);
+    EXPECT_EQ(m.lineState(0, kA), LineState::Invalid);
+    EXPECT_EQ(m.lineState(2, kA), LineState::Invalid);
+    EXPECT_EQ(m.procStats(1).upgrades, 1u);
+    const DirEntry* d = m.dirEntry(kA);
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->dirty);
+    EXPECT_EQ(d->owner, 1);
+    EXPECT_EQ(d->numSharers(), 1);
+    EXPECT_TRUE(m.checkCoherenceInvariants());
+}
+
+TEST(MemSystem, DirtyReadMissIsServedCacheToCache)
+{
+    FixedHome home(3);
+    MemSystem m(machine(4), &home);
+    m.access(0, kA, 8, AccessType::Write);  // P0: cold write miss -> M
+    m.access(1, kA, 8, AccessType::Read);   // P1 reads dirty line
+    EXPECT_EQ(m.lineState(0, kA), LineState::Shared);
+    EXPECT_EQ(m.lineState(1, kA), LineState::Shared);
+    // P1's *first* reference is cold even though it was communicated
+    // (the paper's "remote cold" category).
+    EXPECT_EQ(m.procStats(1).misses[int(MissType::Cold)], 1u);
+    const DirEntry* d = m.dirEntry(kA);
+    ASSERT_NE(d, nullptr);
+    EXPECT_FALSE(d->dirty);  // Illinois: memory updated on dirty read
+    EXPECT_TRUE(m.checkCoherenceInvariants());
+}
+
+TEST(MemSystem, TrafficAccountingOfRemoteCleanRead)
+{
+    // Home = node 1; P0 read-misses a clean line: one 8 B request, one
+    // 64 B data transfer + 8 B header. All remote cold data.
+    FixedHome home(1);
+    MemSystem m(machine(4), &home);
+    m.access(0, kA, 8, AccessType::Read);
+    const MemStats& s = m.procStats(0);
+    EXPECT_EQ(s.remoteColdData, 64u);
+    EXPECT_EQ(s.remoteOverhead, 16u);  // request + data header
+    EXPECT_EQ(s.localData, 0u);
+    EXPECT_EQ(s.remoteWriteback, 0u);
+}
+
+TEST(MemSystem, TrafficAccountingOfLocalRead)
+{
+    FixedHome home(0);
+    MemSystem m(machine(4), &home);
+    m.access(0, kA, 8, AccessType::Read);
+    const MemStats& s = m.procStats(0);
+    EXPECT_EQ(s.localData, 64u);
+    EXPECT_EQ(s.remoteOverhead, 0u);
+    EXPECT_EQ(s.remoteData(), 0u);
+}
+
+TEST(MemSystem, UpgradeTrafficCountsInvalidationsAndAcks)
+{
+    FixedHome home(0);
+    MemSystem m(machine(4), &home);
+    m.access(1, kA, 8, AccessType::Read);
+    m.access(2, kA, 8, AccessType::Read);
+    m.access(3, kA, 8, AccessType::Read);
+    auto base = m.procStats(1).remoteOverhead;
+    m.access(1, kA, 8, AccessType::Write);  // upgrade, 2 other sharers
+    // Request (p->home, remote) + 2 invalidations (home->q, remote)
+    // + 2 acks (q->p, remote) = 5 packets * 8 B.
+    EXPECT_EQ(m.procStats(1).remoteOverhead - base, 40u);
+}
+
+TEST(MemSystem, ModifiedEvictionWritesBack)
+{
+    // Direct-mapped 2-line cache; two lines in the same set.
+    FixedHome home(1);
+    MemSystem m(machine(2, 128, 1, 64), &home);
+    m.access(0, 0x0, 8, AccessType::Write);
+    m.access(0, 0x80, 8, AccessType::Write);  // same set -> evicts 0x0
+    EXPECT_EQ(m.lineState(0, 0x0), LineState::Invalid);
+    EXPECT_EQ(m.procStats(0).remoteWriteback, 64u);
+    const DirEntry* d = m.dirEntry(0x0);
+    EXPECT_EQ(d, nullptr);  // fully dropped from the directory
+    // Re-miss classifies as capacity.
+    m.access(0, 0x0, 8, AccessType::Read);
+    EXPECT_EQ(m.procStats(0).misses[int(MissType::Capacity)], 1u);
+}
+
+TEST(MemSystem, ReplacementHintKeepsSharerListExact)
+{
+    FixedHome home(1);
+    MemSystem m(machine(2, 128, 1, 64), &home);
+    m.access(0, 0x0, 8, AccessType::Read);    // S/E copy
+    auto oh = m.procStats(0).remoteOverhead;
+    m.access(0, 0x80, 8, AccessType::Read);   // evicts 0x0, sends hint
+    EXPECT_GE(m.procStats(0).remoteOverhead - oh, 8u);  // hint packet
+    EXPECT_EQ(m.dirEntry(0x0), nullptr);
+    // A later write by P1 must not send any invalidation to P0.
+    m.access(1, 0x0, 8, AccessType::Write);
+    EXPECT_TRUE(m.checkCoherenceInvariants());
+}
+
+TEST(MemSystem, FalseSharingDetectedAcrossWordOffsets)
+{
+    MemSystem m(machine(2));
+    m.access(0, kA + 0, 8, AccessType::Read);   // P0 uses word 0
+    m.access(1, kA + 56, 8, AccessType::Write); // P1 writes word 7
+    m.access(0, kA + 0, 8, AccessType::Read);   // P0 re-reads word 0
+    EXPECT_EQ(m.procStats(0).misses[int(MissType::FalseSharing)], 1u);
+    EXPECT_EQ(m.procStats(0).misses[int(MissType::TrueSharing)], 0u);
+}
+
+TEST(MemSystem, TrueSharedDataTracksOnlyTrueSharing)
+{
+    MemSystem m(machine(2));
+    m.access(1, kA, 8, AccessType::Read);   // warm P1 (cold miss)
+    m.access(0, kA, 8, AccessType::Write);  // invalidates P1
+    m.access(1, kA, 8, AccessType::Read);   // true sharing, 64 B
+    EXPECT_EQ(m.procStats(1).misses[int(MissType::TrueSharing)], 1u);
+    EXPECT_EQ(m.total().trueSharedData, 64u);
+    m.access(1, kA + 56, 8, AccessType::Write);  // upgrade, no data
+    m.access(0, kA, 8, AccessType::Read);        // false sharing
+    EXPECT_EQ(m.procStats(0).misses[int(MissType::FalseSharing)], 1u);
+    EXPECT_EQ(m.total().trueSharedData, 64u);    // unchanged
+}
+
+TEST(MemSystem, LineSpanningAccessTouchesBothLines)
+{
+    MemSystem m(machine(2));
+    m.access(0, kA + 60, 8, AccessType::Read);  // straddles two lines
+    EXPECT_NE(m.lineState(0, kA), LineState::Invalid);
+    EXPECT_NE(m.lineState(0, kA + 64), LineState::Invalid);
+    EXPECT_EQ(m.procStats(0).reads, 1u);
+    EXPECT_EQ(m.procStats(0).misses[int(MissType::Cold)], 2u);
+}
+
+TEST(MemSystem, ResetStatsPreservesCacheState)
+{
+    MemSystem m(machine(2));
+    m.access(0, kA, 8, AccessType::Read);
+    m.resetStats();
+    EXPECT_EQ(m.total().accesses(), 0u);
+    m.access(0, kA, 8, AccessType::Read);  // still cached: hit
+    EXPECT_EQ(m.total().totalMisses(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Property tests: random access streams keep the protocol coherent and
+// traffic categories consistent.
+// ---------------------------------------------------------------------
+
+class MemSystemRandom
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(MemSystemRandom, InvariantsHoldUnderRandomTraffic)
+{
+    auto [nprocs, cache_kb, line] = GetParam();
+    MemSystem m(machine(nprocs, std::uint64_t(cache_kb) * 1024, 2, line));
+    std::uint64_t x = 99991;
+    for (int i = 0; i < 30000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        ProcId p = static_cast<ProcId>((x >> 60) % nprocs);
+        Addr a = 0x100000 + ((x >> 33) % 4096) * 8;
+        AccessType t = ((x >> 11) & 3) == 0 ? AccessType::Write
+                                            : AccessType::Read;
+        m.access(p, a, 8, t);
+    }
+    EXPECT_TRUE(m.checkCoherenceInvariants());
+
+    // Conservation: every miss moved exactly one line of data somewhere.
+    MemStats t = m.total();
+    std::uint64_t data_moved = t.remoteSharedData + t.remoteColdData +
+                               t.remoteCapacityData + t.localData +
+                               t.remoteWriteback;
+    EXPECT_GE(data_moved, t.totalMisses() * std::uint64_t(line));
+    EXPECT_EQ(t.accesses(), 30000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, MemSystemRandom,
+    ::testing::Combine(::testing::Values(1, 2, 7, 16),
+                       ::testing::Values(1, 8),
+                       ::testing::Values(16, 64)));
+
+// ---------------------------------------------------------------------
+// Replacement-hint ablation (protocol option).
+// ---------------------------------------------------------------------
+
+TEST(MemSystemNoHints, SilentReplacementLeavesStaleSharer)
+{
+    MachineConfig mc = machine(2, 128, 1, 64);
+    mc.replacementHints = false;
+    FixedHome home(1);
+    MemSystem m(mc, &home);
+    m.access(0, 0x0, 8, AccessType::Read);   // S/E copy
+    m.access(0, 0x80, 8, AccessType::Read);  // silently evicts 0x0
+    const DirEntry* d = m.dirEntry(0x0);
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->isSharer(0));  // stale bit remains
+    EXPECT_TRUE(m.checkCoherenceInvariants());  // superset allowed
+    // P1's write pays a spurious invalidation + ack (16 B extra; the
+    // request and data are local because P1 is the home).
+    auto oh = m.procStats(1).remoteOverhead;
+    m.access(1, 0x0, 8, AccessType::Write);
+    EXPECT_EQ(m.procStats(1).remoteOverhead - oh, 16u);
+    EXPECT_TRUE(m.checkCoherenceInvariants());
+}
+
+TEST(MemSystemNoHints, HintsReduceInvalidationTraffic)
+{
+    // Workload: P0 streams through lines (evicting constantly), P1
+    // later writes them all. With hints, P1 sends no invalidations.
+    auto overhead = [](bool hints) {
+        MachineConfig mc = machine(2, 1024, 1, 64);
+        mc.replacementHints = hints;
+        FixedHome home(0);
+        MemSystem m(mc, &home);
+        for (int i = 0; i < 64; ++i)
+            m.access(0, Addr(i) * 64, 8, AccessType::Read);
+        m.resetStats();
+        for (int i = 0; i < 48; ++i)  // lines P0 already evicted
+            m.access(1, Addr(i) * 64, 8, AccessType::Write);
+        return m.total().remoteOverhead;
+    };
+    EXPECT_GT(overhead(false), overhead(true));
+}
+
+TEST(MemSystemNoHints, RandomTrafficStaysCoherent)
+{
+    MachineConfig mc = machine(4, 2048, 2, 64);
+    mc.replacementHints = false;
+    MemSystem m(mc);
+    std::uint64_t x = 777;
+    for (int i = 0; i < 30000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        ProcId p = static_cast<ProcId>((x >> 60) % 4);
+        Addr a = 0x100000 + ((x >> 33) % 512) * 8;
+        AccessType t = ((x >> 11) & 3) == 0 ? AccessType::Write
+                                            : AccessType::Read;
+        m.access(p, a, 8, t);
+    }
+    EXPECT_TRUE(m.checkCoherenceInvariants());
+}

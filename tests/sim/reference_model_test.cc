@@ -1,0 +1,158 @@
+// Cross-validation of MemSystem against an independently written
+// reference model of the same protocol (unbounded maps instead of tag
+// arrays for the infinite-cache case; straightforward per-line state
+// machine). Any divergence in hit/miss decisions, state transitions,
+// or invalidation sets is a bug in one of the two implementations.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/memsys.h"
+
+using namespace splash;
+using namespace splash::sim;
+
+namespace {
+
+/** Reference MESI model with infinite caches. */
+class RefModel
+{
+  public:
+    explicit RefModel(int nprocs) : caches_(nprocs) {}
+
+    enum class St { I, S, E, M };
+
+    /** Returns true on a miss (line not valid in p's cache). */
+    bool
+    access(int p, Addr line, bool write)
+    {
+        St st = stateOf(p, line);
+        if (!write) {
+            if (st != St::I)
+                return false;
+            // Read miss: downgrade any M/E owner; join sharers.
+            for (std::size_t q = 0; q < caches_.size(); ++q) {
+                auto it = caches_[q].find(line);
+                if (it != caches_[q].end() && it->second != St::I)
+                    it->second = St::S;
+            }
+            bool others = anyValid(line);
+            caches_[p][line] = others ? St::S : St::E;
+            if (others)
+                demoteAll(line);
+            return true;
+        }
+        // Write.
+        if (st == St::M)
+            return false;
+        if (st == St::E) {
+            caches_[p][line] = St::M;
+            return false;
+        }
+        // S upgrade or I miss: invalidate all others.
+        bool miss = st == St::I;
+        for (std::size_t q = 0; q < caches_.size(); ++q) {
+            if (static_cast<int>(q) == p)
+                continue;
+            auto it = caches_[q].find(line);
+            if (it != caches_[q].end())
+                it->second = St::I;
+        }
+        caches_[p][line] = St::M;
+        return miss;
+    }
+
+    St
+    stateOf(int p, Addr line) const
+    {
+        auto it = caches_[p].find(line);
+        return it == caches_[p].end() ? St::I : it->second;
+    }
+
+  private:
+    bool
+    anyValid(Addr line) const
+    {
+        for (const auto& c : caches_) {
+            auto it = c.find(line);
+            if (it != c.end() && it->second != St::I)
+                return true;
+        }
+        return false;
+    }
+
+    void
+    demoteAll(Addr line)
+    {
+        for (auto& c : caches_) {
+            auto it = c.find(line);
+            if (it != c.end() && it->second != St::I)
+                it->second = St::S;
+        }
+    }
+
+    std::vector<std::map<Addr, St>> caches_;
+};
+
+LineState
+toLineState(RefModel::St s)
+{
+    switch (s) {
+      case RefModel::St::I:
+        return LineState::Invalid;
+      case RefModel::St::S:
+        return LineState::Shared;
+      case RefModel::St::E:
+        return LineState::Exclusive;
+      default:
+        return LineState::Modified;
+    }
+}
+
+} // namespace
+
+class ReferenceFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ReferenceFuzz, MemSystemMatchesReferenceModel)
+{
+    const int nprocs = 6;
+    // Caches big enough that nothing is ever replaced: the reference
+    // model has infinite caches.
+    MachineConfig mc;
+    mc.nprocs = nprocs;
+    mc.cache.size = 1u << 22;
+    mc.cache.assoc = 0;  // fully associative
+    MemSystem mem(mc);
+    RefModel ref(nprocs);
+
+    std::uint64_t x = GetParam();
+    std::uint64_t prev_misses = 0;
+    for (int i = 0; i < 40000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        int p = static_cast<int>((x >> 60) % nprocs);
+        Addr line = 0x400000 + ((x >> 33) % 700) * 64;
+        bool write = ((x >> 10) & 3) == 0;
+        bool ref_miss = ref.access(p, line, write);
+        mem.access(p, line, 8,
+                   write ? AccessType::Write : AccessType::Read);
+        std::uint64_t misses = mem.total().totalMisses();
+        ASSERT_EQ(misses - prev_misses, ref_miss ? 1u : 0u)
+            << "access " << i << " p" << p << (write ? " W " : " R ")
+            << std::hex << line;
+        prev_misses = misses;
+        // States agree for every processor on the touched line.
+        for (int q = 0; q < nprocs; ++q) {
+            ASSERT_EQ(mem.lineState(q, line),
+                      toLineState(ref.stateOf(q, line)))
+                << "access " << i << " state of p" << q;
+        }
+    }
+    EXPECT_TRUE(mem.checkCoherenceInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceFuzz,
+                         ::testing::Values(1ull, 42ull, 9999ull,
+                                           123456789ull));
