@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_synchronization.dir/fig2_synchronization.cc.o"
+  "CMakeFiles/fig2_synchronization.dir/fig2_synchronization.cc.o.d"
+  "fig2_synchronization"
+  "fig2_synchronization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_synchronization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

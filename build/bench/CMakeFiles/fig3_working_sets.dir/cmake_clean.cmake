@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_working_sets.dir/fig3_working_sets.cc.o"
+  "CMakeFiles/fig3_working_sets.dir/fig3_working_sets.cc.o.d"
+  "fig3_working_sets"
+  "fig3_working_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_working_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_traffic.dir/fig4_traffic.cc.o"
+  "CMakeFiles/fig4_traffic.dir/fig4_traffic.cc.o.d"
+  "fig4_traffic"
+  "fig4_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

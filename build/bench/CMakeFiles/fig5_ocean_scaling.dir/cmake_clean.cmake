@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ocean_scaling.dir/fig5_ocean_scaling.cc.o"
+  "CMakeFiles/fig5_ocean_scaling.dir/fig5_ocean_scaling.cc.o.d"
+  "fig5_ocean_scaling"
+  "fig5_ocean_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ocean_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

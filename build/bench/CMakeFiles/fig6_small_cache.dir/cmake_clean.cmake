@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_small_cache.dir/fig6_small_cache.cc.o"
+  "CMakeFiles/fig6_small_cache.dir/fig6_small_cache.cc.o.d"
+  "fig6_small_cache"
+  "fig6_small_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_small_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

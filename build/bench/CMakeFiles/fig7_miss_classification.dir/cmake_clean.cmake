@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_miss_classification.dir/fig7_miss_classification.cc.o"
+  "CMakeFiles/fig7_miss_classification.dir/fig7_miss_classification.cc.o.d"
+  "fig7_miss_classification"
+  "fig7_miss_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_miss_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

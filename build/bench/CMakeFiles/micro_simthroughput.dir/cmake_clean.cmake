@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_simthroughput.dir/micro_simthroughput.cc.o"
+  "CMakeFiles/micro_simthroughput.dir/micro_simthroughput.cc.o.d"
+  "micro_simthroughput"
+  "micro_simthroughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simthroughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_working_sets.dir/table2_working_sets.cc.o"
+  "CMakeFiles/table2_working_sets.dir/table2_working_sets.cc.o.d"
+  "table2_working_sets"
+  "table2_working_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_working_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_comm_comp.dir/table3_comm_comp.cc.o"
+  "CMakeFiles/table3_comm_comp.dir/table3_comm_comp.cc.o.d"
+  "table3_comm_comp"
+  "table3_comm_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_comm_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

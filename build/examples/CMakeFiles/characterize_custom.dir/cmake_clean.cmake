@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_custom.dir/characterize_custom.cpp.o"
+  "CMakeFiles/characterize_custom.dir/characterize_custom.cpp.o.d"
+  "characterize_custom"
+  "characterize_custom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_custom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_basin.dir/ocean_basin.cpp.o"
+  "CMakeFiles/ocean_basin.dir/ocean_basin.cpp.o.d"
+  "ocean_basin"
+  "ocean_basin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_basin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

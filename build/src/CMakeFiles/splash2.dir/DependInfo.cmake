@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barnes/barnes.cc" "src/CMakeFiles/splash2.dir/apps/barnes/barnes.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/barnes/barnes.cc.o.d"
+  "/root/repo/src/apps/cholesky/cholesky.cc" "src/CMakeFiles/splash2.dir/apps/cholesky/cholesky.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/cholesky/cholesky.cc.o.d"
+  "/root/repo/src/apps/fft/fft.cc" "src/CMakeFiles/splash2.dir/apps/fft/fft.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/fft/fft.cc.o.d"
+  "/root/repo/src/apps/fmm/fmm.cc" "src/CMakeFiles/splash2.dir/apps/fmm/fmm.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/fmm/fmm.cc.o.d"
+  "/root/repo/src/apps/lu/lu.cc" "src/CMakeFiles/splash2.dir/apps/lu/lu.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/lu/lu.cc.o.d"
+  "/root/repo/src/apps/ocean/ocean.cc" "src/CMakeFiles/splash2.dir/apps/ocean/ocean.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/ocean/ocean.cc.o.d"
+  "/root/repo/src/apps/radiosity/radiosity.cc" "src/CMakeFiles/splash2.dir/apps/radiosity/radiosity.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/radiosity/radiosity.cc.o.d"
+  "/root/repo/src/apps/radix/radix.cc" "src/CMakeFiles/splash2.dir/apps/radix/radix.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/radix/radix.cc.o.d"
+  "/root/repo/src/apps/raytrace/raytrace.cc" "src/CMakeFiles/splash2.dir/apps/raytrace/raytrace.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/raytrace/raytrace.cc.o.d"
+  "/root/repo/src/apps/volrend/volrend.cc" "src/CMakeFiles/splash2.dir/apps/volrend/volrend.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/volrend/volrend.cc.o.d"
+  "/root/repo/src/apps/water/base.cc" "src/CMakeFiles/splash2.dir/apps/water/base.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/water/base.cc.o.d"
+  "/root/repo/src/apps/water/water_nsq.cc" "src/CMakeFiles/splash2.dir/apps/water/water_nsq.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/water/water_nsq.cc.o.d"
+  "/root/repo/src/apps/water/water_sp.cc" "src/CMakeFiles/splash2.dir/apps/water/water_sp.cc.o" "gcc" "src/CMakeFiles/splash2.dir/apps/water/water_sp.cc.o.d"
+  "/root/repo/src/harness/appreg.cc" "src/CMakeFiles/splash2.dir/harness/appreg.cc.o" "gcc" "src/CMakeFiles/splash2.dir/harness/appreg.cc.o.d"
+  "/root/repo/src/rt/env.cc" "src/CMakeFiles/splash2.dir/rt/env.cc.o" "gcc" "src/CMakeFiles/splash2.dir/rt/env.cc.o.d"
+  "/root/repo/src/rt/scheduler.cc" "src/CMakeFiles/splash2.dir/rt/scheduler.cc.o" "gcc" "src/CMakeFiles/splash2.dir/rt/scheduler.cc.o.d"
+  "/root/repo/src/rt/shared_heap.cc" "src/CMakeFiles/splash2.dir/rt/shared_heap.cc.o" "gcc" "src/CMakeFiles/splash2.dir/rt/shared_heap.cc.o.d"
+  "/root/repo/src/rt/sync.cc" "src/CMakeFiles/splash2.dir/rt/sync.cc.o" "gcc" "src/CMakeFiles/splash2.dir/rt/sync.cc.o.d"
+  "/root/repo/src/rt/taskq.cc" "src/CMakeFiles/splash2.dir/rt/taskq.cc.o" "gcc" "src/CMakeFiles/splash2.dir/rt/taskq.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/splash2.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/splash2.dir/sim/cache.cc.o.d"
+  "/root/repo/src/sim/classify.cc" "src/CMakeFiles/splash2.dir/sim/classify.cc.o" "gcc" "src/CMakeFiles/splash2.dir/sim/classify.cc.o.d"
+  "/root/repo/src/sim/memsys.cc" "src/CMakeFiles/splash2.dir/sim/memsys.cc.o" "gcc" "src/CMakeFiles/splash2.dir/sim/memsys.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/CMakeFiles/splash2.dir/sim/sweep.cc.o" "gcc" "src/CMakeFiles/splash2.dir/sim/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

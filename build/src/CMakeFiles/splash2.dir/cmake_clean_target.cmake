@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsplash2.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash2run.dir/tools/splash2run.cc.o"
+  "CMakeFiles/splash2run.dir/tools/splash2run.cc.o.d"
+  "splash2run"
+  "splash2run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash2run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

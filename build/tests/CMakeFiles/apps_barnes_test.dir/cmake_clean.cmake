@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_barnes_test.dir/apps/barnes_test.cc.o"
+  "CMakeFiles/apps_barnes_test.dir/apps/barnes_test.cc.o.d"
+  "apps_barnes_test"
+  "apps_barnes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_barnes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_cholesky_test.dir/apps/cholesky_test.cc.o"
+  "CMakeFiles/apps_cholesky_test.dir/apps/cholesky_test.cc.o.d"
+  "apps_cholesky_test"
+  "apps_cholesky_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_cholesky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_config_sweep_test.dir/apps/config_sweep_test.cc.o"
+  "CMakeFiles/apps_config_sweep_test.dir/apps/config_sweep_test.cc.o.d"
+  "apps_config_sweep_test"
+  "apps_config_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_config_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_fft_test.dir/apps/fft_test.cc.o"
+  "CMakeFiles/apps_fft_test.dir/apps/fft_test.cc.o.d"
+  "apps_fft_test"
+  "apps_fft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

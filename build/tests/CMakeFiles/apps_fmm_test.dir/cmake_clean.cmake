@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_fmm_test.dir/apps/fmm_test.cc.o"
+  "CMakeFiles/apps_fmm_test.dir/apps/fmm_test.cc.o.d"
+  "apps_fmm_test"
+  "apps_fmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_fmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

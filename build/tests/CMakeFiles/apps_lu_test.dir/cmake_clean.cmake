@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_lu_test.dir/apps/lu_test.cc.o"
+  "CMakeFiles/apps_lu_test.dir/apps/lu_test.cc.o.d"
+  "apps_lu_test"
+  "apps_lu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_lu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

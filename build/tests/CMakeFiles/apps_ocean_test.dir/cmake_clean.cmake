@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_ocean_test.dir/apps/ocean_test.cc.o"
+  "CMakeFiles/apps_ocean_test.dir/apps/ocean_test.cc.o.d"
+  "apps_ocean_test"
+  "apps_ocean_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_ocean_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

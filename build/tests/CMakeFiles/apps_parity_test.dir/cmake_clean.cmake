@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_parity_test.dir/apps/parity_test.cc.o"
+  "CMakeFiles/apps_parity_test.dir/apps/parity_test.cc.o.d"
+  "apps_parity_test"
+  "apps_parity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

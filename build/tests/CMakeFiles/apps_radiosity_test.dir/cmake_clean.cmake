@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_radiosity_test.dir/apps/radiosity_test.cc.o"
+  "CMakeFiles/apps_radiosity_test.dir/apps/radiosity_test.cc.o.d"
+  "apps_radiosity_test"
+  "apps_radiosity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_radiosity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_radix_test.dir/apps/radix_test.cc.o"
+  "CMakeFiles/apps_radix_test.dir/apps/radix_test.cc.o.d"
+  "apps_radix_test"
+  "apps_radix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_radix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

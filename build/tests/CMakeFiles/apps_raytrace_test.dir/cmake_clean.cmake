@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_raytrace_test.dir/apps/raytrace_test.cc.o"
+  "CMakeFiles/apps_raytrace_test.dir/apps/raytrace_test.cc.o.d"
+  "apps_raytrace_test"
+  "apps_raytrace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_raytrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_volrend_test.dir/apps/volrend_test.cc.o"
+  "CMakeFiles/apps_volrend_test.dir/apps/volrend_test.cc.o.d"
+  "apps_volrend_test"
+  "apps_volrend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_volrend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

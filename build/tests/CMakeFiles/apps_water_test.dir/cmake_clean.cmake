@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_water_test.dir/apps/water_test.cc.o"
+  "CMakeFiles/apps_water_test.dir/apps/water_test.cc.o.d"
+  "apps_water_test"
+  "apps_water_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_water_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

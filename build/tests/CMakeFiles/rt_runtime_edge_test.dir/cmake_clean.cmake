@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_runtime_edge_test.dir/rt/runtime_edge_test.cc.o"
+  "CMakeFiles/rt_runtime_edge_test.dir/rt/runtime_edge_test.cc.o.d"
+  "rt_runtime_edge_test"
+  "rt_runtime_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_runtime_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

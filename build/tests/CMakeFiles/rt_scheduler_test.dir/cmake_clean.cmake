@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_scheduler_test.dir/rt/scheduler_test.cc.o"
+  "CMakeFiles/rt_scheduler_test.dir/rt/scheduler_test.cc.o.d"
+  "rt_scheduler_test"
+  "rt_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_shared_test.dir/rt/shared_test.cc.o"
+  "CMakeFiles/rt_shared_test.dir/rt/shared_test.cc.o.d"
+  "rt_shared_test"
+  "rt_shared_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_shared_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

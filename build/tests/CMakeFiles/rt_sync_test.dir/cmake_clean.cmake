@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_sync_test.dir/rt/sync_test.cc.o"
+  "CMakeFiles/rt_sync_test.dir/rt/sync_test.cc.o.d"
+  "rt_sync_test"
+  "rt_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

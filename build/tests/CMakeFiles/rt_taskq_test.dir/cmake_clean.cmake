@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_taskq_test.dir/rt/taskq_test.cc.o"
+  "CMakeFiles/rt_taskq_test.dir/rt/taskq_test.cc.o.d"
+  "rt_taskq_test"
+  "rt_taskq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_taskq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

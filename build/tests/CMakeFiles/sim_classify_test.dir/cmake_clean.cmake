@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_classify_test.dir/sim/classify_test.cc.o"
+  "CMakeFiles/sim_classify_test.dir/sim/classify_test.cc.o.d"
+  "sim_classify_test"
+  "sim_classify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_memsys_test.dir/sim/memsys_test.cc.o"
+  "CMakeFiles/sim_memsys_test.dir/sim/memsys_test.cc.o.d"
+  "sim_memsys_test"
+  "sim_memsys_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_memsys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
