@@ -6,6 +6,10 @@
  *  - MemSystem reference throughput (hit-dominated and miss-heavy)
  *  - CacheSweep throughput (34 configurations per reference)
  *  - Scheduler context-switch cost and quantum sensitivity
+ *  - Backend handoff cost (fiber vs thread): ping-pong benchmarks
+ *    where two processors alternate via yield and via block/unblock,
+ *    so items/sec is context switches per second.  scripts/
+ *    bench_simcore.py turns these into BENCH_simcore.json.
  */
 #include <benchmark/benchmark.h>
 
@@ -82,5 +86,75 @@ BM_SchedulerQuantum(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * procs * 2000);
 }
 BENCHMARK(BM_SchedulerQuantum)->Arg(10)->Arg(50)->Arg(250)->Arg(1000);
+
+/** Pure handoff cost, block/unblock flavor: two processors take turns,
+ *  each round is advance + unblock(partner) + block(self), i.e. two
+ *  context switches per round.  items/sec == switches/sec. */
+static void
+pingPongBlockUnblock(benchmark::State& state, rt::BackendKind kind)
+{
+    const int rounds = 4096;
+    for (auto _ : state) {
+        // Quantum never expires: every switch is an explicit handoff.
+        rt::Scheduler s(2, /*quantum=*/1u << 30, kind);
+        s.run([&](ProcId p) {
+            ProcId other = 1 - p;
+            for (int i = 0; i < rounds; ++i) {
+                s.advance(p, 1);
+                s.unblock(other);
+                s.block(p, "ping-pong");
+            }
+            s.unblock(other);  // release the partner's final block
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+
+/** Pure handoff cost, yield flavor: equal clock rates make the
+ *  smallest-time-first policy alternate the two processors, so each
+ *  yield is one context switch. */
+static void
+pingPongYield(benchmark::State& state, rt::BackendKind kind)
+{
+    const int rounds = 4096;
+    for (auto _ : state) {
+        rt::Scheduler s(2, /*quantum=*/1u << 30, kind);
+        s.run([&](ProcId p) {
+            for (int i = 0; i < rounds; ++i) {
+                s.advance(p, 1);
+                s.yield(p);
+            }
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+
+static void
+BM_SchedulerPingPong_Fiber(benchmark::State& state)
+{
+    pingPongBlockUnblock(state, rt::BackendKind::Fiber);
+}
+BENCHMARK(BM_SchedulerPingPong_Fiber)->UseRealTime();
+
+static void
+BM_SchedulerPingPong_Thread(benchmark::State& state)
+{
+    pingPongBlockUnblock(state, rt::BackendKind::Thread);
+}
+BENCHMARK(BM_SchedulerPingPong_Thread)->UseRealTime();
+
+static void
+BM_SchedulerYield_Fiber(benchmark::State& state)
+{
+    pingPongYield(state, rt::BackendKind::Fiber);
+}
+BENCHMARK(BM_SchedulerYield_Fiber)->UseRealTime();
+
+static void
+BM_SchedulerYield_Thread(benchmark::State& state)
+{
+    pingPongYield(state, rt::BackendKind::Thread);
+}
+BENCHMARK(BM_SchedulerYield_Thread)->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Measure the execution-core speedup and write BENCH_simcore.json.
+
+Two measurements, both comparing the fiber backend against the
+thread-per-processor baseline (--backend thread):
+
+ 1. Context-switch cost: the BM_SchedulerPingPong_* / BM_SchedulerYield_*
+    microbenchmarks from bench/micro_simthroughput (each reports
+    switches per second of wall time; ns/switch = 1e9 / that).
+ 2. End-to-end: wall clock of a full splash2run characterization
+    (FFT, 64K points, 32 processors) under each backend, best of N.
+
+Usage: scripts/bench_simcore.py [--build build] [--reps 3]
+Writes BENCH_simcore.json in the repository root.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+
+def run_micro(build):
+    exe = os.path.join(build, "bench", "micro_simthroughput")
+    out = subprocess.run(
+        [exe, "--benchmark_filter=PingPong|Yield",
+         "--benchmark_format=json"],
+        check=True, capture_output=True, text=True).stdout
+    data = json.loads(out)
+    micro = {}
+    for b in data["benchmarks"]:
+        name = b["name"].replace("/real_time", "")
+        sw_per_sec = b["items_per_second"]
+        micro[name] = {
+            "switches_per_sec": sw_per_sec,
+            "ns_per_switch": 1e9 / sw_per_sec,
+        }
+    return micro
+
+
+def time_e2e(build, backend, reps, args):
+    exe = os.path.join(build, "src", "splash2run")
+    cmd = [exe] + args + ["--backend", backend]
+    best = None
+    for _ in range(reps):
+        t0 = time.monotonic()
+        subprocess.run(cmd, check=True, capture_output=True)
+        dt = time.monotonic() - t0
+        best = dt if best is None else min(best, dt)
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", default="build")
+    ap.add_argument("--reps", type=int, default=3)
+    args = ap.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    os.chdir(root)
+
+    micro = run_micro(args.build)
+
+    def ratio(base):
+        f = micro[base + "_Fiber"]["ns_per_switch"]
+        t = micro[base + "_Thread"]["ns_per_switch"]
+        return t / f
+
+    e2e_args = ["--app", "fft", "--procs", "32", "--n", "16",
+                "--quantum", "10"]
+    fiber_s = time_e2e(args.build, "fiber", args.reps, e2e_args)
+    thread_s = time_e2e(args.build, "thread", args.reps, e2e_args)
+
+    report = {
+        "description": "Execution-core cost: fiber backend vs "
+                       "thread-per-processor baseline",
+        "context_switch": micro,
+        "switch_speedup": {
+            "block_unblock": ratio("BM_SchedulerPingPong"),
+            "yield": ratio("BM_SchedulerYield"),
+        },
+        "end_to_end": {
+            "workload": " ".join(e2e_args),
+            "reps": args.reps,
+            "fiber_seconds": fiber_s,
+            "thread_seconds": thread_s,
+            "speedup": thread_s / fiber_s,
+        },
+    }
+    with open("BENCH_simcore.json", "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(json.dumps(report["switch_speedup"], indent=2))
+    print(json.dumps(report["end_to_end"], indent=2))
+    if min(report["switch_speedup"].values()) < 10:
+        print("WARNING: switch speedup below 10x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

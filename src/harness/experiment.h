@@ -27,12 +27,22 @@ struct RunStats
     bool valid = true;
 };
 
+/** Simulation-substrate knobs shared by the drivers below; the
+ *  defaults match EnvConfig (fiber backend, quantum 250). They change
+ *  simulation speed, never results. */
+struct SimOpts
+{
+    std::uint64_t quantum = 250;
+    rt::BackendKind backend = rt::BackendKind::Fiber;
+};
+
 /** Run @p app on @p nprocs with no memory system attached (PRAM-only;
  *  Figures 1 and 2, Table 1). */
 inline RunStats
-runPram(App& app, int nprocs, const AppConfig& cfg)
+runPram(App& app, int nprocs, const AppConfig& cfg,
+        const SimOpts& sim = {})
 {
-    rt::Env env({rt::Mode::Sim, nprocs});
+    rt::Env env({rt::Mode::Sim, nprocs, sim.quantum, sim.backend});
     RunStats out;
     out.valid = app.run(env, cfg).valid;
     for (int p = 0; p < nprocs; ++p) {
@@ -46,9 +56,10 @@ runPram(App& app, int nprocs, const AppConfig& cfg)
 /** Run @p app under the full directory-MESI memory system. */
 inline RunStats
 runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
-                 const AppConfig& cfg)
+                 const AppConfig& cfg, const SimOpts& simOpts = {})
 {
-    rt::Env env({rt::Mode::Sim, nprocs});
+    rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
+                 simOpts.backend});
     sim::MachineConfig mc;
     mc.nprocs = nprocs;
     mc.cache = cache;
@@ -70,9 +81,10 @@ runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
  *  owns the sweep so it can query arbitrary operating points. */
 inline RunStats
 runWithSweep(App& app, int nprocs, sim::CacheSweep& sweep,
-             const AppConfig& cfg)
+             const AppConfig& cfg, const SimOpts& simOpts = {})
 {
-    rt::Env env({rt::Mode::Sim, nprocs});
+    rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
+                 simOpts.backend});
     env.attachSweep(&sweep);
     RunStats out;
     out.valid = app.run(env, cfg).valid;

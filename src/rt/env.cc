@@ -10,13 +10,33 @@
 namespace splash::rt {
 
 namespace {
+/** Native mode: one host thread per processor, context pinned here. */
 thread_local ProcCtx* tls_ctx = nullptr;
+/** Sim mode: the Env whose team episode is executing on this host
+ *  thread.  The running processor is resolved through the scheduler on
+ *  every cur() call, which stays correct across fiber switches (all
+ *  fibers share one host thread) and across nested Envs (the previous
+ *  value is restored when an inner episode ends). */
+thread_local Env* tls_env = nullptr;
 } // namespace
 
 ProcCtx*
 cur()
 {
-    return tls_ctx;
+    if (tls_ctx)
+        return tls_ctx;
+    if (tls_env)
+        return tls_env->runningCtx();
+    return nullptr;
+}
+
+ProcCtx*
+Env::runningCtx()
+{
+    if (!episodeCtxs_ || !sched_ || !sched_->active())
+        return nullptr;
+    ProcId r = sched_->running();
+    return r >= 0 ? &episodeCtxs_[r] : nullptr;
 }
 
 int
@@ -98,7 +118,8 @@ Env::Env(const EnvConfig& cfg)
     if (cfg_.nprocs < 1 || cfg_.nprocs > kMaxProcs)
         fatal("processor count out of range");
     if (cfg_.mode == Mode::Sim)
-        sched_ = std::make_unique<Scheduler>(cfg_.nprocs, cfg_.quantum);
+        sched_ = std::make_unique<Scheduler>(cfg_.nprocs, cfg_.quantum,
+                                             cfg_.backend);
 }
 
 Env::~Env() = default;
@@ -114,12 +135,19 @@ Env::run(const std::function<void(ProcCtx&)>& body)
     }
 
     if (cfg_.mode == Mode::Sim) {
+        ProcCtx* prevCtxs = episodeCtxs_;
+        Env* prevEnv = tls_env;
+        episodeCtxs_ = ctxs.data();
+        tls_env = this;
         sched_->run([&](ProcId p) {
-            tls_ctx = &ctxs[p];
+            // Under the thread backend each processor runs on its own
+            // host thread, which has not seen the assignment above.
+            tls_env = this;
             body(ctxs[p]);
             stats_[p].finishTime = sched_->time(p);
-            tls_ctx = nullptr;
         });
+        tls_env = prevEnv;
+        episodeCtxs_ = prevCtxs;
         return;
     }
 

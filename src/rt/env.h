@@ -11,6 +11,9 @@
  *    processors by logical (PRAM) time, and every shared-memory
  *    reference is routed to the attached memory-system sinks
  *    (MemSystem and/or CacheSweep).  This is the Tango-Lite role.
+ *    The execution mechanism (stackful fibers on one host thread, or
+ *    one parked host thread per processor) is chosen by
+ *    EnvConfig::backend; the interleaving is identical either way.
  *
  * Instruction accounting (Table 1 of the paper): every instrumented
  * read or write counts as one instruction, and applications annotate
@@ -93,6 +96,10 @@ struct EnvConfig
     int nprocs = 1;
     /** Scheduler quantum (instrumentation events per slice), sim mode. */
     std::uint64_t quantum = 250;
+    /** Execution mechanism for the sim-mode interleaver: fibers on one
+     *  host thread (default, fast) or one parked host thread per
+     *  processor (the historical baton; differential oracle). */
+    BackendKind backend = BackendKind::Fiber;
 };
 
 class Env;
@@ -128,7 +135,13 @@ class ProcCtx
 };
 
 /** Current processor context; null outside a team body (e.g. during
- *  problem setup), in which case instrumentation hooks are no-ops. */
+ *  problem setup), in which case instrumentation hooks are no-ops.
+ *
+ *  In sim mode the context is resolved through the scheduler's
+ *  running-processor id rather than per-host-thread state, so it is
+ *  correct under both execution backends -- with fibers, every
+ *  simulated processor shares one host thread and a plain thread_local
+ *  would go stale at each context switch. */
 ProcCtx* cur();
 
 class Env
@@ -171,6 +184,10 @@ class Env
     sim::MemSystem* memSystem() { return mem_; }
     sim::CacheSweep* sweep() { return sweep_; }
 
+    /** Context of the processor the scheduler is currently running;
+     *  null outside a sim-mode team episode. Used by cur(). */
+    ProcCtx* runningCtx();
+
   private:
     friend class ProcCtx;
 
@@ -178,6 +195,8 @@ class Env
     SharedHeap heap_;
     std::unique_ptr<Scheduler> sched_;
     std::vector<ProcStats> stats_;
+    /** Team contexts of the episode in progress (sim mode only). */
+    ProcCtx* episodeCtxs_ = nullptr;
     sim::MemSystem* mem_ = nullptr;
     sim::CacheSweep* sweep_ = nullptr;
 };

@@ -1,0 +1,188 @@
+#include "rt/fiber.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "base/log.h"
+
+/* ASan's fiber annotations pair with the hand-rolled switch; on the
+ * ucontext fallback ASan already intercepts swapcontext itself. */
+#if SPLASH2_FIBER_ASAN && !SPLASH2_FIBER_UCONTEXT
+#define SPLASH2_FIBER_ANNOTATE 1
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+#if !SPLASH2_FIBER_UCONTEXT
+extern "C" {
+void splash_fiber_swap(void** save_sp, void* restore_sp);
+void splash_fiber_thunk();
+[[noreturn]] void splash_fiber_entry(splash::rt::Fiber* f);
+}
+#endif
+
+namespace splash::rt {
+
+namespace {
+
+std::size_t
+pageSize()
+{
+    static const std::size_t sz =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    return sz;
+}
+
+#if SPLASH2_FIBER_ANNOTATE
+/** The fiber a switch originated from, so the resumed side can record
+ *  the origin's stack bounds from __sanitizer_finish_switch_fiber.
+ *  This is how the adopted (host-thread) fiber learns its bounds. */
+thread_local Fiber* tls_switch_source = nullptr;
+#endif
+
+#if SPLASH2_FIBER_UCONTEXT
+void
+ucontextEntry(unsigned hi, unsigned lo)
+{
+    auto bits = (std::uintptr_t(hi) << 32) | std::uintptr_t(lo);
+    reinterpret_cast<Fiber*>(bits)->invoke();
+}
+#endif
+
+} // namespace
+
+Fiber::Fiber() = default;
+
+Fiber::Fiber(Entry entry, void* arg, std::size_t stackBytes)
+    : entry_(entry), arg_(arg)
+{
+    ensure(entry != nullptr, "fiber needs an entry function");
+    initStack(stackBytes);
+}
+
+Fiber::~Fiber()
+{
+    if (stackMap_)
+        ::munmap(stackMap_, mapBytes_);
+}
+
+void
+Fiber::initStack(std::size_t stackBytes)
+{
+    const std::size_t page = pageSize();
+    // Round the usable stack to whole pages and add a guard page below.
+    stackBytes = (stackBytes + page - 1) & ~(page - 1);
+    mapBytes_ = stackBytes + page;
+    void* m = ::mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    if (m == MAP_FAILED)
+        panic("fiber stack mmap failed");
+    if (::mprotect(m, page, PROT_NONE) != 0)
+        panic("fiber guard page mprotect failed");
+    stackMap_ = m;
+
+#if SPLASH2_FIBER_ANNOTATE
+    asanBottom_ = static_cast<char*>(m) + page;
+    asanSize_ = stackBytes;
+#endif
+
+#if SPLASH2_FIBER_UCONTEXT
+    if (getcontext(&uc_) != 0)
+        panic("getcontext failed");
+    uc_.uc_stack.ss_sp = static_cast<char*>(m) + page;
+    uc_.uc_stack.ss_size = stackBytes;
+    uc_.uc_link = nullptr;
+    auto bits = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&uc_, reinterpret_cast<void (*)()>(&ucontextEntry), 2,
+                static_cast<unsigned>(bits >> 32),
+                static_cast<unsigned>(bits));
+#else
+    // Fabricate the frame splash_fiber_swap restores (see the layout
+    // comment in fiber_switch_x86_64.S): FP control words, six saved
+    // registers with the Fiber* in the r15 slot, and the thunk as the
+    // return address.  The initial sp is 16-aligned so the thunk's
+    // call site satisfies the ABI's stack-alignment rule.
+    auto top = reinterpret_cast<std::uintptr_t>(stackMap_) + mapBytes_;
+    std::uintptr_t sp = (top & ~std::uintptr_t{15}) - 64;
+    auto* frame = reinterpret_cast<std::uint64_t*>(sp);
+    const std::uint64_t mxcsr = 0x1F80;  // x86-64 ABI startup values
+    const std::uint64_t fcw = 0x037F;
+    frame[0] = mxcsr | (fcw << 32);
+    frame[1] = reinterpret_cast<std::uint64_t>(this);  // r15
+    frame[2] = 0;                                      // r14
+    frame[3] = 0;                                      // r13
+    frame[4] = 0;                                      // r12
+    frame[5] = 0;                                      // rbx
+    frame[6] = 0;                                      // rbp
+    frame[7] = reinterpret_cast<std::uint64_t>(&splash_fiber_thunk);
+    sp_ = reinterpret_cast<void*>(sp);
+#endif
+}
+
+void
+Fiber::switchImpl(Fiber& from, Fiber& to, bool fromExiting)
+{
+#if SPLASH2_FIBER_ANNOTATE
+    tls_switch_source = &from;
+    // Passing a null save slot tells ASan the outgoing fiber is done
+    // and its fake-stack frames can be released.
+    __sanitizer_start_switch_fiber(
+        fromExiting ? nullptr : &from.fakeStack_, to.asanBottom_,
+        to.asanSize_);
+#else
+    (void)fromExiting;
+#endif
+
+#if SPLASH2_FIBER_UCONTEXT
+    if (swapcontext(&from.uc_, &to.uc_) != 0)
+        panic("swapcontext failed");
+#else
+    splash_fiber_swap(&from.sp_, to.sp_);
+#endif
+
+#if SPLASH2_FIBER_ANNOTATE
+    // We have been resumed; complete the switch that brought us back
+    // and record the bounds of the stack it came from.
+    Fiber* src = tls_switch_source;
+    __sanitizer_finish_switch_fiber(from.fakeStack_,
+                                    src ? &src->asanBottom_ : nullptr,
+                                    src ? &src->asanSize_ : nullptr);
+#endif
+}
+
+void
+Fiber::switchTo(Fiber& from, Fiber& to)
+{
+    switchImpl(from, to, /*fromExiting=*/false);
+}
+
+void
+Fiber::exitTo(Fiber& from, Fiber& to)
+{
+    switchImpl(from, to, /*fromExiting=*/true);
+}
+
+void
+Fiber::invoke()
+{
+#if SPLASH2_FIBER_ANNOTATE
+    Fiber* src = tls_switch_source;
+    __sanitizer_finish_switch_fiber(fakeStack_,
+                                    src ? &src->asanBottom_ : nullptr,
+                                    src ? &src->asanSize_ : nullptr);
+#endif
+    entry_(arg_);
+    panic("fiber entry returned instead of exiting to another fiber");
+}
+
+} // namespace splash::rt
+
+#if !SPLASH2_FIBER_UCONTEXT
+extern "C" [[noreturn]] void
+splash_fiber_entry(splash::rt::Fiber* f)
+{
+    f->invoke();
+}
+#endif

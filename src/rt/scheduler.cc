@@ -1,34 +1,23 @@
 #include "rt/scheduler.h"
 
-#include <memory>
 #include <string>
 
 #include "base/log.h"
 
 namespace splash::rt {
 
-namespace {
-/** One condition variable per simulated processor so a baton handoff
- *  wakes exactly one host thread. */
-struct Parked
-{
-    std::vector<std::unique_ptr<std::condition_variable>> cvs;
-    explicit Parked(int n)
-    {
-        cvs.reserve(n);
-        for (int i = 0; i < n; ++i)
-            cvs.push_back(std::make_unique<std::condition_variable>());
-    }
-};
-} // namespace
-
-Scheduler::Scheduler(int nprocs, std::uint64_t quantum)
+Scheduler::Scheduler(int nprocs, std::uint64_t quantum,
+                     BackendKind backend)
     : nprocs_(nprocs), quantum_(quantum),
-      status_(nprocs, Status::Ready), lt_(nprocs, 0)
+      backend_(makeExecutionBackend(backend)),
+      status_(nprocs, Status::Ready), blockReason_(nprocs, nullptr),
+      lt_(nprocs, 0)
 {
     ensure(nprocs >= 1 && nprocs <= kMaxProcs, "bad processor count");
     ensure(quantum >= 1, "quantum must be positive");
 }
+
+Scheduler::~Scheduler() = default;
 
 ProcId
 Scheduler::pickNext() const
@@ -46,107 +35,108 @@ Scheduler::pickNext() const
 void
 Scheduler::run(const std::function<void(ProcId)>& body)
 {
-    Parked parked(nprocs_);
-    {
-        std::unique_lock<std::mutex> lock(mu_);
-        ensure(!active_, "scheduler is already running");
-        active_ = true;
-        doneCount_ = 0;
-        for (int p = 0; p < nprocs_; ++p)
-            status_[p] = Status::Ready;
-        running_ = -1;
-    }
-
-    parkedCvs_ = &parked;
-    std::vector<std::thread> threads;
-    threads.reserve(nprocs_);
+    ensure(!active_,
+           "scheduler is already running (nested run() on one Env)");
+    active_ = true;
+    doneCount_ = 0;
     for (int p = 0; p < nprocs_; ++p) {
-        threads.emplace_back([this, p, &body, &parked] {
-            {
-                std::unique_lock<std::mutex> lock(mu_);
-                parked.cvs[p]->wait(lock, [this, p] {
-                    return running_ == p;
-                });
-            }
+        status_[p] = Status::Ready;
+        blockReason_[p] = nullptr;
+    }
+    eventsInSlice_ = 0;
+    running_ = pickNext();
+    ensure(running_ >= 0, "no runnable processor at start");
+    status_[running_] = Status::Running;
+
+    backend_->run(
+        nprocs_,
+        [this, &body](ProcId p) {
             body(p);
-            std::unique_lock<std::mutex> lock(mu_);
             status_[p] = Status::Done;
             ++doneCount_;
             if (doneCount_ == nprocs_) {
                 running_ = -1;
-                doneCv_.notify_all();
+                backend_->finish(p);
             } else {
-                switchFrom(lock, p, /*exiting=*/true);
+                switchFrom(p, /*exiting=*/true);
             }
-        });
-    }
+        },
+        running_);
 
-    {
-        std::unique_lock<std::mutex> lock(mu_);
-        eventsInSlice_ = 0;
-        running_ = pickNext();
-        ensure(running_ >= 0, "no runnable processor at start");
-        status_[running_] = Status::Running;
-        parked.cvs[running_]->notify_one();
-        doneCv_.wait(lock, [this] { return doneCount_ == nprocs_; });
-        active_ = false;
-    }
-    for (auto& t : threads)
-        t.join();
-    parkedCvs_ = nullptr;
+    active_ = false;
+    running_ = -1;
 }
 
 void
-Scheduler::switchFrom(std::unique_lock<std::mutex>& lock, ProcId p,
-                      bool exiting)
+Scheduler::switchFrom(ProcId p, bool exiting)
 {
-    auto* parked = static_cast<Parked*>(parkedCvs_);
     ProcId next = pickNext();
     if (next < 0) {
         if (doneCount_ == nprocs_)
             return;
-        std::string who;
-        for (int q = 0; q < nprocs_; ++q) {
-            if (status_[q] == Status::Blocked)
-                who += " P" + std::to_string(q);
-        }
-        panic("deadlock: no runnable processor; blocked:" + who);
+        panic("deadlock: no runnable processor\n" + stateReport());
     }
     eventsInSlice_ = 0;
     running_ = next;
     status_[next] = Status::Running;
-    parked->cvs[next]->notify_one();
-    if (!exiting) {
-        parked->cvs[p]->wait(lock, [this, p] { return running_ == p; });
-        status_[p] = Status::Running;
+    if (exiting) {
+        backend_->exitTo(p, next);
+    } else if (next != p) {
+        backend_->switchTo(p, next);
+        // Resumed: whoever scheduled us already marked us Running.
     }
 }
 
 void
 Scheduler::yield(ProcId p)
 {
-    std::unique_lock<std::mutex> lock(mu_);
     ensure(running_ == p, "yield from a processor that is not running");
     status_[p] = Status::Ready;
-    switchFrom(lock, p, /*exiting=*/false);
+    switchFrom(p, /*exiting=*/false);
 }
 
 void
-Scheduler::block(ProcId p)
+Scheduler::block(ProcId p, const char* why)
 {
-    std::unique_lock<std::mutex> lock(mu_);
     ensure(running_ == p, "block from a processor that is not running");
     status_[p] = Status::Blocked;
-    switchFrom(lock, p, /*exiting=*/false);
+    blockReason_[p] = why;
+    switchFrom(p, /*exiting=*/false);
+    blockReason_[p] = nullptr;
 }
 
 void
 Scheduler::unblock(ProcId q)
 {
-    std::unique_lock<std::mutex> lock(mu_);
     ensure(q >= 0 && q < nprocs_, "unblock of invalid processor");
     if (status_[q] == Status::Blocked)
         status_[q] = Status::Ready;
+}
+
+std::string
+Scheduler::stateReport() const
+{
+    auto statusName = [](Status s) {
+        switch (s) {
+        case Status::Ready: return "Ready";
+        case Status::Running: return "Running";
+        case Status::Blocked: return "Blocked";
+        case Status::Done: return "Done";
+        }
+        return "?";
+    };
+    std::string out;
+    for (int p = 0; p < nprocs_; ++p) {
+        out += "  P" + std::to_string(p) + ": " +
+               statusName(status_[p]);
+        if (status_[p] == Status::Blocked && blockReason_[p]) {
+            out += "(";
+            out += blockReason_[p];
+            out += ")";
+        }
+        out += " @t=" + std::to_string(lt_[p]) + "\n";
+    }
+    return out;
 }
 
 } // namespace splash::rt

@@ -3,9 +3,8 @@
  * Deterministic cooperative scheduler -- the reference interleaver.
  *
  * This plays the role Tango-Lite played for the paper: it multiplexes P
- * simulated processors onto host threads such that exactly one simulated
- * processor executes at any instant (a "baton" handed off under a global
- * mutex), and context switches happen only at instrumentation points.
+ * simulated processors so that exactly one executes at any instant, and
+ * context switches happen only at instrumentation points.
  *
  * Scheduling policy: among runnable processors, run the one with the
  * smallest logical (PRAM) clock, breaking ties by processor id.  Each
@@ -15,20 +14,30 @@
  * bit-reproducible -- and the interleaving approximates the PRAM
  * execution the paper's timing model defines.
  *
+ * The scheduler is pure policy; the mechanics of holding P suspended
+ * execution contexts and transferring control between them live behind
+ * the ExecutionBackend seam (rt/exec_backend.h).  With the default
+ * FiberBackend the whole simulation runs on one host thread and a
+ * handoff is a user-space context switch; the ThreadBackend reproduces
+ * the historical one-host-thread-per-processor baton.  Both produce
+ * bit-identical interleavings because every decision is taken here.
+ * Since at most one simulated processor executes at a time, the policy
+ * state below needs no host synchronization of its own.
+ *
  * Synchronization primitives integrate through block()/unblock(); a
  * state where no processor is runnable and not all are done is reported
- * as a deadlock with a diagnostic.
+ * as a deadlock with a per-processor diagnostic (status, logical time,
+ * and what each blocked processor is waiting on).
  */
 #ifndef SPLASH2_RT_SCHEDULER_H
 #define SPLASH2_RT_SCHEDULER_H
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
-#include <thread>
+#include <memory>
 #include <vector>
 
 #include "base/types.h"
+#include "rt/exec_backend.h"
 
 namespace splash::rt {
 
@@ -36,8 +45,11 @@ class Scheduler
 {
   public:
     /** @param nprocs simulated processors; @param quantum max
-     *  instrumentation events per scheduling slice. */
-    explicit Scheduler(int nprocs, std::uint64_t quantum = 250);
+     *  instrumentation events per scheduling slice; @param backend
+     *  execution mechanism (fibers by default). */
+    explicit Scheduler(int nprocs, std::uint64_t quantum = 250,
+                       BackendKind backend = BackendKind::Fiber);
+    ~Scheduler();
 
     /** Run @p body once per simulated processor to completion. */
     void run(const std::function<void(ProcId)>& body);
@@ -51,15 +63,17 @@ class Scheduler
             yield(p);
     }
 
-    /** Explicitly hand the baton to the best runnable processor. */
+    /** Explicitly hand control to the best runnable processor. */
     void yield(ProcId p);
 
     /** Block the running processor @p p until another processor calls
-     *  unblock(p). Returns once rescheduled. */
-    void block(ProcId p);
+     *  unblock(p). Returns once rescheduled. @p why labels what the
+     *  processor waits on (shown in deadlock diagnostics). */
+    void block(ProcId p, const char* why = "event");
 
     /** Mark @p q runnable again. Must be called by the running
-     *  processor (i.e. while holding the baton). */
+     *  processor. Unblocking a processor that is not blocked (e.g.
+     *  already done) is a no-op. */
     void unblock(ProcId q);
 
     /** Logical clock accessors; used by the sync primitives to
@@ -73,29 +87,34 @@ class Scheduler
     /** True while run() is active (used by instrumentation hooks). */
     bool active() const { return active_; }
 
+    /** The processor currently holding control; -1 outside run().
+     *  This is how fiber-aware cur() resolves the running context. */
+    ProcId running() const { return running_; }
+
+    BackendKind backendKind() const { return backend_->kind(); }
+
   private:
     enum class Status : std::uint8_t { Ready, Running, Blocked, Done };
 
     /** Pick the runnable processor with the smallest logical time;
-     *  -1 if none. Caller holds mu_. */
+     *  -1 if none. */
     ProcId pickNext() const;
-    /** Hand off from @p p (already marked non-Running) and wait until
-     *  rescheduled unless @p exiting. Caller holds lock. */
-    void switchFrom(std::unique_lock<std::mutex>& lock, ProcId p,
-                    bool exiting);
+    /** Hand off from @p p (already marked non-Running). Returns when
+     *  @p p is rescheduled, unless @p exiting. */
+    void switchFrom(ProcId p, bool exiting);
+    /** One line per processor: status, logical time, block reason. */
+    std::string stateReport() const;
 
     int nprocs_;
     std::uint64_t quantum_;
     std::uint64_t eventsInSlice_ = 0;
     bool active_ = false;
 
-    mutable std::mutex mu_;
-    /** Per-processor parking cvs, alive only during run(). */
-    void* parkedCvs_ = nullptr;
-    std::condition_variable doneCv_;
+    std::unique_ptr<ExecutionBackend> backend_;
     ProcId running_ = -1;
     int doneCount_ = 0;
     std::vector<Status> status_;
+    std::vector<const char*> blockReason_;
     std::vector<Tick> lt_;
 };
 

@@ -44,7 +44,7 @@ Barrier::arrive(ProcCtx& c)
     maxArrival_ = std::max(maxArrival_, myLt);
     if (++count_ < n_) {
         waiters_.push_back(p);
-        s.block(p);
+        s.block(p, "barrier");
         return;  // released by the last arriver, clock already advanced
     }
     // Last arriver: release everyone at the max arrival clock.
@@ -88,7 +88,7 @@ Lock::acquire(ProcCtx& c)
         return;
     }
     waiters_.push_back(p);
-    s.block(p);
+    s.block(p, "lock");
     // Ownership was transferred to us by the releaser, which also
     // advanced our clock and charged the wait.
 }
@@ -179,7 +179,7 @@ Flag::wait(ProcCtx& c)
         return;
     }
     waiters_.push_back(p);
-    s.block(p);
+    s.block(p, "flag");
 }
 
 } // namespace splash::rt

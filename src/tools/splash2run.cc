@@ -9,8 +9,15 @@
  *   splash2run --app fft [--procs 32] [--scale 1.0] [--n 0]
  *              [--iters 0] [--aux 0] [--cachekb 1024] [--assoc 4]
  *              [--line 64] [--nohints 1] [--nomem 1] [--seed 1234]
+ *              [--backend fiber|thread] [--quantum 250]
  *
  *   splash2run --list          # enumerate programs
+ *
+ * --backend selects the interleaver's execution mechanism (stackful
+ * fibers on one host thread, or one parked host thread per simulated
+ * processor); --quantum sets the instrumentation events per scheduling
+ * slice.  Both change simulation speed only -- results are
+ * bit-identical across backends and quanta.
  */
 #include <cstdio>
 #include <cstring>
@@ -38,13 +45,32 @@ main(int argc, char** argv)
     std::string name = opt.getS("app", "");
     App* app = findApp(name);
     if (!app) {
-        std::fprintf(stderr,
-                     "usage: splash2run --app <name> [options]\n"
-                     "       splash2run --list\n");
+        std::fprintf(
+            stderr,
+            "usage: splash2run --app <name> [options]\n"
+            "       splash2run --list\n"
+            "options: --procs N --scale F --n N --iters N --aux N\n"
+            "         --seed N --cachekb N --assoc N --line N\n"
+            "         --nohints --nomem\n"
+            "         --backend fiber|thread  execution mechanism of\n"
+            "             the interleaver (default fiber; results are\n"
+            "             identical, fibers are much faster)\n"
+            "         --quantum N  instrumentation events per\n"
+            "             scheduling slice (default 250)\n");
         return name.empty() ? 2 : 1;
     }
 
     int procs = static_cast<int>(opt.getI("procs", 32));
+    harness::SimOpts simOpts;
+    simOpts.quantum =
+        static_cast<std::uint64_t>(opt.getI("quantum", 250));
+    std::string backendArg = opt.getS("backend", "fiber");
+    if (!rt::parseBackendKind(backendArg, &simOpts.backend)) {
+        std::fprintf(stderr,
+                     "unknown --backend '%s' (fiber or thread)\n",
+                     backendArg.c_str());
+        return 2;
+    }
     AppConfig cfg;
     cfg.scale = opt.getD("scale", 1.0);
     cfg.n = opt.getI("n", 0);
@@ -62,7 +88,8 @@ main(int argc, char** argv)
         cache.size = std::uint64_t(opt.getI("cachekb", 1024)) << 10;
         cache.assoc = static_cast<int>(opt.getI("assoc", 4));
         cache.lineSize = static_cast<int>(opt.getI("line", 64));
-        rt::Env env({rt::Mode::Sim, procs});
+        rt::Env env({rt::Mode::Sim, procs, simOpts.quantum,
+                     simOpts.backend});
         sim::MachineConfig mc;
         mc.nprocs = procs;
         mc.cache = cache;
@@ -83,9 +110,12 @@ main(int argc, char** argv)
                     cache.assoc, cache.lineSize,
                     mc.replacementHints ? " + replacement hints" : "");
     } else {
-        r = runPram(*app, procs, cfg);
+        r = runPram(*app, procs, cfg, simOpts);
         std::printf("machine: PRAM (perfect memory)\n");
     }
+    std::printf("interleaver: %s backend, quantum %llu\n",
+                rt::backendName(simOpts.backend),
+                static_cast<unsigned long long>(simOpts.quantum));
 
     std::printf("\n-- execution --\n");
     std::printf("valid: %s\n", r.valid ? "yes" : "NO");

@@ -1,0 +1,202 @@
+// Differential and determinism tests for the execution backends.
+//
+// The ExecutionBackend seam is pure mechanism: the fiber and thread
+// backends must produce bit-identical interleavings, and therefore
+// bit-identical execution and memory-system statistics, for any
+// deterministic program.  These tests enforce that equivalence at two
+// levels: raw scheduler traces, and full application characterizations
+// (ProcStats + MemStats per processor) for FFT and LU at 8 processors.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/app.h"
+#include "harness/experiment.h"
+#include "rt/exec_backend.h"
+#include "rt/scheduler.h"
+
+using namespace splash;
+using namespace splash::rt;
+using namespace splash::harness;
+
+namespace {
+
+/** Full characterization of one app run under @p kind: small problem,
+ *  8 processors, default 1 MB caches. */
+RunStats
+characterize(const std::string& name, BackendKind kind, long n,
+             std::uint64_t quantum = 250)
+{
+    App* app = findApp(name);
+    EXPECT_NE(app, nullptr) << name;
+    AppConfig cfg;
+    cfg.n = n;
+    sim::CacheConfig cache;
+    SimOpts sim;
+    sim.quantum = quantum;
+    sim.backend = kind;
+    return runWithMemSystem(*app, 8, cache, cfg, sim);
+}
+
+void
+expectSameProcStats(const rt::ProcStats& a, const rt::ProcStats& b,
+                    int p)
+{
+    EXPECT_EQ(a.reads, b.reads) << "P" << p;
+    EXPECT_EQ(a.writes, b.writes) << "P" << p;
+    EXPECT_EQ(a.flops, b.flops) << "P" << p;
+    EXPECT_EQ(a.work, b.work) << "P" << p;
+    EXPECT_EQ(a.barriers, b.barriers) << "P" << p;
+    EXPECT_EQ(a.locks, b.locks) << "P" << p;
+    EXPECT_EQ(a.pauses, b.pauses) << "P" << p;
+    EXPECT_EQ(a.barrierWait, b.barrierWait) << "P" << p;
+    EXPECT_EQ(a.lockWait, b.lockWait) << "P" << p;
+    EXPECT_EQ(a.pauseWait, b.pauseWait) << "P" << p;
+    EXPECT_EQ(a.startTime, b.startTime) << "P" << p;
+    EXPECT_EQ(a.finishTime, b.finishTime) << "P" << p;
+}
+
+void
+expectSameMemStats(const sim::MemStats& a, const sim::MemStats& b,
+                   int p)
+{
+    EXPECT_EQ(a.reads, b.reads) << "P" << p;
+    EXPECT_EQ(a.writes, b.writes) << "P" << p;
+    for (int m = 0; m < sim::kNumMissTypes; ++m)
+        EXPECT_EQ(a.misses[m], b.misses[m]) << "P" << p << " type " << m;
+    EXPECT_EQ(a.upgrades, b.upgrades) << "P" << p;
+    EXPECT_EQ(a.remoteSharedData, b.remoteSharedData) << "P" << p;
+    EXPECT_EQ(a.remoteColdData, b.remoteColdData) << "P" << p;
+    EXPECT_EQ(a.remoteCapacityData, b.remoteCapacityData) << "P" << p;
+    EXPECT_EQ(a.remoteWriteback, b.remoteWriteback) << "P" << p;
+    EXPECT_EQ(a.remoteOverhead, b.remoteOverhead) << "P" << p;
+    EXPECT_EQ(a.localData, b.localData) << "P" << p;
+    EXPECT_EQ(a.trueSharedData, b.trueSharedData) << "P" << p;
+}
+
+void
+expectSameRun(const RunStats& a, const RunStats& b)
+{
+    EXPECT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    ASSERT_EQ(a.perProc.size(), b.perProc.size());
+    for (std::size_t p = 0; p < a.perProc.size(); ++p)
+        expectSameProcStats(a.perProc[p], b.perProc[p], int(p));
+    ASSERT_EQ(a.memPerProc.size(), b.memPerProc.size());
+    for (std::size_t p = 0; p < a.memPerProc.size(); ++p)
+        expectSameMemStats(a.memPerProc[p], b.memPerProc[p], int(p));
+}
+
+/** Scheduler-level event trace: the exact sequence of (proc, clock)
+ *  control transfers under a mix of yields, blocks and unblocks. */
+std::vector<std::uint64_t>
+schedulerTrace(BackendKind kind)
+{
+    Scheduler s(6, /*quantum=*/5, kind);
+    std::vector<std::uint64_t> trace;
+    s.run([&](ProcId p) {
+        for (int i = 0; i < 100; ++i) {
+            trace.push_back(std::uint64_t(p) << 32 |
+                            (s.time(p) & 0xFFFFFFFF));
+            s.advance(p, 1 + (p % 3));
+            if (i % 17 == p) {
+                s.unblock((p + 1) % 6);
+                s.yield(p);
+            } else if (i % 23 == p && p > 0) {
+                s.unblock(p - 1);
+                s.advance(p, 7);
+            }
+            s.event(p);
+        }
+    });
+    return trace;
+}
+
+} // namespace
+
+TEST(BackendDifferential, SchedulerTraceIdenticalAcrossBackends)
+{
+    auto fiber = schedulerTrace(BackendKind::Fiber);
+    auto thread = schedulerTrace(BackendKind::Thread);
+    EXPECT_EQ(fiber, thread);
+    EXPECT_EQ(fiber, schedulerTrace(BackendKind::Fiber));
+}
+
+TEST(BackendDifferential, FftStatsIdenticalAcrossBackends)
+{
+    // log2n = 12 -> 4096 points on 8 processors.
+    auto fiber = characterize("fft", BackendKind::Fiber, 12);
+    auto thread = characterize("fft", BackendKind::Thread, 12);
+    ASSERT_TRUE(fiber.valid);
+    expectSameRun(fiber, thread);
+}
+
+TEST(BackendDifferential, LuStatsIdenticalAcrossBackends)
+{
+    // 128x128 matrix on 8 processors.
+    auto fiber = characterize("lu", BackendKind::Fiber, 128);
+    auto thread = characterize("lu", BackendKind::Thread, 128);
+    ASSERT_TRUE(fiber.valid);
+    expectSameRun(fiber, thread);
+}
+
+TEST(BackendDifferential, QuantumOneStressIdenticalAcrossBackends)
+{
+    // Quantum 1 maximizes context switches -- the harshest test of the
+    // backend handoff path.
+    auto fiber = characterize("fft", BackendKind::Fiber, 10, 1);
+    auto thread = characterize("fft", BackendKind::Thread, 10, 1);
+    expectSameRun(fiber, thread);
+}
+
+TEST(Determinism, RepeatedFiberRunsAreBitIdentical)
+{
+    auto a = characterize("fft", BackendKind::Fiber, 12);
+    auto b = characterize("fft", BackendKind::Fiber, 12);
+    expectSameRun(a, b);
+}
+
+TEST(Determinism, RepeatedThreadRunsAreBitIdentical)
+{
+    auto a = characterize("fft", BackendKind::Thread, 12);
+    auto b = characterize("fft", BackendKind::Thread, 12);
+    expectSameRun(a, b);
+}
+
+TEST(Backend, PingPongBlockUnblockCompletes)
+{
+    // The pattern the context-switch microbenchmark uses; assert its
+    // correctness here so the bench can trust it.
+    for (BackendKind kind :
+         {BackendKind::Fiber, BackendKind::Thread}) {
+        Scheduler s(2, 250, kind);
+        const int rounds = 1000;
+        int switches = 0;
+        s.run([&](ProcId p) {
+            ProcId other = 1 - p;
+            for (int i = 0; i < rounds; ++i) {
+                s.advance(p, 1);
+                s.unblock(other);
+                s.block(p, "ping-pong");
+                ++switches;
+            }
+            s.unblock(other);
+        });
+        EXPECT_EQ(switches, 2 * rounds) << backendName(kind);
+        EXPECT_EQ(s.time(0), Tick(rounds));
+        EXPECT_EQ(s.time(1), Tick(rounds));
+    }
+}
+
+TEST(Backend, NamesRoundTrip)
+{
+    BackendKind k = BackendKind::Thread;
+    EXPECT_TRUE(parseBackendKind("fiber", &k));
+    EXPECT_EQ(k, BackendKind::Fiber);
+    EXPECT_TRUE(parseBackendKind("thread", &k));
+    EXPECT_EQ(k, BackendKind::Thread);
+    EXPECT_FALSE(parseBackendKind("pthread", &k));
+    EXPECT_STREQ(backendName(BackendKind::Fiber), "fiber");
+    EXPECT_STREQ(backendName(BackendKind::Thread), "thread");
+}

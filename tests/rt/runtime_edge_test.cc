@@ -155,6 +155,98 @@ TEST(EnvEdge, RunTwiceAccumulatesClocks)
     EXPECT_EQ(env.stats(0).finishTime, 175u);
 }
 
+TEST(SchedulerEdge, UnblockOfDoneProcessorIsNoOp)
+{
+    // P0 exits immediately; P1 later "unblocks" it.  The unblock must
+    // not resurrect a finished processor (which would make the
+    // scheduler switch into a dead context).
+    Scheduler s(2);
+    std::vector<int> bodyRuns(2, 0);
+    s.run([&](ProcId p) {
+        ++bodyRuns[p];
+        if (p == 1) {
+            s.advance(p, 1);
+            s.yield(p);  // P0 is long done by now
+            s.unblock(0);
+            s.advance(p, 1);
+            s.yield(p);  // must keep running P1, not P0
+        }
+    });
+    EXPECT_EQ(bodyRuns[0], 1);
+    EXPECT_EQ(bodyRuns[1], 1);
+    EXPECT_EQ(s.time(1), 2u);
+}
+
+TEST(SchedulerEdge, DeadlockReportShowsStatusAndClock)
+{
+    // The deadlock diagnostic must name each processor's status, what
+    // it is blocked on, and its logical time.
+    EXPECT_DEATH(
+        {
+            Env env({Mode::Sim, 2});
+            Flag f(env);
+            env.run([&](ProcCtx& c) {
+                c.work(3 + c.id());
+                f.wait(c);
+            });
+        },
+        "deadlock: no runnable processor");
+    EXPECT_DEATH(
+        {
+            Env env({Mode::Sim, 2});
+            Flag f(env);
+            env.run([&](ProcCtx& c) {
+                c.work(3 + c.id());
+                f.wait(c);
+            });
+        },
+        "P1: Blocked\\(flag\\) @t=4");
+}
+
+TEST(EnvEdge, NestedTeamOnSeparateEnvRunsInsideABody)
+{
+    // A team body may create and run a second, independent Env (e.g.
+    // an app solving a subproblem with its own simulated machine).
+    // The inner episode's instrumentation must charge the inner Env
+    // and the outer context must be restored afterwards.
+    Env outer({Mode::Sim, 2});
+    long innerSum = 0;
+    Tick innerElapsed = 0;
+    outer.run([&](ProcCtx& c) {
+        c.work(10);
+        if (c.id() == 0) {
+            Env inner({Mode::Sim, 3, 100});
+            SharedArray<int> acc(inner, 3);
+            inner.run([&](ProcCtx& ic) {
+                ic.work(5);
+                acc[ic.id()] = ic.id() + 1;
+            });
+            for (int i = 0; i < 3; ++i)
+                innerSum += acc.raw()[i];
+            innerElapsed = inner.elapsed();
+            EXPECT_EQ(inner.stats(0).work, 5u);
+        }
+        c.work(10);  // instrumentation resolves to the outer ctx again
+    });
+    EXPECT_EQ(innerSum, 6);
+    EXPECT_GE(innerElapsed, 5u);
+    EXPECT_EQ(outer.stats(0).work, 20u);  // inner work not charged here
+    EXPECT_EQ(outer.stats(1).work, 20u);
+}
+
+TEST(EnvEdge, NestedRunOnSameEnvPanics)
+{
+    EXPECT_DEATH(
+        {
+            Env env({Mode::Sim, 2});
+            env.run([&](ProcCtx& c) {
+                if (c.id() == 0)
+                    env.run([](ProcCtx&) {});
+            });
+        },
+        "already running");
+}
+
 class QuantumSweep : public ::testing::TestWithParam<int>
 {};
 

@@ -1,6 +1,7 @@
 // Tests for the deterministic cooperative scheduler.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "rt/scheduler.h"
@@ -117,6 +118,55 @@ TEST(Scheduler, ClocksPersistAcrossRuns)
     EXPECT_EQ(s.time(0), 150u);
     EXPECT_EQ(s.time(1), 150u);
 }
+
+class SchedulerBackends
+    : public ::testing::TestWithParam<rt::BackendKind>
+{};
+
+TEST_P(SchedulerBackends, InterleavingIsBackendInvariant)
+{
+    // The backend is pure mechanism; the interleaving (and thus every
+    // downstream statistic) must be identical under both.
+    auto trace = [](rt::BackendKind kind) {
+        Scheduler s(4, 7, kind);
+        std::vector<int> order;
+        s.run([&](ProcId p) {
+            for (int i = 0; i < 200; ++i) {
+                order.push_back(p);
+                s.advance(p, 1 + p);
+                s.event(p);
+            }
+        });
+        return order;
+    };
+    EXPECT_EQ(trace(GetParam()), trace(rt::BackendKind::Fiber));
+}
+
+TEST_P(SchedulerBackends, BlockAndUnblock)
+{
+    Scheduler s(2, 250, GetParam());
+    std::vector<int> order;
+    s.run([&](ProcId p) {
+        if (p == 0) {
+            s.advance(p, 1);
+            order.push_back(0);
+            s.block(0, "test");
+            order.push_back(2);
+        } else {
+            s.advance(p, 10);
+            order.push_back(1);
+            s.unblock(0);
+        }
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, SchedulerBackends,
+    ::testing::Values(rt::BackendKind::Fiber, rt::BackendKind::Thread),
+    [](const ::testing::TestParamInfo<rt::BackendKind>& info) {
+        return std::string(rt::backendName(info.param));
+    });
 
 TEST(Scheduler, ManyProcessors)
 {
