@@ -12,6 +12,13 @@
  * small 2-way -> 4-way one.
  *
  * Usage: fig3_working_sets [--procs 32] [--scale 1.0] [--app <name>]
+ *                          [--n N] [--sweep-threads N]
+ *                          [--delivery batched|direct]
+ *
+ * --sweep-threads selects the host worker pool replaying the sweep
+ * (0 = hardware concurrency, 1 = serial online); --delivery selects
+ * the runtime->simulator reference delivery shape.  Both change wall
+ * clock only -- the curves are bit-identical.
  */
 #include <cstdio>
 
@@ -30,7 +37,16 @@ main(int argc, char** argv)
     bool csv = opt.has("csv");
     AppConfig cfg;
     cfg.scale = opt.getD("scale", opt.has("quick") ? 0.25 : 1.0);
+    cfg.n = opt.getI("n", 0);
     std::string only = opt.getS("app", "");
+    SimOpts simOpts;
+    simOpts.sweepThreads = static_cast<int>(opt.getI("sweep-threads", 0));
+    std::string deliveryArg = opt.getS("delivery", "batched");
+    if (!rt::parseDelivery(deliveryArg, &simOpts.delivery)) {
+        std::fprintf(stderr, "unknown --delivery '%s'\n",
+                     deliveryArg.c_str());
+        return 2;
+    }
 
     if (csv)
         std::printf("app,size_bytes,assoc,miss_rate\n");
@@ -45,7 +61,7 @@ main(int argc, char** argv)
         sc.nprocs = procs;
         sc.lineSize = line;
         sim::CacheSweep sweep(sc);
-        runWithSweep(*app, procs, sweep, cfg);
+        runWithSweep(*app, procs, sweep, cfg, simOpts);
 
         if (csv) {
             for (std::uint64_t size : sc.sizes)

@@ -3,13 +3,18 @@
  * Micro-benchmarks (google-benchmark) of the simulation substrate
  * itself, plus the DESIGN.md ablation on scheduler quantum size.
  *
- *  - MemSystem reference throughput (hit-dominated and miss-heavy)
- *  - CacheSweep throughput (34 configurations per reference)
+ *  - MemSystem reference throughput: hit fast path (BM_MemSysHit),
+ *    miss/coherence slow path (BM_MemSysMiss, BM_MemSysSharingMiss)
+ *  - Working-set sweep throughput: serial online (BM_SweepAccess) and
+ *    the batched capture/replay pipeline (BM_SweepBatched)
+ *  - Reference delivery shape under a full Env (BM_Delivery)
  *  - Scheduler context-switch cost and quantum sensitivity
  *  - Backend handoff cost (fiber vs thread): ping-pong benchmarks
  *    where two processors alternate via yield and via block/unblock,
  *    so items/sec is context switches per second.  scripts/
- *    bench_simcore.py turns these into BENCH_simcore.json.
+ *    bench_simcore.py turns these into BENCH_simcore.json and
+ *    scripts/bench_memsys.py turns the memory-path ones into
+ *    BENCH_memsys.json.
  */
 #include <benchmark/benchmark.h>
 
@@ -21,23 +26,50 @@
 
 using namespace splash;
 
+/** Hit-dominated reference stream: after the 64 cold fills every
+ *  access takes the inlined MESI hit fast path (tag probe + counters,
+ *  no directory consult).  Mixes reads (M-state hits) and writes
+ *  (silent stores) 3:1 like typical SPLASH-2 codes. */
 static void
-BM_MemSystemHits(benchmark::State& state)
+BM_MemSysHit(benchmark::State& state)
 {
     sim::MachineConfig mc;
     mc.nprocs = 4;
     sim::MemSystem mem(mc);
     std::uint64_t i = 0;
     for (auto _ : state) {
-        mem.access(0, 0x10000 + (i % 64) * 8, 8, AccessType::Read);
+        Addr a = 0x10000 + (i % 64) * 8;
+        mem.access(0, a, 8,
+                   (i & 3) == 3 ? AccessType::Write : AccessType::Read);
         ++i;
     }
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_MemSystemHits);
+BENCHMARK(BM_MemSysHit);
+
+/** Miss-dominated stream: a cyclic scan over 2x the cache capacity in
+ *  a direct-mapped cache, so every reference takes the slow path
+ *  (classification, directory, victim writeback accounting). */
+static void
+BM_MemSysMiss(benchmark::State& state)
+{
+    sim::MachineConfig mc;
+    mc.nprocs = 4;
+    mc.cache.size = 1u << 16;
+    mc.cache.assoc = 1;
+    sim::MemSystem mem(mc);
+    const std::uint64_t kLines = (mc.cache.size / 64) * 2;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        mem.access(0, 0x100000 + (i % kLines) * 64, 8, AccessType::Read);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemSysMiss);
 
 static void
-BM_MemSystemSharingMisses(benchmark::State& state)
+BM_MemSysSharingMiss(benchmark::State& state)
 {
     sim::MachineConfig mc;
     mc.nprocs = 2;
@@ -49,24 +81,107 @@ BM_MemSystemSharingMisses(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_MemSystemSharingMisses);
+BENCHMARK(BM_MemSysSharingMiss);
 
+namespace {
+
+/** Pseudo-random 4-proc reference mix shared by the sweep benches. */
+inline void
+sweepStep(sim::RefSink& sink, std::uint64_t& x)
+{
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    sink.access(static_cast<ProcId>((x >> 62) & 3),
+                0x100000 + ((x >> 30) % 4096) * 64, 8,
+                ((x >> 11) & 3) == 0 ? AccessType::Write
+                                     : AccessType::Read);
+}
+
+/** CacheSweep is not itself a RefSink; adapt it for sweepStep. */
+struct SerialSweepSink final : sim::RefSink
+{
+    explicit SerialSweepSink(sim::CacheSweep& s) : sweep(s) {}
+    void
+    access(ProcId p, Addr a, int n, AccessType t) override
+    {
+        sweep.access(p, a, n, t);
+    }
+    void resetStats() override { sweep.resetStats(); }
+    sim::CacheSweep& sweep;
+};
+
+} // namespace
+
+/** Serial online sweep: all 34 configurations updated per reference. */
 static void
-BM_CacheSweepAccess(benchmark::State& state)
+BM_SweepAccess(benchmark::State& state)
 {
     sim::SweepConfig sc;
     sc.nprocs = 4;
     sim::CacheSweep sweep(sc);
+    SerialSweepSink sink(sweep);
     std::uint64_t x = 12345;
-    for (auto _ : state) {
-        x = x * 6364136223846793005ull + 1442695040888963407ull;
-        sweep.access(static_cast<ProcId>((x >> 62) & 3),
-                     0x100000 + ((x >> 30) % 4096) * 64, 8,
-                     AccessType::Read);
-    }
+    for (auto _ : state)
+        sweepStep(sink, x);
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_CacheSweepAccess);
+BENCHMARK(BM_SweepAccess);
+
+/** Capture/replay pipeline at a given worker count (0 = hardware
+ *  concurrency); cost includes capture, annotation, and replay. */
+static void
+BM_SweepBatched(benchmark::State& state)
+{
+    sim::SweepConfig sc;
+    sc.nprocs = 4;
+    sim::CacheSweep sweep(sc);
+    sim::ParallelSweep ps(sweep, static_cast<int>(state.range(0)));
+    std::uint64_t x = 12345;
+    for (auto _ : state)
+        sweepStep(ps, x);
+    ps.flush();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SweepBatched)->Arg(1)->Arg(2)->Arg(0)->UseRealTime();
+
+/** End-to-end reference delivery under a full Env + MemSystem: the
+ *  instrumented read hook, clock bump, scheduling, and sink delivery.
+ *  Compares the call-per-access shape against the batched ring. */
+static void
+deliveryLoop(benchmark::State& state, rt::Delivery d)
+{
+    const int procs = 4;
+    const int refsPerProc = 8192;
+    for (auto _ : state) {
+        rt::Env env({rt::Mode::Sim, procs, /*quantum=*/250,
+                     rt::BackendKind::Fiber, d});
+        sim::MachineConfig mc;
+        mc.nprocs = procs;
+        sim::MemSystem mem(mc);
+        env.attachMemSystem(&mem);
+        env.run([&](rt::ProcCtx& ctx) {
+            Addr base = 0x100000 + Addr(ctx.id()) * 65536;
+            for (int i = 0; i < refsPerProc; ++i)
+                ctx.read(reinterpret_cast<const void*>(
+                             base + Addr(i % 512) * 8),
+                         8);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * procs * refsPerProc);
+}
+
+static void
+BM_Delivery_Direct(benchmark::State& state)
+{
+    deliveryLoop(state, rt::Delivery::Direct);
+}
+BENCHMARK(BM_Delivery_Direct);
+
+static void
+BM_Delivery_Batched(benchmark::State& state)
+{
+    deliveryLoop(state, rt::Delivery::Batched);
+}
+BENCHMARK(BM_Delivery_Batched);
 
 /** Ablation: scheduler quantum size vs simulation throughput. */
 static void

@@ -30,14 +30,14 @@ struct Profile
 };
 
 Profile
-profileAt(App& app, int procs, double scale)
+profileAt(App& app, int procs, double scale, const SimOpts& simOpts)
 {
     sim::SweepConfig sc;
     sc.nprocs = procs;
     sim::CacheSweep sweep(sc);
     AppConfig cfg;
     cfg.scale = scale;
-    runWithSweep(app, procs, sweep, cfg);
+    runWithSweep(app, procs, sweep, cfg, simOpts);
     Profile p;
     p.sizes = sc.sizes;
     for (auto s : sc.sizes)
@@ -102,6 +102,9 @@ main(int argc, char** argv)
     int procs = static_cast<int>(
         opt.getI("procs", opt.has("quick") ? 8 : 32));
     double base = opt.getD("scale", opt.has("quick") ? 0.25 : 1.0);
+    SimOpts simOpts;
+    simOpts.sweepThreads =
+        static_cast<int>(opt.getI("sweep-threads", 0));
 
     std::printf("Table 2: measured first working set (WS1) and its "
                 "empirical growth; base scale %.3g\n\n",
@@ -109,9 +112,9 @@ main(int argc, char** argv)
     Table t({"Code", "WS1", "WS1 @2xDS", "WS1 @P/2", "MR@WS1(%)",
              "paper growth of WS1"});
     for (App* app : suite()) {
-        Profile p0 = profileAt(*app, procs, base);
-        Profile p_ds = profileAt(*app, procs, base * 2.0);
-        Profile p_p = profileAt(*app, procs / 2, base);
+        Profile p0 = profileAt(*app, procs, base, simOpts);
+        Profile p_ds = profileAt(*app, procs, base * 2.0, simOpts);
+        Profile p_p = profileAt(*app, procs / 2, base, simOpts);
         std::uint64_t k0 = firstKnee(p0);
         std::uint64_t kds = firstKnee(p_ds);
         std::uint64_t kp = firstKnee(p_p);

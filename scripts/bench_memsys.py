@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Measure the memory-path speedup and write BENCH_memsys.json.
+
+Three measurements:
+
+ 1. Reference cost: the BM_MemSysHit / BM_MemSysMiss / BM_SweepAccess /
+    BM_SweepBatched / BM_Delivery_* microbenchmarks from
+    bench/micro_simthroughput (each reports references per second;
+    ns/ref = 1e9 / that).
+ 2. End-to-end characterization: wall clock of a full splash2run
+    (FFT, 32 processors) under direct versus batched delivery, best
+    of N.
+ 3. End-to-end working-set sweep: wall clock of the Figure 3 sweep
+    (FFT, 32 processors, 34 configurations + Mattson stacks) with the
+    classic serial online sweep + direct delivery versus the batched
+    capture/replay pipeline across all host cores, best of N.  This is
+    the headline number: the sweep dominates Figure 3 / Table 2
+    turnaround.
+
+Usage: scripts/bench_memsys.py [--build build] [--reps 3] [--n 16]
+Writes BENCH_memsys.json in the repository root.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+
+def run_micro(build):
+    exe = os.path.join(build, "bench", "micro_simthroughput")
+    out = subprocess.run(
+        [exe, "--benchmark_filter=MemSys|Sweep|Delivery",
+         "--benchmark_format=json"],
+        check=True, capture_output=True, text=True).stdout
+    data = json.loads(out)
+    micro = {}
+    for b in data["benchmarks"]:
+        name = b["name"].replace("/real_time", "")
+        per_sec = b["items_per_second"]
+        micro[name] = {
+            "refs_per_sec": per_sec,
+            "ns_per_ref": 1e9 / per_sec,
+        }
+    return micro
+
+
+def time_cmd(cmd, reps):
+    best = None
+    for _ in range(reps):
+        t0 = time.monotonic()
+        subprocess.run(cmd, check=True, capture_output=True)
+        dt = time.monotonic() - t0
+        best = dt if best is None else min(best, dt)
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", default="build")
+    ap.add_argument("--reps", type=int, default=3)
+    ap.add_argument("--n", type=int, default=16,
+                    help="FFT log2(points) for the end-to-end runs")
+    args = ap.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    os.chdir(root)
+
+    micro = run_micro(args.build)
+
+    run_exe = os.path.join(args.build, "src", "splash2run")
+    run_args = [run_exe, "--app", "fft", "--procs", "32",
+                "--n", str(args.n)]
+    char_direct = time_cmd(run_args + ["--delivery", "direct"], args.reps)
+    char_batched = time_cmd(run_args + ["--delivery", "batched"],
+                            args.reps)
+
+    fig3_exe = os.path.join(args.build, "bench", "fig3_working_sets")
+    fig3_args = [fig3_exe, "--app", "fft", "--procs", "32",
+                 "--n", str(args.n), "--csv"]
+    sweep_serial = time_cmd(
+        fig3_args + ["--delivery", "direct", "--sweep-threads", "1"],
+        args.reps)
+    sweep_parallel = time_cmd(
+        fig3_args + ["--delivery", "batched", "--sweep-threads", "0"],
+        args.reps)
+
+    report = {
+        "description": "Memory-path cost: MESI hit fast path, batched "
+                       "reference delivery, parallel working-set sweep",
+        "host_cpus": os.cpu_count(),
+        "reference_cost": micro,
+        "end_to_end_characterization": {
+            "workload": " ".join(run_args[1:]),
+            "reps": args.reps,
+            "direct_seconds": char_direct,
+            "batched_seconds": char_batched,
+            "speedup": char_direct / char_batched,
+        },
+        "end_to_end_fig3_sweep": {
+            "workload": " ".join(fig3_args[1:]),
+            "reps": args.reps,
+            "serial_direct_seconds": sweep_serial,
+            "parallel_batched_seconds": sweep_parallel,
+            "speedup": sweep_serial / sweep_parallel,
+        },
+    }
+    with open("BENCH_memsys.json", "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(json.dumps(report["end_to_end_characterization"], indent=2))
+    print(json.dumps(report["end_to_end_fig3_sweep"], indent=2))
+    if report["end_to_end_fig3_sweep"]["speedup"] < 2 \
+            and (os.cpu_count() or 1) >= 4:
+        print("WARNING: fig3 sweep speedup below 2x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

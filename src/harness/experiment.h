@@ -28,12 +28,18 @@ struct RunStats
 };
 
 /** Simulation-substrate knobs shared by the drivers below; the
- *  defaults match EnvConfig (fiber backend, quantum 250). They change
- *  simulation speed, never results. */
+ *  defaults match EnvConfig (fiber backend, quantum 250, batched
+ *  delivery). They change simulation speed, never results. */
 struct SimOpts
 {
     std::uint64_t quantum = 250;
     rt::BackendKind backend = rt::BackendKind::Fiber;
+    /** Reference delivery shape (bit-identical either way). */
+    rt::Delivery delivery = rt::Delivery::Batched;
+    /** Host threads replaying the working-set sweep: 1 = classic
+     *  serial online sweep, 0 = hardware concurrency, N>1 = worker
+     *  pool of that size.  Results are identical for any value. */
+    int sweepThreads = 1;
 };
 
 /** Run @p app on @p nprocs with no memory system attached (PRAM-only;
@@ -42,7 +48,8 @@ inline RunStats
 runPram(App& app, int nprocs, const AppConfig& cfg,
         const SimOpts& sim = {})
 {
-    rt::Env env({rt::Mode::Sim, nprocs, sim.quantum, sim.backend});
+    rt::Env env({rt::Mode::Sim, nprocs, sim.quantum, sim.backend,
+                 sim.delivery});
     RunStats out;
     out.valid = app.run(env, cfg).valid;
     for (int p = 0; p < nprocs; ++p) {
@@ -59,7 +66,7 @@ runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
                  const AppConfig& cfg, const SimOpts& simOpts = {})
 {
     rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
-                 simOpts.backend});
+                 simOpts.backend, simOpts.delivery});
     sim::MachineConfig mc;
     mc.nprocs = nprocs;
     mc.cache = cache;
@@ -78,16 +85,28 @@ runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
 }
 
 /** Run @p app feeding the multi-configuration cache sweep; the caller
- *  owns the sweep so it can query arbitrary operating points. */
+ *  owns the sweep so it can query arbitrary operating points.  With
+ *  simOpts.sweepThreads != 1 the sweep is driven through a
+ *  ParallelSweep capture/replay pipeline (bit-identical results); the
+ *  sweep is fully up to date when this returns. */
 inline RunStats
 runWithSweep(App& app, int nprocs, sim::CacheSweep& sweep,
              const AppConfig& cfg, const SimOpts& simOpts = {})
 {
     rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
-                 simOpts.backend});
-    env.attachSweep(&sweep);
+                 simOpts.backend, simOpts.delivery});
+    std::unique_ptr<sim::ParallelSweep> ps;
+    if (simOpts.sweepThreads != 1) {
+        ps = std::make_unique<sim::ParallelSweep>(sweep,
+                                                  simOpts.sweepThreads);
+        env.attachSink(ps.get());
+    } else {
+        env.attachSweep(&sweep);
+    }
     RunStats out;
     out.valid = app.run(env, cfg).valid;
+    if (ps)
+        ps->flush();
     for (int p = 0; p < nprocs; ++p) {
         out.perProc.push_back(env.stats(p));
         out.exec += env.stats(p);

@@ -45,70 +45,62 @@ ProcCtx::nprocs() const
     return env_->nprocs();
 }
 
-void
-ProcCtx::read(const void* a, std::size_t n)
+const char*
+deliveryName(Delivery d)
 {
-    ++stats_->reads;
-    if (env_->cfg_.mode == Mode::Sim) {
-        Scheduler* s = env_->sched_.get();
-        s->advance(id_, 1);
-        if (env_->mem_) {
-            env_->mem_->access(id_, reinterpret_cast<Addr>(a),
-                               static_cast<int>(n), AccessType::Read);
-        }
-        if (env_->sweep_) {
-            env_->sweep_->access(id_, reinterpret_cast<Addr>(a),
-                                 static_cast<int>(n), AccessType::Read);
-        }
-        s->event(id_);
+    return d == Delivery::Batched ? "batched" : "direct";
+}
+
+bool
+parseDelivery(const std::string& s, Delivery* out)
+{
+    if (s == "batched") {
+        *out = Delivery::Batched;
+        return true;
     }
-}
-
-void
-ProcCtx::write(const void* a, std::size_t n)
-{
-    ++stats_->writes;
-    if (env_->cfg_.mode == Mode::Sim) {
-        Scheduler* s = env_->sched_.get();
-        s->advance(id_, 1);
-        if (env_->mem_) {
-            env_->mem_->access(id_, reinterpret_cast<Addr>(a),
-                               static_cast<int>(n), AccessType::Write);
-        }
-        if (env_->sweep_) {
-            env_->sweep_->access(id_, reinterpret_cast<Addr>(a),
-                                 static_cast<int>(n), AccessType::Write);
-        }
-        s->event(id_);
+    if (s == "direct") {
+        *out = Delivery::Direct;
+        return true;
     }
+    return false;
 }
 
 void
-ProcCtx::work(std::uint64_t n)
+Env::deliver(ProcId p, Addr a, int n, AccessType t)
 {
-    stats_->work += n;
-    if (env_->cfg_.mode == Mode::Sim) {
-        Scheduler* s = env_->sched_.get();
-        s->advance(id_, n);
-        s->event(id_);
+    if (mem_)
+        mem_->access(p, a, n, t);
+    if (sweep_)
+        sweep_->access(p, a, n, t);
+    for (sim::RefSink* s : sinks_)
+        s->access(p, a, n, t);
+}
+
+void
+Env::drainRefs()
+{
+    if (ringN_ == 0)
+        return;
+    const sim::AccessRec* recs = ring_.data();
+    const std::size_t n = ringN_;
+    ringN_ = 0;
+    // Per-sink, not per-record: sinks share no state, so only each
+    // sink's own delivery order matters, and that equals execution
+    // order either way.
+    if (mem_) {
+        for (std::size_t i = 0; i < n; ++i)
+            mem_->access(recs[i].proc, recs[i].addr, recs[i].size,
+                         recs[i].type);
     }
-}
-
-void
-ProcCtx::flops(std::uint64_t n)
-{
-    stats_->flops += n;
-    work(n);
-}
-
-void
-ProcCtx::idle(std::uint64_t n)
-{
-    stats_->pauseWait += n;
-    if (env_->cfg_.mode == Mode::Sim) {
-        Scheduler* s = env_->sched_.get();
-        s->advance(id_, n);
-        s->event(id_);
+    if (sweep_) {
+        for (std::size_t i = 0; i < n; ++i)
+            sweep_->access(recs[i].proc, recs[i].addr, recs[i].size,
+                           recs[i].type);
+    }
+    for (sim::RefSink* s : sinks_) {
+        for (std::size_t i = 0; i < n; ++i)
+            s->access(recs[i].proc, recs[i].addr, recs[i].size,
+                      recs[i].type);
     }
 }
 
@@ -117,9 +109,20 @@ Env::Env(const EnvConfig& cfg)
 {
     if (cfg_.nprocs < 1 || cfg_.nprocs > kMaxProcs)
         fatal("processor count out of range");
-    if (cfg_.mode == Mode::Sim)
+    if (cfg_.mode == Mode::Sim) {
         sched_ = std::make_unique<Scheduler>(cfg_.nprocs, cfg_.quantum,
                                              cfg_.backend);
+        if (cfg_.delivery == Delivery::Batched) {
+            ring_.resize(kRingCap);
+            // Drain before every control transfer so the delivered
+            // order equals the execution order.
+            sched_->setPreSwitchHook(
+                [](void* env, ProcId) {
+                    static_cast<Env*>(env)->drainRefs();
+                },
+                this);
+        }
+    }
 }
 
 Env::~Env() = default;
@@ -146,6 +149,9 @@ Env::run(const std::function<void(ProcCtx&)>& body)
             body(ctxs[p]);
             stats_[p].finishTime = sched_->time(p);
         });
+        // The last processor to finish exits through the backend's
+        // finish path, which bypasses the pre-switch hook.
+        drainRefs();
         tls_env = prevEnv;
         episodeCtxs_ = prevCtxs;
         return;
@@ -167,6 +173,10 @@ Env::run(const std::function<void(ProcCtx&)>& body)
 void
 Env::startMeasurement()
 {
+    // Pending batched records precede the measurement window; deliver
+    // them so the resets below discard them exactly as direct delivery
+    // would have.
+    drainRefs();
     for (int p = 0; p < cfg_.nprocs; ++p) {
         Tick lt = sched_ ? sched_->time(p) : 0;
         stats_[p] = ProcStats{};
@@ -177,6 +187,8 @@ Env::startMeasurement()
         mem_->resetStats();
     if (sweep_)
         sweep_->resetStats();
+    for (sim::RefSink* s : sinks_)
+        s->resetStats();
 }
 
 ProcStats

@@ -32,11 +32,13 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "base/types.h"
 #include "rt/scheduler.h"
 #include "rt/shared_heap.h"
+#include "sim/trace.h"
 
 namespace splash::sim {
 class MemSystem;
@@ -46,6 +48,21 @@ class CacheSweep;
 namespace splash::rt {
 
 enum class Mode { Native, Sim };
+
+/** How instrumented references reach the attached sinks (sim mode).
+ *
+ *  - Direct: every reference calls each sink synchronously.
+ *  - Batched: references append to a record ring drained at every
+ *    scheduling boundary (quantum expiry, block, exit) and at
+ *    measurement boundaries.  Exactly one simulated processor runs at
+ *    a time and the ring is drained before control transfers, so the
+ *    delivered order equals the execution order and all statistics are
+ *    bit-identical to Direct -- only the call pattern changes.
+ */
+enum class Delivery : std::uint8_t { Direct, Batched };
+
+const char* deliveryName(Delivery d);
+bool parseDelivery(const std::string& s, Delivery* out);
 
 /** Per-processor execution statistics (Table 1 / Figure 2 inputs). */
 struct ProcStats
@@ -100,6 +117,8 @@ struct EnvConfig
      *  host thread (default, fast) or one parked host thread per
      *  processor (the historical baton; differential oracle). */
     BackendKind backend = BackendKind::Fiber;
+    /** Reference delivery shape (batched by default; bit-identical). */
+    Delivery delivery = Delivery::Batched;
 };
 
 class Env;
@@ -160,6 +179,16 @@ class Env
     /** Attach/detach reference sinks (sim mode only). */
     void attachMemSystem(sim::MemSystem* m) { mem_ = m; }
     void attachSweep(sim::CacheSweep* s) { sweep_ = s; }
+    /** Attach an additional generic sink (e.g. ParallelSweep, Trace).
+     *  Sinks are delivered to after MemSystem and CacheSweep. */
+    void attachSink(sim::RefSink* s) { sinks_.push_back(s); }
+
+    Delivery delivery() const { return cfg_.delivery; }
+
+    /** Deliver any batched records still in the ring.  Called
+     *  automatically at every scheduling boundary and after run();
+     *  public so tests can force a boundary. */
+    void drainRefs();
 
     /** Zero all statistics (Env + attached sinks) while keeping cache
      *  and clock state. Callable from inside a team when all other
@@ -191,6 +220,15 @@ class Env
   private:
     friend class ProcCtx;
 
+    /** Ring capacity: big enough that drains are amortized over many
+     *  references, small enough to stay L1/L2-resident. */
+    static constexpr std::size_t kRingCap = 4096;
+
+    /** Hot path of the instrumented read/write hooks (sim mode). */
+    void simAccess(ProcId p, Addr a, int n, AccessType t);
+    /** Direct-delivery shape: call every sink for one reference. */
+    void deliver(ProcId p, Addr a, int n, AccessType t);
+
     EnvConfig cfg_;
     SharedHeap heap_;
     std::unique_ptr<Scheduler> sched_;
@@ -199,7 +237,84 @@ class Env
     ProcCtx* episodeCtxs_ = nullptr;
     sim::MemSystem* mem_ = nullptr;
     sim::CacheSweep* sweep_ = nullptr;
+    std::vector<sim::RefSink*> sinks_;
+    /** Batched-delivery record ring; ringN_ is the fill level.  One
+     *  ring serves all processors: only the running processor appends,
+     *  and the ring is drained before control transfers. */
+    std::vector<sim::AccessRec> ring_;
+    std::size_t ringN_ = 0;
 };
+
+// ----------------------------------------------------------------------
+// Inline instrumentation hot path.  One branch on mode, one clock
+// bump, then either a record append (batched) or sink calls (direct).
+
+inline void
+Env::simAccess(ProcId p, Addr a, int n, AccessType t)
+{
+    Scheduler& s = *sched_;
+    s.advance(p, 1);
+    if (cfg_.delivery == Delivery::Batched) [[likely]] {
+        sim::AccessRec& r = ring_[ringN_];
+        r.addr = a;
+        r.ltime = s.time(p);
+        r.size = n;
+        r.proc = static_cast<std::int16_t>(p);
+        r.type = t;
+        if (++ringN_ == kRingCap) [[unlikely]]
+            drainRefs();
+    } else {
+        deliver(p, a, n, t);
+    }
+    s.event(p);
+}
+
+inline void
+ProcCtx::read(const void* a, std::size_t n)
+{
+    ++stats_->reads;
+    if (env_->cfg_.mode == Mode::Sim)
+        env_->simAccess(id_, reinterpret_cast<Addr>(a),
+                        static_cast<int>(n), AccessType::Read);
+}
+
+inline void
+ProcCtx::write(const void* a, std::size_t n)
+{
+    ++stats_->writes;
+    if (env_->cfg_.mode == Mode::Sim)
+        env_->simAccess(id_, reinterpret_cast<Addr>(a),
+                        static_cast<int>(n), AccessType::Write);
+}
+
+inline void
+ProcCtx::work(std::uint64_t n)
+{
+    stats_->work += n;
+    if (env_->cfg_.mode == Mode::Sim) {
+        Scheduler& s = *env_->sched_;
+        s.advance(id_, n);
+        s.event(id_);
+    }
+}
+
+inline void
+ProcCtx::flops(std::uint64_t n)
+{
+    stats_->flops += n;
+    work(n);
+}
+
+inline void
+ProcCtx::idle(std::uint64_t n)
+{
+    stats_->pauseWait += n;
+    if (env_->cfg_.mode == Mode::Sim) {
+        Scheduler& s = *env_->sched_;
+        s.advance(id_, n);
+        s.event(id_);
+    }
+}
 
 } // namespace splash::rt
 

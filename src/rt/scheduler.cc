@@ -70,6 +70,8 @@ Scheduler::run(const std::function<void(ProcId)>& body)
 void
 Scheduler::switchFrom(ProcId p, bool exiting)
 {
+    if (preSwitch_)
+        preSwitch_(preSwitchCtx_, p);
     ProcId next = pickNext();
     if (next < 0) {
         if (doneCount_ == nprocs_)

@@ -93,6 +93,19 @@ class Scheduler
 
     BackendKind backendKind() const { return backend_->kind(); }
 
+    /** Hook invoked with the outgoing processor immediately before any
+     *  control transfer (yield, block, exit).  The batched reference
+     *  delivery drains its record ring here, which is what makes the
+     *  drained order equal the execution order.  Plain function pointer
+     *  plus context: this sits on the context-switch path. */
+    using PreSwitchHook = void (*)(void* ctx, ProcId p);
+    void
+    setPreSwitchHook(PreSwitchHook fn, void* ctx)
+    {
+        preSwitch_ = fn;
+        preSwitchCtx_ = ctx;
+    }
+
   private:
     enum class Status : std::uint8_t { Ready, Running, Blocked, Done };
 
@@ -111,6 +124,8 @@ class Scheduler
     bool active_ = false;
 
     std::unique_ptr<ExecutionBackend> backend_;
+    PreSwitchHook preSwitch_ = nullptr;
+    void* preSwitchCtx_ = nullptr;
     ProcId running_ = -1;
     int doneCount_ = 0;
     std::vector<Status> status_;

@@ -16,10 +16,17 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg)
         index_.reserve(cfg_.numLines() * 2);
 }
 
-std::uint64_t
-Cache::setIndex(Addr lineAddr) const
+LineState
+Cache::probeForBig(Addr lineAddr, AccessType type)
 {
-    return (lineAddr / cfg_.lineSize) & (numSets_ - 1);
+    auto it = index_.find(lineAddr);
+    if (it == index_.end())
+        return LineState::Invalid;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    LineState st = it->second->second;
+    if (type == AccessType::Write && st == LineState::Exclusive)
+        it->second->second = LineState::Modified;
+    return st;
 }
 
 Cache::Way*

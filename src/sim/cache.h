@@ -51,6 +51,31 @@ class Cache
      *  hit. */
     LineState probe(Addr lineAddr);
 
+    /** Hot-path lookup for MemSystem::access: on a hit updates LRU and,
+     *  for a write hit to an Exclusive line, silently promotes it to
+     *  Modified in place (Illinois semantics -- the directory learns
+     *  lazily).  Returns the pre-promotion state; Invalid on miss.
+     *  Inline so the common hit needs no function call. */
+    LineState
+    probeFor(Addr lineAddr, AccessType type)
+    {
+        if (big_) [[unlikely]]
+            return probeForBig(lineAddr, type);
+        Way* base = &sets_[setIndex(lineAddr) * ways_];
+        for (int w = 0; w < ways_; ++w) {
+            Way& e = base[w];
+            if (e.state != LineState::Invalid && e.tag == lineAddr) {
+                e.lastUse = ++useClock_;
+                LineState st = e.state;
+                if (type == AccessType::Write &&
+                    st == LineState::Exclusive)
+                    e.state = LineState::Modified;
+                return st;
+            }
+        }
+        return LineState::Invalid;
+    }
+
     /** Look up without touching LRU state (for external queries). */
     LineState peek(Addr lineAddr) const;
 
@@ -78,9 +103,14 @@ class Cache
         std::uint64_t lastUse = 0;
     };
 
-    std::uint64_t setIndex(Addr lineAddr) const;
+    std::uint64_t
+    setIndex(Addr lineAddr) const
+    {
+        return (lineAddr / cfg_.lineSize) & (numSets_ - 1);
+    }
     Way* findWay(Addr lineAddr);
     const Way* findWay(Addr lineAddr) const;
+    LineState probeForBig(Addr lineAddr, AccessType type);
 
     CacheConfig cfg_;
     int ways_;

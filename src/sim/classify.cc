@@ -12,20 +12,6 @@ MissClassifier::MissClassifier(int nprocs, int lineSize)
 }
 
 void
-MissClassifier::recordWrite(Addr addr, int size)
-{
-    Addr line = lineOf(addr);
-    auto& vers = wordVersion_[line];
-    if (vers.empty())
-        vers.assign(wordsPerLine_, 0);
-    int first = static_cast<int>((addr - line) / kWordBytes);
-    int last = static_cast<int>((addr + size - 1 - line) / kWordBytes);
-    ensure(last < wordsPerLine_, "write spans past line end");
-    for (int w = first; w <= last; ++w)
-        ++vers[w];
-}
-
-void
 MissClassifier::noteInvalidated(ProcId p, Addr lineAddr)
 {
     LostCopy lc;

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/log.h"
 #include "base/types.h"
 #include "sim/stats.h"
 
@@ -41,8 +42,29 @@ class MissClassifier
     MissClassifier(int nprocs, int lineSize);
 
     /** Record that processor @p p wrote [addr, addr+size). Call after any
-     *  invalidations triggered by this write have been reported. */
-    void recordWrite(Addr addr, int size);
+     *  invalidations triggered by this write have been reported.
+     *  Inline and memoized on the last written line: it runs on the
+     *  write-hit fast path, where consecutive writes usually land on
+     *  the same line.  Safe because map values are node-stable and
+     *  never erased. */
+    void
+    recordWrite(Addr addr, int size)
+    {
+        Addr line = lineOf(addr);
+        std::vector<std::uint32_t>* vers = lastVers_;
+        if (line != lastLine_ || !vers) [[unlikely]] {
+            vers = &wordVersion_[line];
+            if (vers->empty())
+                vers->assign(wordsPerLine_, 0);
+            lastLine_ = line;
+            lastVers_ = vers;
+        }
+        int first = static_cast<int>((addr - line) / kWordBytes);
+        int last = static_cast<int>((addr + size - 1 - line) / kWordBytes);
+        ensure(last < wordsPerLine_, "write spans past line end");
+        for (int w = first; w <= last; ++w)
+            ++(*vers)[w];
+    }
 
     /** Processor @p p lost its copy of @p lineAddr to a coherence
      *  invalidation. */
@@ -73,6 +95,9 @@ class MissClassifier
 
     /** Current per-word write version of every line ever written. */
     std::unordered_map<Addr, std::vector<std::uint32_t>> wordVersion_;
+    /** recordWrite memo: the last line written and its version vector. */
+    Addr lastLine_ = 0;
+    std::vector<std::uint32_t>* lastVers_ = nullptr;
 
     /** Per-processor record of how each line was last lost. */
     std::vector<std::unordered_map<Addr, LostCopy>> lost_;

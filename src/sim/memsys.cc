@@ -26,10 +26,41 @@ MemSystem::homeOf(Addr lineAddr) const
     return h;
 }
 
-void
-MemSystem::access(ProcId p, Addr addr, int size, AccessType type)
+#ifndef NDEBUG
+std::uint64_t
+MemSystem::dataBytes(ProcId p) const
 {
-    ensure(p >= 0 && p < cfg_.nprocs, "processor id out of range");
+    const MemStats& s = stats_[p];
+    return s.remoteSharedData + s.remoteColdData +
+           s.remoteCapacityData + s.remoteWriteback + s.localData;
+}
+
+void
+MemSystem::txBegin(ProcId p)
+{
+    tx_.bytesBefore = dataBytes(p);
+    tx_.dataTransfers = 0;
+    tx_.writebacks = 0;
+}
+
+void
+MemSystem::txEnd(ProcId p, int expectData)
+{
+    ensure(tx_.dataTransfers == expectData,
+           "traffic conservation: wrong line supply count");
+    ensure(tx_.writebacks <= 2,
+           "traffic conservation: more than victim + sharing writeback");
+    std::uint64_t moved =
+        std::uint64_t(cfg_.cache.lineSize) *
+        std::uint64_t(tx_.dataTransfers + tx_.writebacks);
+    ensure(dataBytes(p) - tx_.bytesBefore == moved,
+           "traffic conservation: bytes supplied != bytes accounted");
+}
+#endif
+
+void
+MemSystem::accessMulti(ProcId p, Addr addr, int size, AccessType type)
+{
     if (type == AccessType::Read)
         ++stats_[p].reads;
     else
@@ -40,50 +71,72 @@ MemSystem::access(ProcId p, Addr addr, int size, AccessType type)
     for (Addr line = first; line <= last; line += cfg_.cache.lineSize) {
         Addr lo = std::max(addr, line);
         Addr hi = std::min<Addr>(addr + size, line + cfg_.cache.lineSize);
-        accessLine(p, line, lo, static_cast<int>(hi - lo), type);
+        int sz = static_cast<int>(hi - lo);
+        if (type == AccessType::Read) {
+            if (caches_[p].probeFor(line, AccessType::Read) ==
+                LineState::Invalid)
+                readMiss(p, line, lo, sz);
+        } else {
+            LineState st = caches_[p].probeFor(line, AccessType::Write);
+            if (st == LineState::Modified || st == LineState::Exclusive)
+                classifier_.recordWrite(lo, sz);
+            else
+                writeSlow(p, line, lo, sz, st);
+        }
     }
 }
 
 void
-MemSystem::accessLine(ProcId p, Addr lineAddr, Addr addr, int size,
-                      AccessType type)
+MemSystem::readMiss(ProcId p, Addr lineAddr, Addr addr, int size)
 {
-    LineState st = caches_[p].probe(lineAddr);
+#ifndef NDEBUG
+    txBegin(p);
+#endif
+    MissType mt = classifier_.classifyMiss(p, addr, size);
+    ++stats_[p].misses[static_cast<int>(mt)];
+    handleReadMiss(p, lineAddr, mt);
+#ifndef NDEBUG
+    txEnd(p, /*expectData=*/1);
+#endif
+}
 
-    if (type == AccessType::Read) {
-        if (st != LineState::Invalid)
-            return;
-        MissType mt = classifier_.classifyMiss(p, addr, size);
-        ++stats_[p].misses[static_cast<int>(mt)];
-        handleReadMiss(p, lineAddr, mt);
-        return;
-    }
-
-    // Write.
-    switch (st) {
-      case LineState::Modified:
-        break;
-      case LineState::Exclusive:
-        // Illinois silent upgrade: the only cached copy, clean.
-        caches_[p].setState(lineAddr, LineState::Modified);
-        {
-            auto& d = dir_[lineAddr];
-            d.dirty = true;
-            d.owner = p;
-        }
-        break;
-      case LineState::Shared:
+void
+MemSystem::writeSlow(ProcId p, Addr lineAddr, Addr addr, int size,
+                     LineState st)
+{
+#ifndef NDEBUG
+    txBegin(p);
+#endif
+    [[maybe_unused]] int expectData;
+    if (st == LineState::Shared) {
         ++stats_[p].upgrades;
         handleUpgrade(p, lineAddr);
-        break;
-      case LineState::Invalid: {
+        expectData = 0;  // upgrade moves permissions, not data
+    } else {
         MissType mt = classifier_.classifyMiss(p, addr, size);
         ++stats_[p].misses[static_cast<int>(mt)];
         handleWriteMiss(p, lineAddr, mt);
-        break;
-      }
+        expectData = 1;
     }
     classifier_.recordWrite(addr, size);
+#ifndef NDEBUG
+    txEnd(p, expectData);
+#endif
+}
+
+void
+MemSystem::reconcileDir(Addr lineAddr, DirEntry& d)
+{
+    // A silent E->M promotion leaves the directory believing the line
+    // is clean with one sharer.  Detect that state by peeking the sole
+    // holder and record the deferred ownership.
+    if (!d.dirty && d.numSharers() == 1) {
+        ProcId q = static_cast<ProcId>(__builtin_ctzll(d.sharers));
+        if (caches_[q].peek(lineAddr) == LineState::Modified) {
+            d.dirty = true;
+            d.owner = q;
+        }
+    }
 }
 
 void
@@ -93,6 +146,7 @@ MemSystem::handleReadMiss(ProcId p, Addr lineAddr, MissType mt)
     packet(p, p, home);  // request
 
     auto& d = dir_[lineAddr];
+    reconcileDir(lineAddr, d);
     LineState newState;
     if (d.dirty) {
         ProcId q = d.owner;
@@ -157,6 +211,7 @@ MemSystem::handleWriteMiss(ProcId p, Addr lineAddr, MissType mt)
     packet(p, p, home);  // read-exclusive request
 
     auto& d = dir_[lineAddr];
+    reconcileDir(lineAddr, d);
     if (d.dirty) {
         ProcId q = d.owner;
         ensure(q != p, "dirty owner cannot be the missing processor");
@@ -229,6 +284,9 @@ MemSystem::packet(ProcId p, ProcId src, ProcId dst)
 void
 MemSystem::dataTransfer(ProcId p, ProcId src, ProcId dst, MissType mt)
 {
+#ifndef NDEBUG
+    ++tx_.dataTransfers;
+#endif
     const int line = cfg_.cache.lineSize;
     if (src == dst) {
         stats_[p].localData += line;
@@ -253,6 +311,9 @@ MemSystem::dataTransfer(ProcId p, ProcId src, ProcId dst, MissType mt)
 void
 MemSystem::writebackTransfer(ProcId p, ProcId src, ProcId home)
 {
+#ifndef NDEBUG
+    ++tx_.writebacks;
+#endif
     const int line = cfg_.cache.lineSize;
     if (src == home) {
         stats_[p].localData += line;
@@ -296,6 +357,7 @@ MemSystem::checkCoherenceInvariants() const
 {
     for (const auto& [line, d] : dir_) {
         int modified = 0, valid = 0;
+        ProcId mproc = -1;
         for (int p = 0; p < cfg_.nprocs; ++p) {
             LineState st = caches_[p].peek(line);
             bool cached = st != LineState::Invalid;
@@ -307,17 +369,26 @@ MemSystem::checkCoherenceInvariants() const
                 return false;
             if (cached)
                 ++valid;
-            if (st == LineState::Modified)
+            if (st == LineState::Modified) {
                 ++modified;
+                mproc = p;
+            }
             if (st == LineState::Exclusive && d.numSharers() != 1)
                 return false;
         }
         if (modified > 1)
             return false;
-        if (d.dirty != (modified == 1))
-            return false;
-        if (d.dirty && caches_[d.owner].peek(line) != LineState::Modified)
-            return false;
+        if (d.dirty) {
+            if (modified != 1 ||
+                caches_[d.owner].peek(line) != LineState::Modified)
+                return false;
+        } else if (modified == 1) {
+            // Deferred silent E->M promotion: legal only while the
+            // Modified holder is the sole sharer (reconcileDir fixes
+            // the entry at the next directory consult).
+            if (d.numSharers() != 1 || !d.isSharer(mproc))
+                return false;
+        }
         if (cfg_.replacementHints ? valid != d.numSharers()
                                   : valid > d.numSharers())
             return false;

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/log.h"
 #include "base/types.h"
 #include "sim/cache.h"
 #include "sim/classify.h"
@@ -52,8 +53,44 @@ class MemSystem
     /** Issue one memory reference from processor @p p.  References that
      *  straddle a line boundary are split per line (each affected line
      *  goes through the full protocol) but count as a single read or
-     *  write. */
-    void access(ProcId p, Addr addr, int size, AccessType type);
+     *  write.
+     *
+     *  Inlined hit fast path: a read hit in M/E/S and a write hit in
+     *  M/E touch only the requester's tag array (LRU + silent E->M
+     *  promotion), the word-version vector, and the per-processor
+     *  counters.  Directory lookup, home resolution, and traffic
+     *  accounting happen only on the slow paths; the directory's dirty
+     *  bit is reconciled lazily (see reconcileDir). */
+    void
+    access(ProcId p, Addr addr, int size, AccessType type)
+    {
+        ensure(p >= 0 && p < cfg_.nprocs, "processor id out of range");
+        Addr line = lineOf(addr);
+        if (lineOf(addr + size - 1) == line) [[likely]] {
+            if (type == AccessType::Read) {
+                ++stats_[p].reads;
+                if (caches_[p].probeFor(line, AccessType::Read) !=
+                    LineState::Invalid) [[likely]]
+                    return;  // read hit: tag array only
+                readMiss(p, line, addr, size);
+            } else {
+                ++stats_[p].writes;
+                LineState st =
+                    caches_[p].probeFor(line, AccessType::Write);
+                if (st == LineState::Modified ||
+                    st == LineState::Exclusive) [[likely]] {
+                    // Write hit; an Exclusive line was silently
+                    // promoted to Modified in the cache, directory
+                    // reconciliation deferred.
+                    classifier_.recordWrite(addr, size);
+                    return;
+                }
+                writeSlow(p, line, addr, size, st);
+            }
+            return;
+        }
+        accessMulti(p, addr, size, type);
+    }
 
     const MachineConfig& config() const { return cfg_; }
 
@@ -76,8 +113,15 @@ class MemSystem
     bool checkCoherenceInvariants() const;
 
   private:
-    void accessLine(ProcId p, Addr lineAddr, Addr addr, int size,
-                    AccessType type);
+    /** Rare line-straddling reference: split per line, count once. */
+    void accessMulti(ProcId p, Addr addr, int size, AccessType type);
+    /** Slow paths (counters for the reference already bumped). */
+    void readMiss(ProcId p, Addr lineAddr, Addr addr, int size);
+    void writeSlow(ProcId p, Addr lineAddr, Addr addr, int size,
+                   LineState st);
+    /** The fast path promotes E->M without consulting the directory;
+     *  bring the directory entry up to date before it is read. */
+    void reconcileDir(Addr lineAddr, DirEntry& d);
     void handleReadMiss(ProcId p, Addr lineAddr, MissType mt);
     void handleWriteMiss(ProcId p, Addr lineAddr, MissType mt);
     void handleUpgrade(ProcId p, Addr lineAddr);
@@ -101,6 +145,24 @@ class MemSystem
     std::unordered_map<Addr, DirEntry> dir_;
     MissClassifier classifier_;
     std::vector<MemStats> stats_;
+
+#ifndef NDEBUG
+    /** Traffic-conservation invariant, checked per line transaction in
+     *  debug builds: a miss moves exactly one line of data, at most two
+     *  writebacks accompany it (victim + sharing), and the byte
+     *  counters grow by lineSize * (transfers + writebacks) exactly.
+     *  Guards the fast path against silently dropping accounting. */
+    struct TxCheck
+    {
+        std::uint64_t bytesBefore = 0;
+        int dataTransfers = 0;
+        int writebacks = 0;
+    };
+    TxCheck tx_;
+    std::uint64_t dataBytes(ProcId p) const;
+    void txBegin(ProcId p);
+    void txEnd(ProcId p, int expectData);
+#endif
 };
 
 } // namespace splash::sim

@@ -7,8 +7,10 @@
 namespace splash::sim {
 
 namespace {
-/** Timestamp capacity of the Fenwick tree before compaction. */
-constexpr std::uint64_t kTimeCapacity = 1u << 21;
+/** Initial and minimum Fenwick-tree capacity.  Compaction resizes the
+ *  tree to ~4x the live line count, so the hot random-access array
+ *  stays cache resident instead of spanning a fixed 2^21 slots. */
+constexpr std::uint64_t kTimeCapMin = 1u << 16;
 } // namespace
 
 CacheSweep::CacheSweep(const SweepConfig& cfg)
@@ -43,14 +45,15 @@ void
 CacheSweep::StackProfiler::init(std::uint64_t max_lines)
 {
     maxLines = max_lines;
-    bit.assign(kTimeCapacity + 1, 0);
+    timeCap = kTimeCapMin;
+    bit.assign(timeCap + 1, 0);
     hist.assign(max_lines + 2, 0);
 }
 
 void
 CacheSweep::StackProfiler::bitAdd(std::uint64_t i, int delta)
 {
-    for (; i <= kTimeCapacity; i += i & (~i + 1))
+    for (; i <= timeCap; i += i & (~i + 1))
         bit[i] += delta;
 }
 
@@ -66,15 +69,23 @@ CacheSweep::StackProfiler::bitSum(std::uint64_t i) const
 void
 CacheSweep::StackProfiler::compact()
 {
-    // Renumber live lines 1..k in lastTime order and rebuild the tree.
+    // Renumber live lines 1..k in lastTime order and rebuild the tree,
+    // sized to ~4x the live set so timestamps have headroom before the
+    // next compaction.  Relative order is preserved, so every stack
+    // distance computed afterwards is unchanged.
     std::vector<std::pair<std::uint64_t, Addr>> live;
     live.reserve(lines.size());
     for (const auto& [addr, info] : lines)
         live.emplace_back(info.lastTime, addr);
     std::sort(live.begin(), live.end());
-    std::fill(bit.begin(), bit.end(), 0);
+    std::uint64_t want = kTimeCapMin;
+    while (want < 4 * (live.size() + 1))
+        want <<= 1;
+    timeCap = want;
+    bit.assign(timeCap + 1, 0);
     std::uint64_t t = 0;
     for (auto& [time, addr] : live) {
+        (void)time;
         lines[addr].lastTime = ++t;
         bitAdd(t, 1);
     }
@@ -85,7 +96,7 @@ void
 CacheSweep::StackProfiler::touch(Addr line, std::uint32_t oldVer,
                                  std::uint32_t newVer, bool isWrite)
 {
-    if (now + 1 > kTimeCapacity)
+    if (now + 1 > timeCap)
         compact();
     ++now;
     auto it = lines.find(line);
@@ -113,6 +124,72 @@ CacheSweep::StackProfiler::touch(Addr line, std::uint32_t oldVer,
 }
 
 void
+CacheSweep::cohAdvance(Addr lineAddr, ProcId p, bool isWrite,
+                       std::uint32_t* oldVer, std::uint32_t* newVer)
+{
+    Coh& c = coh_[lineAddr];
+    *oldVer = c.version;
+    if (isWrite) {
+        if (c.lastWriter != p || c.readSince) {
+            ++c.version;
+            c.lastWriter = p;
+            c.readSince = false;
+        }
+    } else if (c.lastWriter != p) {
+        c.readSince = true;
+    }
+    *newVer = c.version;
+}
+
+template <typename StaleFn>
+void
+CacheSweep::applyTagArray(TagArray& ta, Addr lineAddr,
+                          std::uint64_t lineId, std::uint32_t oldVer,
+                          std::uint32_t newVer, bool isWrite,
+                          StaleFn&& stale)
+{
+    std::uint64_t set = lineId & ta.setMask;
+    TagEntry* base = &ta.entries[set * ta.ways];
+    TagEntry* found = nullptr;
+    for (int w = 0; w < ta.ways; ++w) {
+        TagEntry& e = base[w];
+        if (e.valid && e.tag == lineAddr) {
+            found = &e;
+            break;
+        }
+    }
+    if (found && found->version == oldVer) {
+        found->lastUse = ++ta.useClock;
+        if (isWrite)
+            found->version = newVer;
+        return;
+    }
+    ++ta.misses;
+    TagEntry* slot = found;
+    if (!slot) {
+        // Victim preference mirrors the eager-invalidation MemSystem:
+        // an empty way first, then a way whose line has been
+        // invalidated by coherence (stale version), then LRU.
+        TagEntry* lru = base;
+        for (int w = 0; w < ta.ways && !slot; ++w) {
+            TagEntry& e = base[w];
+            if (!e.valid)
+                slot = &e;
+            else if (stale(e.tag, e.version))
+                slot = &e;
+            if (e.valid && e.lastUse < lru->lastUse)
+                lru = &e;
+        }
+        if (!slot)
+            slot = lru;
+    }
+    slot->valid = true;
+    slot->tag = lineAddr;
+    slot->version = isWrite ? newVer : oldVer;
+    slot->lastUse = ++ta.useClock;
+}
+
+void
 CacheSweep::access(ProcId p, Addr addr, int size, AccessType type)
 {
     Addr first = alignDown(addr, cfg_.lineSize);
@@ -126,67 +203,18 @@ CacheSweep::accessLine(ProcId p, Addr lineAddr, AccessType type)
 {
     ++accesses_[p];
 
-    Coh& c = coh_[lineAddr];
-    std::uint32_t old_ver = c.version;
-    if (type == AccessType::Write) {
-        if (c.lastWriter != p || c.readSince) {
-            ++c.version;
-            c.lastWriter = p;
-            c.readSince = false;
-        }
-    } else if (c.lastWriter != p) {
-        c.readSince = true;
-    }
-    std::uint32_t new_ver = c.version;
     bool is_write = type == AccessType::Write;
+    std::uint32_t old_ver, new_ver;
+    cohAdvance(lineAddr, p, is_write, &old_ver, &new_ver);
 
     std::uint64_t line_id = lineAddr >> lineShift_;
-    for (auto& ta : arrays_[p]) {
-        std::uint64_t set = line_id & ta.setMask;
-        TagEntry* base = &ta.entries[set * ta.ways];
-        TagEntry* found = nullptr;
-        for (int w = 0; w < ta.ways; ++w) {
-            TagEntry& e = base[w];
-            if (e.valid && e.tag == lineAddr) {
-                found = &e;
-                break;
-            }
-        }
-        if (found && found->version == old_ver) {
-            found->lastUse = ++ta.useClock;
-            if (is_write)
-                found->version = new_ver;
-            continue;
-        }
-        ++ta.misses;
-        TagEntry* slot = found;
-        if (!slot) {
-            // Victim preference mirrors the eager-invalidation
-            // MemSystem: an empty way first, then a way whose line has
-            // been invalidated by coherence (stale version), then LRU.
-            TagEntry* lru = base;
-            for (int w = 0; w < ta.ways && !slot; ++w) {
-                TagEntry& e = base[w];
-                if (!e.valid) {
-                    slot = &e;
-                } else {
-                    auto cit = coh_.find(e.tag);
-                    if (cit != coh_.end() &&
-                        cit->second.version != e.version) {
-                        slot = &e;
-                    }
-                }
-                if (e.valid && e.lastUse < lru->lastUse)
-                    lru = &e;
-            }
-            if (!slot)
-                slot = lru;
-        }
-        slot->valid = true;
-        slot->tag = lineAddr;
-        slot->version = is_write ? new_ver : old_ver;
-        slot->lastUse = ++ta.useClock;
-    }
+    auto stale = [this](Addr tag, std::uint32_t ver) {
+        auto it = coh_.find(tag);
+        return it != coh_.end() && it->second.version != ver;
+    };
+    for (auto& ta : arrays_[p])
+        applyTagArray(ta, lineAddr, line_id, old_ver, new_ver, is_write,
+                      stale);
 
     stacks_[p].touch(lineAddr, old_ver, new_ver, is_write);
 }
@@ -249,6 +277,177 @@ CacheSweep::missRate(std::uint64_t size, int assoc) const
 {
     std::uint64_t a = accesses();
     return a ? double(misses(size, assoc)) / double(a) : 0.0;
+}
+
+// ---------------------------------------------------------------------
+// ParallelSweep
+
+ParallelSweep::ParallelSweep(CacheSweep& sweep, int threads,
+                             std::size_t chunkRecords)
+    : sweep_(sweep), chunkRecords_(chunkRecords)
+{
+    ensure(chunkRecords_ > 0, "chunk must hold at least one record");
+    buf_.reserve(chunkRecords_);
+
+    const int nprocs = sweep_.cfg_.nprocs;
+    const int ncfg = static_cast<int>(sweep_.cfg_.sizes.size() *
+                                      sweep_.cfg_.assocs.size());
+    if (threads == 0) {
+        unsigned hc = std::thread::hardware_concurrency();
+        threads = hc ? static_cast<int>(std::min(hc, 16u)) : 1;
+    }
+    ensure(threads >= 1, "thread count must be positive");
+    threads = std::min(threads, ncfg + nprocs);
+
+    // Inline replay owns every column.
+    inline_.stackMine.assign(nprocs, 1);
+    for (int c = 0; c < ncfg; ++c)
+        inline_.cfgCols.push_back(c);
+    if (threads <= 1)
+        return;
+
+    // Greedy longest-processing-time assignment of columns to workers.
+    // A configuration column does work on every record; a stack column
+    // only on its processor's records, but a Fenwick touch costs a few
+    // tag-array probes.
+    workers_.resize(threads);
+    std::vector<std::uint64_t> load(threads, 0);
+    for (auto& w : workers_)
+        w.stackMine.assign(nprocs, 0);
+    auto least = [&] {
+        int best = 0;
+        for (int i = 1; i < threads; ++i)
+            if (load[i] < load[best])
+                best = i;
+        return best;
+    };
+    const std::uint64_t wCfg = 2 * std::uint64_t(nprocs);
+    const std::uint64_t wStack = 5;
+    for (int c = 0; c < ncfg; ++c) {
+        int i = least();
+        workers_[i].cfgCols.push_back(c);
+        load[i] += wCfg;
+    }
+    for (int p = 0; p < nprocs; ++p) {
+        int i = least();
+        workers_[i].stackMine[p] = 1;
+        load[i] += wStack;
+    }
+    for (auto& w : workers_)
+        w.th = std::thread([this, &w] { workerLoop(w); });
+}
+
+ParallelSweep::~ParallelSweep()
+{
+    flush();
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cvWork_.notify_all();
+        for (auto& w : workers_)
+            w.th.join();
+    }
+}
+
+void
+ParallelSweep::captureLine(ProcId p, Addr lineAddr, bool isWrite)
+{
+    ++sweep_.accesses_[p];
+    std::uint32_t oldVer, newVer;
+    sweep_.cohAdvance(lineAddr, p, isWrite, &oldVer, &newVer);
+    buf_.push_back({lineAddr, oldVer, newVer,
+                    static_cast<std::int16_t>(p),
+                    static_cast<std::uint8_t>(isWrite)});
+    if (buf_.size() >= chunkRecords_)
+        flush();
+}
+
+void
+ParallelSweep::access(ProcId p, Addr addr, int size, AccessType type)
+{
+    const int ls = sweep_.cfg_.lineSize;
+    Addr first = alignDown(addr, ls);
+    Addr last = alignDown(addr + size - 1, ls);
+    bool isWrite = type == AccessType::Write;
+    for (Addr line = first; line <= last; line += ls)
+        captureLine(p, line, isWrite);
+}
+
+void
+ParallelSweep::replayChunk(Worker& w, const Rec* recs, std::size_t n)
+{
+    auto stale = [&w](Addr tag, std::uint32_t ver) {
+        auto it = w.verMap.find(tag);
+        return (it == w.verMap.end() ? 0u : it->second) != ver;
+    };
+    const int shift = sweep_.lineShift_;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Rec& r = recs[i];
+        if (r.newVer != r.oldVer)
+            w.verMap[r.line] = r.newVer;
+        std::uint64_t lineId = r.line >> shift;
+        auto& cols = sweep_.arrays_[r.proc];
+        bool isWrite = r.write != 0;
+        for (int c : w.cfgCols)
+            CacheSweep::applyTagArray(cols[c], r.line, lineId, r.oldVer,
+                                      r.newVer, isWrite, stale);
+        if (w.stackMine[r.proc])
+            sweep_.stacks_[r.proc].touch(r.line, r.oldVer, r.newVer,
+                                         isWrite);
+    }
+}
+
+void
+ParallelSweep::workerLoop(Worker& w)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const Rec* recs;
+        std::size_t n;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cvWork_.wait(lk, [&] { return stop_ || gen_ != seen; });
+            if (gen_ == seen)
+                return;  // stopped with no new work
+            seen = gen_;
+            recs = batch_;
+            n = batchN_;
+        }
+        replayChunk(w, recs, n);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--pending_ == 0)
+                cvDone_.notify_one();
+        }
+    }
+}
+
+void
+ParallelSweep::flush()
+{
+    if (buf_.empty())
+        return;
+    if (workers_.empty()) {
+        replayChunk(inline_, buf_.data(), buf_.size());
+    } else {
+        std::unique_lock<std::mutex> lk(mu_);
+        batch_ = buf_.data();
+        batchN_ = buf_.size();
+        pending_ = static_cast<int>(workers_.size());
+        ++gen_;
+        cvWork_.notify_all();
+        cvDone_.wait(lk, [&] { return pending_ == 0; });
+    }
+    buf_.clear();
+}
+
+void
+ParallelSweep::resetStats()
+{
+    flush();
+    sweep_.resetStats();
 }
 
 } // namespace splash::sim

@@ -18,20 +18,34 @@
  *    invalidations are independent of cache geometry.
  *  - Fully-associative LRU caches of every size are captured at once
  *    with a Mattson stack-distance profile (Fenwick-tree
- *    implementation with periodic timestamp compaction): an access at
- *    stack distance d hits in every capacity >= d lines.
+ *    implementation with periodic timestamp compaction; the tree's
+ *    capacity adapts to the live line count so it stays cache
+ *    resident).
  *
  * Upgrades (a processor writing a Shared line it still holds) are
  * hits, matching the full MemSystem's accounting.
+ *
+ * ParallelSweep exploits the same independence for host parallelism:
+ * the version-stamp update is the only cross-configuration state, so
+ * once each reference is annotated with its (before, after) version
+ * pair at capture time, every tag array and every stack profiler can
+ * be replayed independently.  References are buffered into chunks and
+ * replayed across a worker pool, each worker owning a disjoint set of
+ * configurations/stacks -- results are bit-identical to the serial
+ * sweep for any worker count.
  */
 #ifndef SPLASH2_SIM_SWEEP_H
 #define SPLASH2_SIM_SWEEP_H
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "base/types.h"
+#include "sim/trace.h"
 
 namespace splash::sim {
 
@@ -74,6 +88,8 @@ class CacheSweep
     void resetStats();
 
   private:
+    friend class ParallelSweep;
+
     struct Coh
     {
         std::uint32_t version = 0;
@@ -109,6 +125,7 @@ class CacheSweep
         };
         std::unordered_map<Addr, LineInfo> lines;
         std::vector<std::uint32_t> bit;   // Fenwick tree over timestamps
+        std::uint64_t timeCap = 0;        // current tree capacity
         std::uint64_t now = 0;
         std::vector<std::uint64_t> hist;  // distance histogram (in lines)
         std::uint64_t coldOrStale = 0;
@@ -118,11 +135,25 @@ class CacheSweep
         void bitAdd(std::uint64_t i, int delta);
         std::uint64_t bitSum(std::uint64_t i) const;
         void compact();
-        /** Returns true if the access hits at *some* capacity (i.e. it
-         *  was resident and version-current). */
         void touch(Addr line, std::uint32_t oldVer, std::uint32_t newVer,
                    bool isWrite);
     };
+
+    /** Advance the version-stamp coherence state of @p lineAddr for one
+     *  access and report the (before, after) versions.  The single
+     *  piece of cross-configuration state; shared by the serial path
+     *  and trace capture so the two cannot drift. */
+    void cohAdvance(Addr lineAddr, ProcId p, bool isWrite,
+                    std::uint32_t* oldVer, std::uint32_t* newVer);
+
+    /** Replay one annotated line reference into one tag array.
+     *  @p stale decides whether a resident victim candidate has been
+     *  coherence-invalidated: called with (tag, storedVersion). */
+    template <typename StaleFn>
+    static void applyTagArray(TagArray& ta, Addr lineAddr,
+                              std::uint64_t lineId, std::uint32_t oldVer,
+                              std::uint32_t newVer, bool isWrite,
+                              StaleFn&& stale);
 
     void accessLine(ProcId p, Addr lineAddr, AccessType type);
 
@@ -133,6 +164,93 @@ class CacheSweep
     std::vector<std::vector<TagArray>> arrays_;
     std::vector<StackProfiler> stacks_;
     std::vector<std::uint64_t> accesses_;
+};
+
+/** Captures the reference stream into annotated chunks and replays
+ *  them into a CacheSweep across a host worker pool.
+ *
+ *  Work partition: each worker owns a disjoint subset of the
+ *  (configuration x all-processors) tag-array columns and of the
+ *  per-processor stack profilers, assigned greedily by estimated cost.
+ *  Victim selection needs the version of arbitrary *other* lines at
+ *  replay time, so each worker maintains a sparse line -> version map
+ *  updated only when a record's annotation shows a version bump --
+ *  exact, because a line absent from the map has never been bumped
+ *  (version 0).
+ *
+ *  Feed it via access() (it is a RefSink, so it can be attached to an
+ *  Env with attachSink); call flush() -- or destroy it, or
+ *  resetStats() -- before querying the underlying sweep.  Results are
+ *  bit-identical to the serial CacheSweep for any thread count.
+ *
+ *  While a ParallelSweep is attached, drive the underlying sweep only
+ *  through it: direct CacheSweep::access calls would reorder the
+ *  stream relative to buffered records. */
+class ParallelSweep final : public RefSink
+{
+  public:
+    /** @param threads worker threads; 0 = hardware concurrency, 1 =
+     *  replay inline on the feeding thread (no pool). */
+    explicit ParallelSweep(CacheSweep& sweep, int threads,
+                           std::size_t chunkRecords = std::size_t(1)
+                                                      << 16);
+    ~ParallelSweep() override;
+
+    ParallelSweep(const ParallelSweep&) = delete;
+    ParallelSweep& operator=(const ParallelSweep&) = delete;
+
+    void access(ProcId p, Addr addr, int size, AccessType type) override;
+    void resetStats() override;
+
+    /** Replay all buffered records; the sweep is up to date after. */
+    void flush();
+
+    /** Worker threads in the pool (0 when replaying inline). */
+    int threads() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    /** One captured line reference, annotated at capture time with the
+     *  version-stamp transition so replay needs no shared state. */
+    struct Rec
+    {
+        Addr line;
+        std::uint32_t oldVer;
+        std::uint32_t newVer;
+        std::int16_t proc;
+        std::uint8_t write;
+    };
+
+    struct Worker
+    {
+        std::vector<int> cfgCols;      ///< owned configuration indices
+        std::vector<char> stackMine;   ///< [proc] -> owns that stack
+        /** Line versions as of the record being replayed (sparse:
+         *  only ever-bumped lines appear; absent means version 0). */
+        std::unordered_map<Addr, std::uint32_t> verMap;
+        std::thread th;
+    };
+
+    void captureLine(ProcId p, Addr lineAddr, bool isWrite);
+    void replayChunk(Worker& w, const Rec* recs, std::size_t n);
+    void workerLoop(Worker& w);
+
+    CacheSweep& sweep_;
+    std::size_t chunkRecords_;
+    std::vector<Rec> buf_;
+
+    /** Inline-replay state (threads == 1): reuses Worker bookkeeping
+     *  with every column owned. */
+    Worker inline_;
+
+    std::vector<Worker> workers_;
+    std::mutex mu_;
+    std::condition_variable cvWork_;
+    std::condition_variable cvDone_;
+    const Rec* batch_ = nullptr;
+    std::size_t batchN_ = 0;
+    std::uint64_t gen_ = 0;
+    int pending_ = 0;
+    bool stop_ = false;
 };
 
 } // namespace splash::sim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reference-stream records and sinks.
+ *
+ * The runtime -> simulator boundary moves shared-memory references in
+ * one of two shapes (rt::Delivery): a synchronous call per reference,
+ * or batches of AccessRec drained at scheduling boundaries.  Because
+ * exactly one simulated processor executes at a time and the batch is
+ * drained at every context switch, the drained order equals the
+ * execution order, so both shapes deliver the identical stream.
+ *
+ * RefSink is the consumer interface for components beyond the two
+ * built-in sinks (MemSystem, CacheSweep) -- e.g. the parallel sweep
+ * replayer or a trace capture buffer.
+ */
+#ifndef SPLASH2_SIM_TRACE_H
+#define SPLASH2_SIM_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+
+namespace splash::sim {
+
+/** One captured shared-memory reference. */
+struct AccessRec
+{
+    Addr addr = 0;
+    Tick ltime = 0;  ///< issuing processor's logical clock
+    std::int32_t size = 0;
+    std::int16_t proc = -1;
+    AccessType type = AccessType::Read;
+};
+
+/** Consumer of a reference stream (beyond the built-in sinks). */
+class RefSink
+{
+  public:
+    virtual ~RefSink() = default;
+
+    /** Deliver one reference from processor @p p. */
+    virtual void access(ProcId p, Addr addr, int size,
+                        AccessType type) = 0;
+
+    /** Zero statistics while keeping simulation state (measurement
+     *  windows); buffering sinks must deliver pending records first. */
+    virtual void resetStats() {}
+};
+
+/** In-memory reference trace, stored in fixed-size chunks so capture
+ *  never reallocates a giant contiguous buffer. */
+class Trace final : public RefSink
+{
+  public:
+    static constexpr std::size_t kChunkRecords = std::size_t(1) << 16;
+
+    void
+    access(ProcId p, Addr addr, int size, AccessType type) override
+    {
+        if (chunks_.empty() || chunks_.back().size() == kChunkRecords) {
+            chunks_.emplace_back();
+            chunks_.back().reserve(kChunkRecords);
+        }
+        chunks_.back().push_back(
+            {addr, 0, size, static_cast<std::int16_t>(p), type});
+    }
+
+    std::uint64_t
+    size() const
+    {
+        std::uint64_t n = 0;
+        for (const auto& c : chunks_)
+            n += c.size();
+        return n;
+    }
+
+    /** Visit every record in capture order. */
+    template <typename F>
+    void
+    forEach(F&& f) const
+    {
+        for (const auto& c : chunks_)
+            for (const AccessRec& r : c)
+                f(r);
+    }
+
+    void resetStats() override { chunks_.clear(); }
+
+  private:
+    std::vector<std::vector<AccessRec>> chunks_;
+};
+
+} // namespace splash::sim
+
+#endif // SPLASH2_SIM_TRACE_H

@@ -10,14 +10,17 @@
  *              [--iters 0] [--aux 0] [--cachekb 1024] [--assoc 4]
  *              [--line 64] [--nohints 1] [--nomem 1] [--seed 1234]
  *              [--backend fiber|thread] [--quantum 250]
+ *              [--delivery batched|direct]
  *
  *   splash2run --list          # enumerate programs
  *
  * --backend selects the interleaver's execution mechanism (stackful
  * fibers on one host thread, or one parked host thread per simulated
  * processor); --quantum sets the instrumentation events per scheduling
- * slice.  Both change simulation speed only -- results are
- * bit-identical across backends and quanta.
+ * slice; --delivery selects how references reach the simulator (ring
+ * batches drained at switch boundaries, or a call per reference).
+ * All three change simulation speed only -- results are bit-identical
+ * across backends, quanta, and delivery shapes.
  */
 #include <cstdio>
 #include <cstring>
@@ -56,7 +59,10 @@ main(int argc, char** argv)
             "             the interleaver (default fiber; results are\n"
             "             identical, fibers are much faster)\n"
             "         --quantum N  instrumentation events per\n"
-            "             scheduling slice (default 250)\n");
+            "             scheduling slice (default 250)\n"
+            "         --delivery batched|direct  reference delivery\n"
+            "             shape (default batched; results identical,\n"
+            "             batching is faster)\n");
         return name.empty() ? 2 : 1;
     }
 
@@ -69,6 +75,13 @@ main(int argc, char** argv)
         std::fprintf(stderr,
                      "unknown --backend '%s' (fiber or thread)\n",
                      backendArg.c_str());
+        return 2;
+    }
+    std::string deliveryArg = opt.getS("delivery", "batched");
+    if (!rt::parseDelivery(deliveryArg, &simOpts.delivery)) {
+        std::fprintf(stderr,
+                     "unknown --delivery '%s' (batched or direct)\n",
+                     deliveryArg.c_str());
         return 2;
     }
     AppConfig cfg;
@@ -89,7 +102,7 @@ main(int argc, char** argv)
         cache.assoc = static_cast<int>(opt.getI("assoc", 4));
         cache.lineSize = static_cast<int>(opt.getI("line", 64));
         rt::Env env({rt::Mode::Sim, procs, simOpts.quantum,
-                     simOpts.backend});
+                     simOpts.backend, simOpts.delivery});
         sim::MachineConfig mc;
         mc.nprocs = procs;
         mc.cache = cache;
@@ -113,9 +126,10 @@ main(int argc, char** argv)
         r = runPram(*app, procs, cfg, simOpts);
         std::printf("machine: PRAM (perfect memory)\n");
     }
-    std::printf("interleaver: %s backend, quantum %llu\n",
+    std::printf("interleaver: %s backend, quantum %llu, %s delivery\n",
                 rt::backendName(simOpts.backend),
-                static_cast<unsigned long long>(simOpts.quantum));
+                static_cast<unsigned long long>(simOpts.quantum),
+                rt::deliveryName(simOpts.delivery));
 
     std::printf("\n-- execution --\n");
     std::printf("valid: %s\n", r.valid ? "yes" : "NO");

@@ -15,10 +15,12 @@
 #include "harness/experiment.h"
 #include "rt/exec_backend.h"
 #include "rt/scheduler.h"
+#include "run_compare.h"
 
 using namespace splash;
 using namespace splash::rt;
 using namespace splash::harness;
+using splash::testing::expectSameRun;
 
 namespace {
 
@@ -28,64 +30,10 @@ RunStats
 characterize(const std::string& name, BackendKind kind, long n,
              std::uint64_t quantum = 250)
 {
-    App* app = findApp(name);
-    EXPECT_NE(app, nullptr) << name;
-    AppConfig cfg;
-    cfg.n = n;
-    sim::CacheConfig cache;
     SimOpts sim;
     sim.quantum = quantum;
     sim.backend = kind;
-    return runWithMemSystem(*app, 8, cache, cfg, sim);
-}
-
-void
-expectSameProcStats(const rt::ProcStats& a, const rt::ProcStats& b,
-                    int p)
-{
-    EXPECT_EQ(a.reads, b.reads) << "P" << p;
-    EXPECT_EQ(a.writes, b.writes) << "P" << p;
-    EXPECT_EQ(a.flops, b.flops) << "P" << p;
-    EXPECT_EQ(a.work, b.work) << "P" << p;
-    EXPECT_EQ(a.barriers, b.barriers) << "P" << p;
-    EXPECT_EQ(a.locks, b.locks) << "P" << p;
-    EXPECT_EQ(a.pauses, b.pauses) << "P" << p;
-    EXPECT_EQ(a.barrierWait, b.barrierWait) << "P" << p;
-    EXPECT_EQ(a.lockWait, b.lockWait) << "P" << p;
-    EXPECT_EQ(a.pauseWait, b.pauseWait) << "P" << p;
-    EXPECT_EQ(a.startTime, b.startTime) << "P" << p;
-    EXPECT_EQ(a.finishTime, b.finishTime) << "P" << p;
-}
-
-void
-expectSameMemStats(const sim::MemStats& a, const sim::MemStats& b,
-                   int p)
-{
-    EXPECT_EQ(a.reads, b.reads) << "P" << p;
-    EXPECT_EQ(a.writes, b.writes) << "P" << p;
-    for (int m = 0; m < sim::kNumMissTypes; ++m)
-        EXPECT_EQ(a.misses[m], b.misses[m]) << "P" << p << " type " << m;
-    EXPECT_EQ(a.upgrades, b.upgrades) << "P" << p;
-    EXPECT_EQ(a.remoteSharedData, b.remoteSharedData) << "P" << p;
-    EXPECT_EQ(a.remoteColdData, b.remoteColdData) << "P" << p;
-    EXPECT_EQ(a.remoteCapacityData, b.remoteCapacityData) << "P" << p;
-    EXPECT_EQ(a.remoteWriteback, b.remoteWriteback) << "P" << p;
-    EXPECT_EQ(a.remoteOverhead, b.remoteOverhead) << "P" << p;
-    EXPECT_EQ(a.localData, b.localData) << "P" << p;
-    EXPECT_EQ(a.trueSharedData, b.trueSharedData) << "P" << p;
-}
-
-void
-expectSameRun(const RunStats& a, const RunStats& b)
-{
-    EXPECT_EQ(a.valid, b.valid);
-    EXPECT_EQ(a.elapsed, b.elapsed);
-    ASSERT_EQ(a.perProc.size(), b.perProc.size());
-    for (std::size_t p = 0; p < a.perProc.size(); ++p)
-        expectSameProcStats(a.perProc[p], b.perProc[p], int(p));
-    ASSERT_EQ(a.memPerProc.size(), b.memPerProc.size());
-    for (std::size_t p = 0; p < a.memPerProc.size(); ++p)
-        expectSameMemStats(a.memPerProc[p], b.memPerProc[p], int(p));
+    return splash::testing::characterize(name, n, sim);
 }
 
 /** Scheduler-level event trace: the exact sequence of (proc, clock)

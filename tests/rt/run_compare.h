@@ -1,0 +1,81 @@
+// Shared helpers for differential tests that prove two simulation
+// mechanisms (execution backends, reference-delivery shapes, sweep
+// replay modes) produce bit-identical characterizations.
+#ifndef SPLASH2_TESTS_RT_RUN_COMPARE_H
+#define SPLASH2_TESTS_RT_RUN_COMPARE_H
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/app.h"
+#include "harness/experiment.h"
+
+namespace splash::testing {
+
+/** Full characterization of one app under @p simOpts: 8 processors,
+ *  default 1 MB caches, problem size @p n. */
+inline harness::RunStats
+characterize(const std::string& name, long n,
+             const harness::SimOpts& simOpts)
+{
+    harness::App* app = harness::findApp(name);
+    EXPECT_NE(app, nullptr) << name;
+    harness::AppConfig cfg;
+    cfg.n = n;
+    sim::CacheConfig cache;
+    return harness::runWithMemSystem(*app, 8, cache, cfg, simOpts);
+}
+
+inline void
+expectSameProcStats(const rt::ProcStats& a, const rt::ProcStats& b,
+                    int p)
+{
+    EXPECT_EQ(a.reads, b.reads) << "P" << p;
+    EXPECT_EQ(a.writes, b.writes) << "P" << p;
+    EXPECT_EQ(a.flops, b.flops) << "P" << p;
+    EXPECT_EQ(a.work, b.work) << "P" << p;
+    EXPECT_EQ(a.barriers, b.barriers) << "P" << p;
+    EXPECT_EQ(a.locks, b.locks) << "P" << p;
+    EXPECT_EQ(a.pauses, b.pauses) << "P" << p;
+    EXPECT_EQ(a.barrierWait, b.barrierWait) << "P" << p;
+    EXPECT_EQ(a.lockWait, b.lockWait) << "P" << p;
+    EXPECT_EQ(a.pauseWait, b.pauseWait) << "P" << p;
+    EXPECT_EQ(a.startTime, b.startTime) << "P" << p;
+    EXPECT_EQ(a.finishTime, b.finishTime) << "P" << p;
+}
+
+inline void
+expectSameMemStats(const sim::MemStats& a, const sim::MemStats& b,
+                   int p)
+{
+    EXPECT_EQ(a.reads, b.reads) << "P" << p;
+    EXPECT_EQ(a.writes, b.writes) << "P" << p;
+    for (int m = 0; m < sim::kNumMissTypes; ++m)
+        EXPECT_EQ(a.misses[m], b.misses[m]) << "P" << p << " type " << m;
+    EXPECT_EQ(a.upgrades, b.upgrades) << "P" << p;
+    EXPECT_EQ(a.remoteSharedData, b.remoteSharedData) << "P" << p;
+    EXPECT_EQ(a.remoteColdData, b.remoteColdData) << "P" << p;
+    EXPECT_EQ(a.remoteCapacityData, b.remoteCapacityData) << "P" << p;
+    EXPECT_EQ(a.remoteWriteback, b.remoteWriteback) << "P" << p;
+    EXPECT_EQ(a.remoteOverhead, b.remoteOverhead) << "P" << p;
+    EXPECT_EQ(a.localData, b.localData) << "P" << p;
+    EXPECT_EQ(a.trueSharedData, b.trueSharedData) << "P" << p;
+}
+
+inline void
+expectSameRun(const harness::RunStats& a, const harness::RunStats& b)
+{
+    EXPECT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    ASSERT_EQ(a.perProc.size(), b.perProc.size());
+    for (std::size_t p = 0; p < a.perProc.size(); ++p)
+        expectSameProcStats(a.perProc[p], b.perProc[p], int(p));
+    ASSERT_EQ(a.memPerProc.size(), b.memPerProc.size());
+    for (std::size_t p = 0; p < a.memPerProc.size(); ++p)
+        expectSameMemStats(a.memPerProc[p], b.memPerProc[p], int(p));
+}
+
+} // namespace splash::testing
+
+#endif // SPLASH2_TESTS_RT_RUN_COMPARE_H

@@ -317,3 +317,60 @@ TEST(MemSystemNoHints, RandomTrafficStaysCoherent)
     }
     EXPECT_TRUE(m.checkCoherenceInvariants());
 }
+
+// ----------------------------------------------------------------------
+// The write-hit fast path promotes E->M silently in the cache without
+// touching the directory; the stale (clean) directory entry must be
+// reconciled lazily at the next directory consult.
+
+TEST(MemSystemLazyDirty, SilentUpgradeThenRemoteReadReconciles)
+{
+    FixedHome home(3);
+    MemSystem m(machine(4), &home);
+    m.access(0, kA, 8, AccessType::Read);   // P0: cold read -> E
+    m.access(0, kA, 8, AccessType::Write);  // fast path: E -> M, dir stale
+    EXPECT_EQ(m.lineState(0, kA), LineState::Modified);
+    auto wb = m.procStats(1).remoteWriteback;
+    m.access(1, kA, 8, AccessType::Read);   // consult reconciles dirty bit
+    // Illinois: dirty read is served cache-to-cache with a sharing
+    // writeback updating memory; both copies end Shared.
+    EXPECT_EQ(m.lineState(0, kA), LineState::Shared);
+    EXPECT_EQ(m.lineState(1, kA), LineState::Shared);
+    EXPECT_EQ(m.procStats(1).remoteWriteback - wb, 64u);
+    const DirEntry* d = m.dirEntry(kA);
+    ASSERT_NE(d, nullptr);
+    EXPECT_FALSE(d->dirty);
+    EXPECT_TRUE(m.checkCoherenceInvariants());
+}
+
+TEST(MemSystemLazyDirty, SilentUpgradeThenRemoteWriteReconciles)
+{
+    MemSystem m(machine(4));
+    m.access(0, kA, 8, AccessType::Read);   // E
+    m.access(0, kA, 8, AccessType::Write);  // silent E -> M
+    m.access(1, kA, 8, AccessType::Write);  // write miss: reconcile,
+                                            // fetch dirty data, invalidate
+    EXPECT_EQ(m.lineState(0, kA), LineState::Invalid);
+    EXPECT_EQ(m.lineState(1, kA), LineState::Modified);
+    const DirEntry* d = m.dirEntry(kA);
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->dirty);
+    EXPECT_EQ(d->owner, 1);
+    EXPECT_TRUE(m.checkCoherenceInvariants());
+}
+
+TEST(MemSystemLazyDirty, SilentUpgradeThenEvictionWritesBack)
+{
+    // Direct-mapped 1 KB cache: lines 1024 B apart collide.  The
+    // eviction path trusts the cache's Modified state, not the stale
+    // directory bit, so the silent upgrade must still write back.
+    FixedHome home(1);
+    MemSystem m(machine(2, 1024, 1), &home);
+    m.access(0, kA, 8, AccessType::Read);        // E
+    m.access(0, kA, 8, AccessType::Write);       // silent E -> M
+    m.access(0, kA + 1024, 8, AccessType::Read); // evicts kA
+    EXPECT_EQ(m.lineState(0, kA), LineState::Invalid);
+    EXPECT_EQ(m.procStats(0).remoteWriteback, 64u);
+    EXPECT_EQ(m.dirEntry(kA), nullptr);  // empty entry erased
+    EXPECT_TRUE(m.checkCoherenceInvariants());
+}

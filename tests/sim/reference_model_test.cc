@@ -3,13 +3,21 @@
 // arrays for the infinite-cache case; straightforward per-line state
 // machine). Any divergence in hit/miss decisions, state transitions,
 // or invalidation sets is a bug in one of the two implementations.
+//
+// The same seeded streams also cross-validate the two reference
+// delivery shapes (direct call-per-access versus the batched ring
+// drained at scheduling boundaries) and the parallel sweep replay
+// pipeline against the serial online sweep: all must be state- and
+// statistics-exact.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
 #include <vector>
 
+#include "rt/env.h"
 #include "sim/memsys.h"
+#include "sim/sweep.h"
 
 using namespace splash;
 using namespace splash::sim;
@@ -156,3 +164,150 @@ TEST_P(ReferenceFuzz, MemSystemMatchesReferenceModel)
 INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceFuzz,
                          ::testing::Values(1ull, 42ull, 9999ull,
                                            123456789ull));
+
+namespace {
+
+/** One step of the per-processor fuzz stream: a synthetic address and
+ *  read/write choice.  ProcCtx::read/write never dereference, so
+ *  fabricated addresses give identical streams across Env instances. */
+struct FuzzStep
+{
+    Addr addr;
+    bool write;
+};
+
+FuzzStep
+fuzzStep(std::uint64_t& x)
+{
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    FuzzStep s;
+    s.addr = 0x400000 + ((x >> 33) % 700) * 64 + ((x >> 21) % 7) * 8;
+    s.write = ((x >> 10) & 3) == 0;
+    return s;
+}
+
+/** Run the seeded fuzz stream as a real team program: each processor
+ *  issues its own deterministic subsequence, interleaved by the
+ *  scheduler.  Returns per-proc MemStats; @p touched collects every
+ *  line referenced so callers can compare final states. */
+std::vector<MemStats>
+fuzzMemRun(std::uint64_t seed, rt::Delivery delivery,
+           std::set<Addr>* touched, MemSystem** memOut,
+           std::unique_ptr<MemSystem>& memHold)
+{
+    const int nprocs = 6;
+    rt::Env env({rt::Mode::Sim, nprocs, /*quantum=*/97,
+                 rt::BackendKind::Fiber, delivery});
+    MachineConfig mc;
+    mc.nprocs = nprocs;
+    mc.cache.size = 1u << 22;
+    mc.cache.assoc = 0;
+    memHold = std::make_unique<MemSystem>(mc);
+    env.attachMemSystem(memHold.get());
+    env.run([&](rt::ProcCtx& ctx) {
+        std::uint64_t x = seed * 1000003ull + std::uint64_t(ctx.id());
+        for (int i = 0; i < 6000; ++i) {
+            FuzzStep s = fuzzStep(x);
+            const void* a = reinterpret_cast<const void*>(s.addr);
+            if (s.write)
+                ctx.write(a, 8);
+            else
+                ctx.read(a, 8);
+        }
+    });
+    if (touched) {
+        std::uint64_t x;
+        for (int p = 0; p < nprocs; ++p) {
+            x = seed * 1000003ull + std::uint64_t(p);
+            for (int i = 0; i < 6000; ++i)
+                touched->insert(fuzzStep(x).addr & ~Addr(63));
+        }
+    }
+    *memOut = memHold.get();
+    std::vector<MemStats> out;
+    for (int p = 0; p < nprocs; ++p)
+        out.push_back(memHold->procStats(p));
+    return out;
+}
+
+void
+expectSameStats(const MemStats& a, const MemStats& b, int p)
+{
+    EXPECT_EQ(a.reads, b.reads) << "P" << p;
+    EXPECT_EQ(a.writes, b.writes) << "P" << p;
+    for (int m = 0; m < kNumMissTypes; ++m)
+        EXPECT_EQ(a.misses[m], b.misses[m]) << "P" << p << " type " << m;
+    EXPECT_EQ(a.upgrades, b.upgrades) << "P" << p;
+    EXPECT_EQ(a.remoteSharedData, b.remoteSharedData) << "P" << p;
+    EXPECT_EQ(a.remoteColdData, b.remoteColdData) << "P" << p;
+    EXPECT_EQ(a.remoteCapacityData, b.remoteCapacityData) << "P" << p;
+    EXPECT_EQ(a.remoteWriteback, b.remoteWriteback) << "P" << p;
+    EXPECT_EQ(a.remoteOverhead, b.remoteOverhead) << "P" << p;
+    EXPECT_EQ(a.localData, b.localData) << "P" << p;
+    EXPECT_EQ(a.trueSharedData, b.trueSharedData) << "P" << p;
+}
+
+} // namespace
+
+/** Batched delivery must be state- and stat-exact versus direct on the
+ *  same scheduled fuzz streams: per-proc counters, traffic bytes, and
+ *  the final MESI state of every touched line. */
+TEST_P(ReferenceFuzz, BatchedDeliveryStateAndStatExact)
+{
+    std::set<Addr> touched;
+    MemSystem* memD = nullptr;
+    MemSystem* memB = nullptr;
+    std::unique_ptr<MemSystem> holdD, holdB;
+    auto direct = fuzzMemRun(GetParam(), rt::Delivery::Direct, &touched,
+                             &memD, holdD);
+    auto batched = fuzzMemRun(GetParam(), rt::Delivery::Batched, nullptr,
+                              &memB, holdB);
+    ASSERT_EQ(direct.size(), batched.size());
+    for (std::size_t p = 0; p < direct.size(); ++p)
+        expectSameStats(direct[p], batched[p], int(p));
+    for (Addr line : touched)
+        for (int q = 0; q < 6; ++q)
+            ASSERT_EQ(memD->lineState(q, line), memB->lineState(q, line))
+                << "p" << q << " line " << std::hex << line;
+    EXPECT_TRUE(memD->checkCoherenceInvariants());
+    EXPECT_TRUE(memB->checkCoherenceInvariants());
+}
+
+/** The parallel sweep replay must reproduce the serial online sweep
+ *  exactly at every operating point, for any worker count and chunk
+ *  size -- including tiny chunks that force many flush barriers. */
+TEST_P(ReferenceFuzz, ParallelSweepStatExact)
+{
+    const int nprocs = 6;
+    SweepConfig sc;
+    sc.nprocs = nprocs;
+    CacheSweep serial(sc);
+    std::uint64_t x = GetParam();
+    std::vector<FuzzStep> steps;
+    std::vector<int> procs;
+    for (int i = 0; i < 40000; ++i) {
+        steps.push_back(fuzzStep(x));
+        procs.push_back(static_cast<int>((x >> 60) % nprocs));
+    }
+    for (std::size_t i = 0; i < steps.size(); ++i)
+        serial.access(procs[i], steps[i].addr, 8,
+                      steps[i].write ? AccessType::Write
+                                     : AccessType::Read);
+    for (int threads : {1, 2, 4}) {
+        CacheSweep sweep(sc);
+        {
+            ParallelSweep ps(sweep, threads, /*chunkRecords=*/512);
+            for (std::size_t i = 0; i < steps.size(); ++i)
+                ps.access(procs[i], steps[i].addr, 8,
+                          steps[i].write ? AccessType::Write
+                                         : AccessType::Read);
+        }  // destructor flushes
+        EXPECT_EQ(serial.accesses(), sweep.accesses()) << threads;
+        for (std::uint64_t size : sc.sizes)
+            for (int assoc : {1, 2, 4, 0})
+                EXPECT_EQ(serial.misses(size, assoc),
+                          sweep.misses(size, assoc))
+                    << threads << " workers, " << size << "B " << assoc
+                    << "-way";
+    }
+}

@@ -1,10 +1,19 @@
 // Tests for the single-pass multi-configuration cache sweep, including
-// cross-validation against the full MemSystem simulator.
+// cross-validation against the full MemSystem simulator, exactness of
+// the parallel capture/replay pipeline, and reproduction of the
+// committed Figure 3 curves.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
 #include <vector>
 
+#include "harness/experiment.h"
 #include "sim/memsys.h"
 #include "sim/sweep.h"
 
@@ -176,9 +185,10 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Sweep, CompactionPreservesCounts)
 {
-    // Drive enough accesses to force several Fenwick compactions
-    // (capacity 2^21) and verify the fully-associative profile still
-    // matches a small independent run appended at the end.
+    // Drive enough accesses to force many Fenwick compactions (the
+    // tree's capacity adapts to the live line count, so a small
+    // footprint keeps it tiny and compacts often) and verify the
+    // fully-associative profile is unaffected.
     CacheSweep sw(sweepCfg(1));
     const std::uint64_t kTotal = (1u << 21) + 5000;
     for (std::uint64_t i = 0; i < kTotal; ++i) {
@@ -189,3 +199,140 @@ TEST(Sweep, CompactionPreservesCounts)
     EXPECT_EQ(sw.misses(4 << 10, 0), 64u);
     EXPECT_EQ(sw.accesses(), kTotal);
 }
+
+TEST(Sweep, AdaptiveFenwickGrowsWithFootprint)
+{
+    // A footprint far beyond the minimum tree capacity (2^16 slots)
+    // forces the capacity to grow across compactions; distances must
+    // stay exact.  Scan 40000 distinct lines twice: all cold the first
+    // pass, and on the second pass every line's reuse distance is the
+    // full footprint -- hits only in fully-associative caches that hold
+    // it (>= 40000 * 64 B), misses in all smaller ones.
+    CacheSweep sw(sweepCfg(1));
+    const std::uint64_t kLines = 40000;
+    for (int rep = 0; rep < 2; ++rep)
+        for (std::uint64_t i = 0; i < kLines; ++i)
+            sw.access(0, 0x100000 + i * 64, 8, AccessType::Read);
+    EXPECT_EQ(sw.misses(1 << 20, 0), 2 * kLines);  // 1 MB < footprint
+    EXPECT_EQ(sw.accesses(), 2 * kLines);
+}
+
+// ----------------------------------------------------------------------
+// Parallel capture/replay exactness.
+
+TEST(ParallelSweep, MatchesSerialForAnyWorkerCount)
+{
+    SweepConfig sc;
+    sc.nprocs = 8;
+    CacheSweep serial(sc);
+    auto stream = randomStream(8, 80000, 2500, 4242);
+    for (const auto& acc : stream)
+        serial.access(acc.p, acc.a, 8, acc.t);
+
+    for (int threads : {1, 2, 4}) {
+        CacheSweep sw(sc);
+        {
+            // Tiny chunks force many flush barriers mid-stream.
+            ParallelSweep ps(sw, threads, /*chunkRecords=*/256);
+            for (const auto& acc : stream)
+                ps.access(acc.p, acc.a, 8, acc.t);
+        }
+        EXPECT_EQ(serial.accesses(), sw.accesses()) << threads;
+        for (std::uint64_t size : sc.sizes)
+            for (int assoc : {1, 2, 4, 0})
+                EXPECT_EQ(serial.misses(size, assoc),
+                          sw.misses(size, assoc))
+                    << threads << " workers, size " << size << " assoc "
+                    << assoc;
+    }
+}
+
+TEST(ParallelSweep, ResetStatsMidStreamMatchesSerial)
+{
+    // resetStats() must flush buffered records first, so the counter
+    // zeroing lands at the same stream position as the serial sweep's.
+    SweepConfig sc;
+    sc.nprocs = 4;
+    auto stream = randomStream(4, 30000, 1200, 99);
+
+    CacheSweep serial(sc);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        if (i == stream.size() / 2)
+            serial.resetStats();
+        serial.access(stream[i].p, stream[i].a, 8, stream[i].t);
+    }
+
+    CacheSweep sw(sc);
+    {
+        ParallelSweep ps(sw, 3, /*chunkRecords=*/512);
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            if (i == stream.size() / 2)
+                ps.resetStats();
+            ps.access(stream[i].p, stream[i].a, 8, stream[i].t);
+        }
+    }
+    EXPECT_EQ(serial.accesses(), sw.accesses());
+    for (std::uint64_t size : sc.sizes)
+        for (int assoc : {1, 2, 4, 0})
+            EXPECT_EQ(serial.misses(size, assoc), sw.misses(size, assoc))
+                << "size " << size << " assoc " << assoc;
+}
+
+TEST(ParallelSweep, LineSpanningAccessCountsOncePerLine)
+{
+    SweepConfig sc;
+    sc.nprocs = 1;
+    CacheSweep serial(sc), sw(sc);
+    {
+        ParallelSweep ps(sw, 2);
+        // 16 bytes straddling a 64 B line boundary: two line touches.
+        serial.access(0, 0x1038, 16, AccessType::Read);
+        ps.access(0, 0x1038, 16, AccessType::Read);
+    }
+    EXPECT_EQ(serial.accesses(), 2u);
+    EXPECT_EQ(sw.accesses(), 2u);
+    EXPECT_EQ(serial.misses(1 << 20, 0), sw.misses(1 << 20, 0));
+}
+
+// ----------------------------------------------------------------------
+// Regression against the committed Figure 3 curves: the parallel sweep
+// at the default configuration must reproduce results/fig3.csv.
+
+#ifdef SPLASH2_SOURCE_DIR
+TEST(SweepRegression, ParallelSweepReproducesCommittedFig3Fft)
+{
+    std::string path =
+        std::string(SPLASH2_SOURCE_DIR) + "/results/fig3.csv";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    // (size, assoc) -> committed miss rate for FFT.
+    std::map<std::pair<std::uint64_t, int>, double> committed;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream ss(line);
+        std::string app, szs, as, mrs;
+        std::getline(ss, app, ',');
+        std::getline(ss, szs, ',');
+        std::getline(ss, as, ',');
+        std::getline(ss, mrs, ',');
+        if (app != "FFT")
+            continue;
+        committed[{std::stoull(szs), std::stoi(as)}] = std::stod(mrs);
+    }
+    ASSERT_EQ(committed.size(), 44u) << "11 sizes x 4 associativities";
+
+    using namespace splash::harness;
+    App* app = findApp("fft");
+    ASSERT_NE(app, nullptr);
+    AppConfig cfg;  // default scale 1.0, default problem size
+    SweepConfig sc; // default: 32 procs, 64 B lines
+    CacheSweep sweep(sc);
+    SimOpts simOpts;
+    simOpts.sweepThreads = 3;  // exercise the worker pool
+    runWithSweep(*app, sc.nprocs, sweep, cfg, simOpts);
+
+    for (const auto& [point, mr] : committed)
+        EXPECT_NEAR(sweep.missRate(point.first, point.second), mr, 5e-7)
+            << point.first << "B " << point.second << "-way";
+}
+#endif
