@@ -11,70 +11,73 @@
  *     local). Ignoring placement and interleaving all lines across
  *     nodes shows how much of the "local data" traffic placement buys.
  *
+ * Engine: all four configurations (small-cache hints on/off, 1 MB
+ * placed/interleaved) are broadcast replicas of ONE execution per
+ * application -- the ablation differences come from the identical
+ * reference stream by construction.  Applications are scheduled
+ * across host cores (--jobs); output bytes are identical in every
+ * mode.
+ *
  * Usage: ablation_protocol [--procs 16] [--scale 0.5] [--app <name>]
+ *                          [--jobs N] [--replicas MODE]
  */
 #include <cstdio>
+#include <vector>
 
-#include "harness/experiment.h"
-#include "harness/report.h"
+#include "harness/cli.h"
+#include "harness/runner.h"
 
 using namespace splash;
 using namespace splash::harness;
-
-namespace {
-
-RunStats
-runConfigured(App& app, int nprocs, const AppConfig& cfg, bool hints,
-              bool placement, std::uint64_t cache_bytes)
-{
-    rt::Env env({rt::Mode::Sim, nprocs});
-    sim::MachineConfig mc;
-    mc.nprocs = nprocs;
-    mc.cache.size = cache_bytes;
-    mc.replacementHints = hints;
-    sim::InterleavedHome interleaved(nprocs, mc.cache.lineSize);
-    sim::MemSystem mem(mc, placement
-                               ? static_cast<sim::HomeResolver*>(
-                                     &env.heap())
-                               : &interleaved);
-    env.attachMemSystem(&mem);
-    RunStats out;
-    out.valid = app.run(env, cfg).valid;
-    for (int p = 0; p < nprocs; ++p)
-        out.exec += env.stats(p);
-    out.mem = mem.total();
-    out.elapsed = env.elapsed();
-    return out;
-}
-
-} // namespace
 
 int
 main(int argc, char** argv)
 {
     Options opt(argc, argv);
+    EngineOpts eng;
+    if (!parseEngineOpts(opt, &eng))
+        return 2;
     int procs = static_cast<int>(opt.getI("procs", 16));
     AppConfig cfg;
     cfg.scale = opt.getD("scale", opt.has("quick") ? 0.25 : 0.5);
     std::string only = opt.getS("app", "");
 
     std::uint64_t small = std::uint64_t(opt.getI("cachekb", 16)) << 10;
+    std::vector<App*> apps;
+    for (App* app : suite())
+        if (only.empty() || findApp(only) == app)
+            apps.push_back(app);
+
+    // Replica order: [0] small+hints, [1] small no hints,
+    // [2] 1 MB placed, [3] 1 MB interleaved.
+    std::vector<MemExperiment> exps(4);
+    exps[0].cache.size = small;
+    exps[1].cache.size = small;
+    exps[1].hints = false;
+    exps[3].placed = false;
+
+    std::vector<std::vector<RunStats>> results(apps.size());
+    Runner runner(eng.jobs);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        runner.add(apps[i]->name(), appCostHint(*apps[i]), [&, i] {
+            results[i] = runCharacterizations(*apps[i], procs, exps,
+                                              cfg, eng.sim);
+        });
+    }
+    runner.run();
+
     std::printf("Ablation 1: replacement hints with %llu KB caches "
                 "(remote overhead bytes per reference), %d procs\n\n",
                 static_cast<unsigned long long>(small >> 10), procs);
     Table t1({"Code", "Ovhd/ref (hints)", "Ovhd/ref (none)", "ratio"});
-    for (App* app : suite()) {
-        if (!only.empty() && findApp(only) != app)
-            continue;
-        RunStats with = runConfigured(*app, procs, cfg, true, true,
-                                      small);
-        RunStats without = runConfigured(*app, procs, cfg, false, true,
-                                         small);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const RunStats& with = results[i][0];
+        const RunStats& without = results[i][1];
         double a = double(with.mem.remoteOverhead) /
                    double(with.mem.accesses());
         double b = double(without.mem.remoteOverhead) /
                    double(without.mem.accesses());
-        t1.row({app->name(), fmt("%.4f", a), fmt("%.4f", b),
+        t1.row({apps[i]->name(), fmt("%.4f", a), fmt("%.4f", b),
                 fmt("%.2f", a > 0 ? b / a : 0.0)});
     }
     t1.print();
@@ -84,19 +87,15 @@ main(int argc, char** argv)
                 procs);
     Table t2({"Code", "Local% (placed)", "Local% (interleaved)",
               "RemoteData/ref placed", "interleaved"});
-    for (App* app : suite()) {
-        if (!only.empty() && findApp(only) != app)
-            continue;
-        RunStats placed =
-            runConfigured(*app, procs, cfg, true, true, 1u << 20);
-        RunStats inter =
-            runConfigured(*app, procs, cfg, true, false, 1u << 20);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const RunStats& placed = results[i][2];
+        const RunStats& inter = results[i][3];
         auto localPct = [](const RunStats& r) {
             double data = double(r.mem.localData + r.mem.remoteData());
             return data > 0 ? 100.0 * double(r.mem.localData) / data
                             : 0.0;
         };
-        t2.row({app->name(), fmt("%.1f", localPct(placed)),
+        t2.row({apps[i]->name(), fmt("%.1f", localPct(placed)),
                 fmt("%.1f", localPct(inter)),
                 fmt("%.3f", double(placed.mem.remoteData()) /
                                 double(placed.mem.accesses())),

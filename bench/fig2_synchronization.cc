@@ -9,13 +9,17 @@
  * average synchronization time at their default data sets; expect the
  * same ordering here.
  *
- * Usage: fig2_synchronization [--procs 32] [--scale 1.0]
+ * Engine: each application is one runner job (--jobs overlaps
+ * applications); output bytes are identical for every jobs value.
+ *
+ * Usage: fig2_synchronization [--procs 32] [--scale 1.0] [--jobs N]
  */
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
-#include "harness/experiment.h"
-#include "harness/report.h"
+#include "harness/cli.h"
+#include "harness/runner.h"
 
 using namespace splash;
 using namespace splash::harness;
@@ -24,20 +28,35 @@ int
 main(int argc, char** argv)
 {
     Options opt(argc, argv);
+    EngineOpts eng;
+    if (!parseEngineOpts(opt, &eng))
+        return 2;
     int procs = static_cast<int>(opt.getI("procs", 32));
     AppConfig cfg;
     cfg.scale = opt.getD("scale", opt.has("quick") ? 0.25 : 1.0);
     std::string only = opt.getS("app", "");
+
+    std::vector<App*> apps;
+    for (App* app : suite())
+        if (only.empty() || findApp(only) == app)
+            apps.push_back(app);
+
+    std::vector<RunStats> results(apps.size());
+    Runner runner(eng.jobs);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        runner.add(apps[i]->name(), appCostHint(*apps[i]), [&, i] {
+            results[i] = runPram(*apps[i], procs, cfg, eng.sim);
+        });
+    }
+    runner.run();
 
     std::printf("Figure 2: %% execution time in synchronization, "
                 "%d processors, scale %.3g\n\n",
                 procs, cfg.scale);
     Table t({"Code", "Min%", "Avg%", "Max%", "Barrier%", "Lock%",
              "Pause%"});
-    for (App* app : suite()) {
-        if (!only.empty() && findApp(only) != app)
-            continue;
-        RunStats r = runPram(*app, procs, cfg);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const RunStats& r = results[i];
         double mn = 100, mx = 0, sum = 0;
         double bsum = 0, lsum = 0, psum = 0, tsum = 0;
         for (const auto& ps : r.perProc) {
@@ -51,7 +70,7 @@ main(int argc, char** argv)
             psum += double(ps.pauseWait);
             tsum += el;
         }
-        t.row({app->name(), fmt("%.1f", mn),
+        t.row({apps[i]->name(), fmt("%.1f", mn),
                fmt("%.1f", sum / procs), fmt("%.1f", mx),
                fmt("%.1f", 100.0 * bsum / tsum),
                fmt("%.1f", 100.0 * lsum / tsum),

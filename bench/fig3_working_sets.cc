@@ -11,19 +11,23 @@
  * rates by 1 MB for all codes, a big 1-way -> 2-way improvement and a
  * small 2-way -> 4-way one.
  *
- * Usage: fig3_working_sets [--procs 32] [--scale 1.0] [--app <name>]
- *                          [--n N] [--sweep-threads N]
- *                          [--delivery batched|direct]
+ * Engine: each application (execution + sweep) is one runner job
+ * (--jobs overlaps applications); --sweep-threads selects the host
+ * worker pool replaying the sweep within a job (0 = hardware
+ * concurrency, 1 = serial online); --delivery selects the
+ * runtime->simulator reference delivery shape.  All change wall clock
+ * only -- output bytes are identical.
  *
- * --sweep-threads selects the host worker pool replaying the sweep
- * (0 = hardware concurrency, 1 = serial online); --delivery selects
- * the runtime->simulator reference delivery shape.  Both change wall
- * clock only -- the curves are bit-identical.
+ * Usage: fig3_working_sets [--procs 32] [--scale 1.0] [--app <name>]
+ *                          [--n N] [--sweep-threads N] [--jobs N]
+ *                          [--delivery batched|direct] [--csv]
  */
 #include <cstdio>
+#include <memory>
+#include <vector>
 
-#include "harness/experiment.h"
-#include "harness/report.h"
+#include "harness/cli.h"
+#include "harness/runner.h"
 
 using namespace splash;
 using namespace splash::harness;
@@ -32,6 +36,9 @@ int
 main(int argc, char** argv)
 {
     Options opt(argc, argv);
+    EngineOpts eng;
+    if (!parseEngineOpts(opt, &eng))
+        return 2;
     int procs = static_cast<int>(opt.getI("procs", 32));
     int line = static_cast<int>(opt.getI("line", 64));
     bool csv = opt.has("csv");
@@ -39,14 +46,24 @@ main(int argc, char** argv)
     cfg.scale = opt.getD("scale", opt.has("quick") ? 0.25 : 1.0);
     cfg.n = opt.getI("n", 0);
     std::string only = opt.getS("app", "");
-    SimOpts simOpts;
-    simOpts.sweepThreads = static_cast<int>(opt.getI("sweep-threads", 0));
-    std::string deliveryArg = opt.getS("delivery", "batched");
-    if (!rt::parseDelivery(deliveryArg, &simOpts.delivery)) {
-        std::fprintf(stderr, "unknown --delivery '%s'\n",
-                     deliveryArg.c_str());
-        return 2;
+
+    std::vector<App*> apps;
+    for (App* app : suite())
+        if (only.empty() || findApp(only) == app)
+            apps.push_back(app);
+
+    std::vector<std::unique_ptr<sim::CacheSweep>> sweeps(apps.size());
+    Runner runner(eng.jobs);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        runner.add(apps[i]->name(), appCostHint(*apps[i]), [&, i] {
+            sim::SweepConfig sc;
+            sc.nprocs = procs;
+            sc.lineSize = line;
+            sweeps[i] = std::make_unique<sim::CacheSweep>(sc);
+            runWithSweep(*apps[i], procs, *sweeps[i], cfg, eng.sim);
+        });
     }
+    runner.run();
 
     if (csv)
         std::printf("app,size_bytes,assoc,miss_rate\n");
@@ -54,25 +71,19 @@ main(int argc, char** argv)
         std::printf("Figure 3: miss rate (%%) vs cache size and "
                     "associativity; %d procs, %d B lines, scale %.3g\n",
                     procs, line, cfg.scale);
-    for (App* app : suite()) {
-        if (!only.empty() && findApp(only) != app)
-            continue;
-        sim::SweepConfig sc;
-        sc.nprocs = procs;
-        sc.lineSize = line;
-        sim::CacheSweep sweep(sc);
-        runWithSweep(*app, procs, sweep, cfg, simOpts);
-
+    sim::SweepConfig sc;  // default operating-point list
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        sim::CacheSweep& sweep = *sweeps[i];
         if (csv) {
             for (std::uint64_t size : sc.sizes)
                 for (int assoc : {1, 2, 4, 0})
                     std::printf("%s,%llu,%d,%.6f\n",
-                                app->name().c_str(),
+                                apps[i]->name().c_str(),
                                 static_cast<unsigned long long>(size),
                                 assoc, sweep.missRate(size, assoc));
             continue;
         }
-        std::printf("\n%s\n", app->name().c_str());
+        std::printf("\n%s\n", apps[i]->name().c_str());
         Table t({"Size", "1-way", "2-way", "4-way", "full"});
         for (std::uint64_t size : sc.sizes) {
             std::string label =

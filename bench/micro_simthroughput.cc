@@ -18,10 +18,13 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "rt/env.h"
 #include "rt/scheduler.h"
 #include "rt/shared.h"
 #include "sim/memsys.h"
+#include "sim/replay.h"
 #include "sim/sweep.h"
 
 using namespace splash;
@@ -142,6 +145,30 @@ BM_SweepBatched(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SweepBatched)->Arg(1)->Arg(2)->Arg(0)->UseRealTime();
+
+/** Broadcast replay throughput: the sweepStep reference mix fanned
+ *  out to N MemSystem replicas on consumer threads (N > 0) or
+ *  replayed inline on the producer (N == 0 runs one replica inline).
+ *  items/sec is producer-side references absorbed, so it shows how
+ *  back-pressure scales with the replica count. */
+static void
+BM_Broadcast(benchmark::State& state)
+{
+    const int replicas = static_cast<int>(state.range(0));
+    std::vector<sim::ReplicaSpec> specs(
+        static_cast<std::size_t>(replicas ? replicas : 1));
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        specs[i].machine.nprocs = 4;
+        specs[i].machine.cache.lineSize = 8 << (i % 6);
+    }
+    sim::BroadcastReplay replay(specs, /*threaded=*/replicas > 0);
+    std::uint64_t x = 12345;
+    for (auto _ : state)
+        sweepStep(replay, x);
+    replay.flush();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Broadcast)->Arg(0)->Arg(1)->Arg(2)->Arg(6)->UseRealTime();
 
 /** End-to-end reference delivery under a full Env + MemSystem: the
  *  instrumented read hook, clock bump, scheduling, and sink delivery.

@@ -9,14 +9,18 @@
  * scales and two processor counts to classify its growth empirically,
  * next to the paper's analytic growth expressions.
  *
- * Usage: table2_working_sets [--procs 32] [--scale 1.0]
+ * Engine: each of an application's three sweep profiles (base, 2x
+ * data set, half the processors) is an independent runner job
+ * (--jobs); output bytes are identical for every jobs value.
+ *
+ * Usage: table2_working_sets [--procs 32] [--scale 1.0] [--jobs N]
  */
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.h"
-#include "harness/report.h"
+#include "harness/cli.h"
+#include "harness/runner.h"
 
 using namespace splash;
 using namespace splash::harness;
@@ -99,31 +103,61 @@ int
 main(int argc, char** argv)
 {
     Options opt(argc, argv);
+    EngineOpts eng;
+    if (!parseEngineOpts(opt, &eng))
+        return 2;
     int procs = static_cast<int>(
         opt.getI("procs", opt.has("quick") ? 8 : 32));
     double base = opt.getD("scale", opt.has("quick") ? 0.25 : 1.0);
-    SimOpts simOpts;
-    simOpts.sweepThreads =
-        static_cast<int>(opt.getI("sweep-threads", 0));
+
+    std::vector<App*> apps;
+    for (App* app : suite())
+        apps.push_back(app);
+
+    // Three profiles per application: base, 2x data set, half procs.
+    std::vector<std::vector<Profile>> profiles(
+        apps.size(), std::vector<Profile>(3));
+    Runner runner(eng.jobs);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        struct Variant
+        {
+            const char* tag;
+            int procs;
+            double scale;
+        };
+        const Variant variants[3] = {
+            {"base", procs, base},
+            {"2xDS", procs, base * 2.0},
+            {"P/2", procs / 2, base},
+        };
+        for (int v = 0; v < 3; ++v) {
+            const Variant& var = variants[v];
+            runner.add(apps[i]->name() + "/" + var.tag,
+                       appCostHint(*apps[i]) * var.scale * var.procs,
+                       [&, i, v, var] {
+                           profiles[i][v] = profileAt(
+                               *apps[i], var.procs, var.scale, eng.sim);
+                       });
+        }
+    }
+    runner.run();
 
     std::printf("Table 2: measured first working set (WS1) and its "
                 "empirical growth; base scale %.3g\n\n",
                 base);
     Table t({"Code", "WS1", "WS1 @2xDS", "WS1 @P/2", "MR@WS1(%)",
              "paper growth of WS1"});
-    for (App* app : suite()) {
-        Profile p0 = profileAt(*app, procs, base, simOpts);
-        Profile p_ds = profileAt(*app, procs, base * 2.0, simOpts);
-        Profile p_p = profileAt(*app, procs / 2, base, simOpts);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const Profile& p0 = profiles[i][0];
         std::uint64_t k0 = firstKnee(p0);
-        std::uint64_t kds = firstKnee(p_ds);
-        std::uint64_t kp = firstKnee(p_p);
+        std::uint64_t kds = firstKnee(profiles[i][1]);
+        std::uint64_t kp = firstKnee(profiles[i][2]);
         double mr = 0;
-        for (std::size_t i = 0; i < p0.sizes.size(); ++i)
-            if (p0.sizes[i] == k0)
-                mr = p0.mr[i];
-        t.row({app->name(), kb(k0), kb(kds), kb(kp),
-               fmt("%.3f", 100.0 * mr), paperGrowth(app->name())});
+        for (std::size_t j = 0; j < p0.sizes.size(); ++j)
+            if (p0.sizes[j] == k0)
+                mr = p0.mr[j];
+        t.row({apps[i]->name(), kb(k0), kb(kds), kb(kp),
+               fmt("%.3f", 100.0 * mr), paperGrowth(apps[i]->name())});
     }
     t.print();
     std::printf("\n(WS1 stable across P and growing slowly or not at "

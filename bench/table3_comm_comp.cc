@@ -10,13 +10,18 @@
  * paper's analytic expressions -- e.g. sqrt(P) / sqrt(DS) for Ocean,
  * ~(P-1)/P flattening for FFT and Radix, sqrt(P/DS) for Barnes.
  *
- * Usage: table3_comm_comp [--procs 8] [--scale 1.0]
+ * Engine: each of an application's three ratio points is an
+ * independent runner job (--jobs); output bytes are identical for
+ * every jobs value.
+ *
+ * Usage: table3_comm_comp [--procs 8] [--scale 1.0] [--jobs N]
  */
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "harness/experiment.h"
-#include "harness/report.h"
+#include "harness/cli.h"
+#include "harness/runner.h"
 
 using namespace splash;
 using namespace splash::harness;
@@ -31,12 +36,12 @@ struct Ratio
 };
 
 Ratio
-ratioAt(App& app, int procs, double scale)
+ratioAt(App& app, int procs, double scale, const SimOpts& simOpts)
 {
     sim::CacheConfig cache;  // 1 MB: capacity effects minimized
     AppConfig cfg;
     cfg.scale = scale;
-    RunStats r = runWithMemSystem(app, procs, cache, cfg);
+    RunStats r = runWithMemSystem(app, procs, cache, cfg, simOpts);
     double den = trafficDenominator(app, r.exec);
     Ratio out;
     if (den > 0) {
@@ -82,8 +87,43 @@ int
 main(int argc, char** argv)
 {
     Options opt(argc, argv);
+    EngineOpts eng;
+    if (!parseEngineOpts(opt, &eng))
+        return 2;
     int procs = static_cast<int>(opt.getI("procs", 8));
     double base = opt.getD("scale", opt.has("quick") ? 0.25 : 1.0);
+
+    std::vector<App*> apps;
+    for (App* app : suite())
+        apps.push_back(app);
+
+    // Three points per application: (P, DS), (4P, DS), (P, 4xDS).
+    std::vector<std::vector<Ratio>> ratios(apps.size(),
+                                           std::vector<Ratio>(3));
+    Runner runner(eng.jobs);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        struct Point
+        {
+            const char* tag;
+            int procs;
+            double scale;
+        };
+        const Point points[3] = {
+            {"base", procs, base},
+            {"4P", procs * 4, base},
+            {"4xDS", procs, base * 4.0},
+        };
+        for (int v = 0; v < 3; ++v) {
+            const Point& pt = points[v];
+            runner.add(apps[i]->name() + "/" + pt.tag,
+                       appCostHint(*apps[i]) * pt.scale * pt.procs,
+                       [&, i, v, pt] {
+                           ratios[i][v] = ratioAt(*apps[i], pt.procs,
+                                                  pt.scale, eng.sim);
+                       });
+        }
+    }
+    runner.run();
 
     std::printf("Table 3: communication-to-computation ratio "
                 "(true-sharing bytes per FLOP or instr) and its "
@@ -91,10 +131,10 @@ main(int argc, char** argv)
                 procs, base);
     Table t({"Code", "C/C", "+cold", "C/C @4P", "x(4P)", "C/C @4xDS",
              "x(4DS)", "paper growth"});
-    for (App* app : suite()) {
-        Ratio r0 = ratioAt(*app, procs, base);
-        Ratio rp = ratioAt(*app, procs * 4, base);
-        Ratio rd = ratioAt(*app, procs, base * 4.0);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const Ratio& r0 = ratios[i][0];
+        const Ratio& rp = ratios[i][1];
+        const Ratio& rd = ratios[i][2];
         // LU communicates producer-to-consumer exactly once per block,
         // which the Dubois scheme classifies as (remote) cold; use the
         // cold-inclusive ratio for growth when true sharing is absent.
@@ -105,12 +145,12 @@ main(int argc, char** argv)
         auto safe = [](double a, double b) {
             return b > 0 ? a / b : 0.0;
         };
-        t.row({app->name(), fmt("%.5f", r0.trueShare),
+        t.row({apps[i]->name(), fmt("%.5f", r0.trueShare),
                fmt("%.5f", r0.withCold), fmt("%.5f", pick(rp)),
                fmt("%.2f", safe(pick(rp), pick(r0))),
                fmt("%.5f", pick(rd)),
                fmt("%.2f", safe(pick(rd), pick(r0))),
-               paperGrowth(app->name())});
+               paperGrowth(apps[i]->name())});
     }
     t.print();
     std::printf("\n(x(4P) > 1: communication grows with processors; "

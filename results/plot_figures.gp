@@ -2,8 +2,16 @@
 #
 #   ./build/bench/fig1_speedups --csv > results/fig1.csv
 #   ./build/bench/fig3_working_sets --csv > results/fig3.csv
+#   ./build/bench/fig4_traffic --csv > results/fig4.csv
+#   ./build/bench/fig5_ocean_scaling --csv > results/fig5.csv
+#   ./build/bench/fig6_small_cache --csv > results/fig6.csv
+#   ./build/bench/fig7_miss_classification --csv > results/fig7.csv
 #   gnuplot -e "fig=1" results/plot_figures.gp   # -> fig1.png
 #   gnuplot -e "fig=3" results/plot_figures.gp   # -> fig3_<app>.png
+#   gnuplot -e "fig=4" results/plot_figures.gp   # -> fig4_<app>.png
+#   gnuplot -e "fig=5" results/plot_figures.gp   # -> fig5.png
+#   gnuplot -e "fig=6" results/plot_figures.gp   # -> fig6_<app>.png
+#   gnuplot -e "fig=7" results/plot_figures.gp   # -> fig7_<app>.png
 #
 # (The benches print a header row; gnuplot's `skip 1` below handles it.)
 
@@ -37,5 +45,84 @@ if (fig == 3) {
             'fig3.csv' skip 1 \
             using ($2/1024):(strcol(1) eq app && strcol(3) eq a ? 100*$4 : NaN) \
             with linespoints title (a eq "0" ? "full" : a."-way")
+    }
+}
+
+# Stacked traffic components (Figures 4-6): rem_shared, rem_cold,
+# rem_cap, rem_wb, rem_ovhd, local, per FLOP or instruction.
+if (fig == 4) {
+    set style data histograms
+    set style histogram rowstacked
+    set style fill solid 0.8 border -1
+    set boxwidth 0.75
+    set ylabel 'bytes per FLOP (or instr)'
+    set xlabel 'processors'
+    do for [app in "Barnes Cholesky FFT FMM LU Ocean Radiosity Radix Raytrace Volrend Water-Nsq Water-Sp"] {
+        set output sprintf('fig4_%s.png', app)
+        set title sprintf('Figure 4: %s traffic breakdown (1 MB caches)', app)
+        plot 'fig4.csv' skip 1 \
+                using (strcol(1) eq app ? $3 : NaN):xtic(2) title 'remote shared', \
+            '' skip 1 using (strcol(1) eq app ? $4 : NaN) title 'remote cold', \
+            '' skip 1 using (strcol(1) eq app ? $5 : NaN) title 'remote capacity', \
+            '' skip 1 using (strcol(1) eq app ? $6 : NaN) title 'remote writeback', \
+            '' skip 1 using (strcol(1) eq app ? $7 : NaN) title 'remote overhead', \
+            '' skip 1 using (strcol(1) eq app ? $8 : NaN) title 'local'
+    }
+}
+
+if (fig == 5) {
+    set style data histograms
+    set style histogram rowstacked
+    set style fill solid 0.8 border -1
+    set boxwidth 0.75
+    set output 'fig5.png'
+    set title 'Figure 5: Ocean traffic vs problem size (32 procs, 1 MB)'
+    set ylabel 'bytes per FLOP'
+    set xlabel 'grid'
+    plot 'fig5.csv' skip 1 using 3:xtic(1) title 'remote shared', \
+        '' skip 1 using 4 title 'remote cold', \
+        '' skip 1 using 5 title 'remote capacity', \
+        '' skip 1 using 6 title 'remote writeback', \
+        '' skip 1 using 7 title 'remote overhead', \
+        '' skip 1 using 8 title 'local'
+}
+
+if (fig == 6) {
+    set style data histograms
+    set style histogram rowstacked
+    set style fill solid 0.8 border -1
+    set boxwidth 0.75
+    set ylabel 'bytes per FLOP (or instr)'
+    set xlabel 'processors'
+    do for [app in "FFT Ocean Radix Raytrace"] {
+        set output sprintf('fig6_%s.png', app)
+        set title sprintf('Figure 6: %s traffic with 8 KB caches', app)
+        plot 'fig6.csv' skip 1 \
+                using (strcol(1) eq app && strcol(3) eq "8" ? $4 : NaN):xtic(2) \
+                title 'remote shared', \
+            '' skip 1 using (strcol(1) eq app && strcol(3) eq "8" ? $5 : NaN) title 'remote cold', \
+            '' skip 1 using (strcol(1) eq app && strcol(3) eq "8" ? $6 : NaN) title 'remote capacity', \
+            '' skip 1 using (strcol(1) eq app && strcol(3) eq "8" ? $7 : NaN) title 'remote writeback', \
+            '' skip 1 using (strcol(1) eq app && strcol(3) eq "8" ? $8 : NaN) title 'remote overhead', \
+            '' skip 1 using (strcol(1) eq app && strcol(3) eq "8" ? $9 : NaN) title 'local'
+    }
+}
+
+# Miss decomposition vs line size (misses per 1000 references).
+if (fig == 7) {
+    set style data histograms
+    set style histogram rowstacked
+    set style fill solid 0.8 border -1
+    set boxwidth 0.75
+    set ylabel 'misses per 1000 references'
+    set xlabel 'line size (bytes)'
+    do for [app in "Barnes Cholesky FFT FMM LU Ocean Radiosity Radix Raytrace Volrend Water-Nsq Water-Sp"] {
+        set output sprintf('fig7_%s.png', app)
+        set title sprintf('Figure 7: %s miss decomposition vs line size', app)
+        plot 'fig7.csv' skip 1 \
+                using (strcol(1) eq app ? $3 : NaN):xtic(2) title 'cold', \
+            '' skip 1 using (strcol(1) eq app ? $4 : NaN) title 'capacity', \
+            '' skip 1 using (strcol(1) eq app ? $5 : NaN) title 'true sharing', \
+            '' skip 1 using (strcol(1) eq app ? $6 : NaN) title 'false sharing'
     }
 }

@@ -4,7 +4,7 @@
 Three measurements:
 
  1. Reference cost: the BM_MemSysHit / BM_MemSysMiss / BM_SweepAccess /
-    BM_SweepBatched / BM_Delivery_* microbenchmarks from
+    BM_SweepBatched / BM_Delivery_* / BM_Broadcast microbenchmarks from
     bench/micro_simthroughput (each reports references per second;
     ns/ref = 1e9 / that).
  2. End-to-end characterization: wall clock of a full splash2run
@@ -24,37 +24,9 @@ Writes BENCH_memsys.json in the repository root.
 import argparse
 import json
 import os
-import subprocess
 import sys
-import time
 
-
-def run_micro(build):
-    exe = os.path.join(build, "bench", "micro_simthroughput")
-    out = subprocess.run(
-        [exe, "--benchmark_filter=MemSys|Sweep|Delivery",
-         "--benchmark_format=json"],
-        check=True, capture_output=True, text=True).stdout
-    data = json.loads(out)
-    micro = {}
-    for b in data["benchmarks"]:
-        name = b["name"].replace("/real_time", "")
-        per_sec = b["items_per_second"]
-        micro[name] = {
-            "refs_per_sec": per_sec,
-            "ns_per_ref": 1e9 / per_sec,
-        }
-    return micro
-
-
-def time_cmd(cmd, reps):
-    best = None
-    for _ in range(reps):
-        t0 = time.monotonic()
-        subprocess.run(cmd, check=True, capture_output=True)
-        dt = time.monotonic() - t0
-        best = dt if best is None else min(best, dt)
-    return best
+import benchlib
 
 
 def main():
@@ -65,25 +37,26 @@ def main():
                     help="FFT log2(points) for the end-to-end runs")
     args = ap.parse_args()
 
-    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    os.chdir(root)
+    os.chdir(benchlib.repo_root())
 
-    micro = run_micro(args.build)
+    micro = benchlib.run_micro(
+        args.build, "MemSys|Sweep|Delivery|Broadcast", "ref")
 
     run_exe = os.path.join(args.build, "src", "splash2run")
     run_args = [run_exe, "--app", "fft", "--procs", "32",
                 "--n", str(args.n)]
-    char_direct = time_cmd(run_args + ["--delivery", "direct"], args.reps)
-    char_batched = time_cmd(run_args + ["--delivery", "batched"],
-                            args.reps)
+    char_direct = benchlib.time_cmd(
+        run_args + ["--delivery", "direct"], args.reps)
+    char_batched = benchlib.time_cmd(
+        run_args + ["--delivery", "batched"], args.reps)
 
     fig3_exe = os.path.join(args.build, "bench", "fig3_working_sets")
     fig3_args = [fig3_exe, "--app", "fft", "--procs", "32",
                  "--n", str(args.n), "--csv"]
-    sweep_serial = time_cmd(
+    sweep_serial = benchlib.time_cmd(
         fig3_args + ["--delivery", "direct", "--sweep-threads", "1"],
         args.reps)
-    sweep_parallel = time_cmd(
+    sweep_parallel = benchlib.time_cmd(
         fig3_args + ["--delivery", "batched", "--sweep-threads", "0"],
         args.reps)
 
@@ -107,9 +80,7 @@ def main():
             "speedup": sweep_serial / sweep_parallel,
         },
     }
-    with open("BENCH_memsys.json", "w") as f:
-        json.dump(report, f, indent=2)
-        f.write("\n")
+    benchlib.write_report("BENCH_memsys.json", report)
     print(json.dumps(report["end_to_end_characterization"], indent=2))
     print(json.dumps(report["end_to_end_fig3_sweep"], indent=2))
     if report["end_to_end_fig3_sweep"]["speedup"] < 2 \

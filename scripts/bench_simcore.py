@@ -17,39 +17,9 @@ Writes BENCH_simcore.json in the repository root.
 import argparse
 import json
 import os
-import subprocess
 import sys
-import time
 
-
-def run_micro(build):
-    exe = os.path.join(build, "bench", "micro_simthroughput")
-    out = subprocess.run(
-        [exe, "--benchmark_filter=PingPong|Yield",
-         "--benchmark_format=json"],
-        check=True, capture_output=True, text=True).stdout
-    data = json.loads(out)
-    micro = {}
-    for b in data["benchmarks"]:
-        name = b["name"].replace("/real_time", "")
-        sw_per_sec = b["items_per_second"]
-        micro[name] = {
-            "switches_per_sec": sw_per_sec,
-            "ns_per_switch": 1e9 / sw_per_sec,
-        }
-    return micro
-
-
-def time_e2e(build, backend, reps, args):
-    exe = os.path.join(build, "src", "splash2run")
-    cmd = [exe] + args + ["--backend", backend]
-    best = None
-    for _ in range(reps):
-        t0 = time.monotonic()
-        subprocess.run(cmd, check=True, capture_output=True)
-        dt = time.monotonic() - t0
-        best = dt if best is None else min(best, dt)
-    return best
+import benchlib
 
 
 def main():
@@ -58,20 +28,22 @@ def main():
     ap.add_argument("--reps", type=int, default=3)
     args = ap.parse_args()
 
-    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    os.chdir(root)
+    os.chdir(benchlib.repo_root())
 
-    micro = run_micro(args.build)
+    micro = benchlib.run_micro(args.build, "PingPong|Yield", "switch")
 
     def ratio(base):
         f = micro[base + "_Fiber"]["ns_per_switch"]
         t = micro[base + "_Thread"]["ns_per_switch"]
         return t / f
 
+    exe = os.path.join(args.build, "src", "splash2run")
     e2e_args = ["--app", "fft", "--procs", "32", "--n", "16",
                 "--quantum", "10"]
-    fiber_s = time_e2e(args.build, "fiber", args.reps, e2e_args)
-    thread_s = time_e2e(args.build, "thread", args.reps, e2e_args)
+    fiber_s = benchlib.time_cmd(
+        [exe] + e2e_args + ["--backend", "fiber"], args.reps)
+    thread_s = benchlib.time_cmd(
+        [exe] + e2e_args + ["--backend", "thread"], args.reps)
 
     report = {
         "description": "Execution-core cost: fiber backend vs "
@@ -89,9 +61,7 @@ def main():
             "speedup": thread_s / fiber_s,
         },
     }
-    with open("BENCH_simcore.json", "w") as f:
-        json.dump(report, f, indent=2)
-        f.write("\n")
+    benchlib.write_report("BENCH_simcore.json", report)
     print(json.dumps(report["switch_speedup"], indent=2))
     print(json.dumps(report["end_to_end"], indent=2))
     if min(report["switch_speedup"].values()) < 10:

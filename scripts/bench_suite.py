@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Time the full figure/table suite through the characterization
+engine: serial oracle (--jobs 1 --replicas off, one dedicated
+execution per configuration) versus the parallel runner + broadcast
+replay (--jobs N --replicas auto), verifying byte-identical output,
+and write BENCH_suite.json.
+
+This is the tentpole acceptance measurement: on a multi-core host the
+parallel suite should be >= 3x faster; on any host the broadcast still
+removes the (N-1) redundant executions behind Figures 6/7 and the
+protocol ablation.
+
+Usage: scripts/bench_suite.py [--build build] [--jobs 0] [--full]
+                              [--targets fig7,...] [--reps 1]
+Writes BENCH_suite.json in the repository root.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+import benchlib
+
+# (target, extra args): every figure/table bench in the suite.
+TARGETS = [
+    ("fig1_speedups", []),
+    ("fig2_synchronization", []),
+    ("fig3_working_sets", []),
+    ("fig4_traffic", []),
+    ("fig5_ocean_scaling", []),
+    ("fig6_small_cache", []),
+    ("fig7_miss_classification", []),
+    ("table1_characterization", []),
+    ("table2_working_sets", []),
+    ("table3_comm_comp", []),
+    ("ablation_protocol", []),
+]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", default="build")
+    ap.add_argument("--jobs", type=int, default=0,
+                    help="parallel-runner job count (0 = host cores)")
+    ap.add_argument("--full", action="store_true",
+                    help="paper-scale runs (default: --quick)")
+    ap.add_argument("--targets", default="",
+                    help="comma-separated subset of bench targets")
+    ap.add_argument("--reps", type=int, default=1)
+    args = ap.parse_args()
+
+    os.chdir(benchlib.repo_root())
+    only = set(t for t in args.targets.split(",") if t)
+    scale_args = [] if args.full else ["--quick"]
+
+    suite = {}
+    serial_total = 0.0
+    parallel_total = 0.0
+    mismatches = []
+    for target, extra in TARGETS:
+        if only and target not in only:
+            continue
+        exe = os.path.join(args.build, "bench", target)
+        base = [exe] + extra + scale_args
+        with tempfile.TemporaryDirectory() as td:
+            s_out = os.path.join(td, "serial.txt")
+            p_out = os.path.join(td, "parallel.txt")
+            serial_s = benchlib.time_cmd(
+                base + ["--jobs", "1", "--replicas", "off"],
+                args.reps, capture_to=s_out)
+            parallel_s = benchlib.time_cmd(
+                base + ["--jobs", str(args.jobs)],
+                args.reps, capture_to=p_out)
+            with open(s_out, "rb") as f:
+                serial_bytes = f.read()
+            with open(p_out, "rb") as f:
+                parallel_bytes = f.read()
+        identical = serial_bytes == parallel_bytes
+        if not identical:
+            mismatches.append(target)
+        suite[target] = {
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s else 0.0,
+            "output_identical": identical,
+        }
+        serial_total += serial_s
+        parallel_total += parallel_s
+        print(f"{target}: {serial_s:.2f}s -> {parallel_s:.2f}s "
+              f"({'ok' if identical else 'OUTPUT MISMATCH'})")
+
+    report = {
+        "description": "Full figure/table suite through the parallel "
+                       "experiment runner + broadcast replay vs the "
+                       "serial oracle (--jobs 1 --replicas off); "
+                       "outputs byte-compared",
+        "host_cpus": os.cpu_count(),
+        "jobs": args.jobs,
+        "scale": "full" if args.full else "quick",
+        "reps": args.reps,
+        "targets": suite,
+        "serial_total_seconds": serial_total,
+        "parallel_total_seconds": parallel_total,
+        "suite_speedup": (serial_total / parallel_total
+                          if parallel_total else 0.0),
+    }
+    benchlib.write_report("BENCH_suite.json", report)
+    print(json.dumps({k: report[k] for k in
+                      ("serial_total_seconds", "parallel_total_seconds",
+                       "suite_speedup")}, indent=2))
+    if mismatches:
+        print("OUTPUT MISMATCH in: " + ", ".join(mismatches),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

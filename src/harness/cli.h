@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Engine-related command-line flags shared by every characterization
+ * bench and by splash2run:
+ *
+ *   --jobs N          host threads for independent experiments
+ *                     (0 = hardware concurrency; default 1 = serial)
+ *   --replicas MODE   broadcast replay of multi-configuration runs:
+ *                     off | inline | threads | auto (default auto)
+ *   --backend KIND    interleaver execution mechanism: fiber | thread
+ *   --quantum N       instrumentation events per scheduling slice
+ *   --delivery SHAPE  reference delivery: batched | direct
+ *   --sweep-threads N working-set sweep replay pool
+ *
+ * Every flag changes wall clock only; results and output bytes are
+ * identical for any combination (--jobs 1 --replicas off is the
+ * serial differential oracle).
+ */
+#ifndef SPLASH2_HARNESS_CLI_H
+#define SPLASH2_HARNESS_CLI_H
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace splash::harness {
+
+struct EngineOpts
+{
+    int jobs = 1;
+    SimOpts sim;
+};
+
+/** Parse the shared engine flags; prints to stderr and returns false
+ *  on an unrecognized value. */
+inline bool
+parseEngineOpts(const Options& opt, EngineOpts* out)
+{
+    out->jobs = static_cast<int>(opt.getI("jobs", 1));
+    out->sim.quantum =
+        static_cast<std::uint64_t>(opt.getI("quantum", 250));
+    out->sim.sweepThreads =
+        static_cast<int>(opt.getI("sweep-threads", 0));
+    std::string backend = opt.getS("backend", "fiber");
+    if (!rt::parseBackendKind(backend, &out->sim.backend)) {
+        std::fprintf(stderr,
+                     "unknown --backend '%s' (fiber or thread)\n",
+                     backend.c_str());
+        return false;
+    }
+    std::string delivery = opt.getS("delivery", "batched");
+    if (!rt::parseDelivery(delivery, &out->sim.delivery)) {
+        std::fprintf(stderr,
+                     "unknown --delivery '%s' (batched or direct)\n",
+                     delivery.c_str());
+        return false;
+    }
+    std::string replicas = opt.getS("replicas", "auto");
+    if (!parseReplicas(replicas, &out->sim.replicas)) {
+        std::fprintf(stderr,
+                     "unknown --replicas '%s' (off, inline, threads, "
+                     "or auto)\n",
+                     replicas.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Relative execution cost of one characterization of @p app at the
+ *  suite default problem size -- a scheduling hint for the runner's
+ *  LPT ordering (measured on the committed results; only the ordering
+ *  matters, not the absolute values). */
+inline double
+appCostHint(const App& app)
+{
+    const std::string n = app.name();
+    if (n == "FMM") return 8.0;
+    if (n == "Barnes") return 6.0;
+    if (n == "Ocean") return 5.0;
+    if (n == "Water-Nsq") return 4.0;
+    if (n == "Radiosity") return 3.0;
+    if (n == "Raytrace") return 3.0;
+    if (n == "Volrend") return 2.0;
+    if (n == "Water-Sp") return 2.0;
+    if (n == "Cholesky") return 1.5;
+    return 1.0;  // FFT, LU, Radix
+}
+
+} // namespace splash::harness
+
+#endif // SPLASH2_HARNESS_CLI_H

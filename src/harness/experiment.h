@@ -8,10 +8,12 @@
 #define SPLASH2_HARNESS_EXPERIMENT_H
 
 #include <memory>
+#include <thread>
 
 #include "harness/app.h"
 #include "rt/env.h"
 #include "sim/memsys.h"
+#include "sim/replay.h"
 #include "sim/sweep.h"
 
 namespace splash::harness {
@@ -27,6 +29,42 @@ struct RunStats
     bool valid = true;
 };
 
+/** How multi-configuration characterizations execute (bit-identical
+ *  results in every mode):
+ *
+ *  - Off: one dedicated execution per configuration, each with its
+ *    own Env (the historical serial path; differential oracle).
+ *  - Inline: one execution broadcast to all configurations, replicas
+ *    replayed on the producer thread (saves the redundant executions
+ *    on single-core hosts).
+ *  - Threaded: one execution broadcast to all configurations, one
+ *    consumer thread per replica with bounded back-pressure.
+ *  - Auto: Threaded when the host has more than one core, else
+ *    Inline. */
+enum class Replicas : std::uint8_t { Off, Inline, Threaded, Auto };
+
+inline const char*
+replicasName(Replicas r)
+{
+    switch (r) {
+    case Replicas::Off: return "off";
+    case Replicas::Inline: return "inline";
+    case Replicas::Threaded: return "threads";
+    default: return "auto";
+    }
+}
+
+inline bool
+parseReplicas(const std::string& s, Replicas* out)
+{
+    if (s == "off") *out = Replicas::Off;
+    else if (s == "inline") *out = Replicas::Inline;
+    else if (s == "threads") *out = Replicas::Threaded;
+    else if (s == "auto" || s == "on") *out = Replicas::Auto;
+    else return false;
+    return true;
+}
+
 /** Simulation-substrate knobs shared by the drivers below; the
  *  defaults match EnvConfig (fiber backend, quantum 250, batched
  *  delivery). They change simulation speed, never results. */
@@ -40,6 +78,8 @@ struct SimOpts
      *  serial online sweep, 0 = hardware concurrency, N>1 = worker
      *  pool of that size.  Results are identical for any value. */
     int sweepThreads = 1;
+    /** Broadcast-replay mode for multi-configuration experiments. */
+    Replicas replicas = Replicas::Auto;
 };
 
 /** Run @p app on @p nprocs with no memory system attached (PRAM-only;
@@ -81,6 +121,91 @@ runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
     }
     out.mem = mem.total();
     out.elapsed = env.elapsed();
+    return out;
+}
+
+/** One memory-system operating point of a multi-configuration
+ *  characterization. */
+struct MemExperiment
+{
+    sim::CacheConfig cache;
+    bool hints = true;   ///< replacement hints (protocol ablation)
+    bool placed = true;  ///< placement-aware homes vs pure interleave
+};
+
+/** Characterize @p app on @p nprocs under every configuration in
+ *  @p exps from ONE reference stream.
+ *
+ *  The PRAM reference stream of a given (app, P) does not depend on
+ *  the memory system, so with broadcast replay enabled (the default)
+ *  the application executes once and a BroadcastReplay feeds one
+ *  MemSystem replica per experiment; with Replicas::Off each
+ *  experiment re-executes serially in its own Env.  Statistics are
+ *  bit-identical across all modes (tests/sim/replay_test.cc). */
+inline std::vector<RunStats>
+runCharacterizations(App& app, int nprocs,
+                     const std::vector<MemExperiment>& exps,
+                     const AppConfig& cfg, const SimOpts& simOpts = {})
+{
+    std::vector<RunStats> out;
+    Replicas mode = simOpts.replicas;
+    if (mode == Replicas::Auto)
+        mode = std::thread::hardware_concurrency() > 1
+                   ? Replicas::Threaded
+                   : Replicas::Inline;
+    if (mode == Replicas::Off || exps.size() <= 1) {
+        for (const MemExperiment& e : exps) {
+            rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
+                         simOpts.backend, simOpts.delivery});
+            sim::MachineConfig mc;
+            mc.nprocs = nprocs;
+            mc.cache = e.cache;
+            mc.replacementHints = e.hints;
+            sim::MemSystem mem(mc, e.placed ? &env.heap() : nullptr);
+            env.attachMemSystem(&mem);
+            RunStats r;
+            r.valid = app.run(env, cfg).valid;
+            for (int p = 0; p < nprocs; ++p) {
+                r.perProc.push_back(env.stats(p));
+                r.exec += env.stats(p);
+                r.memPerProc.push_back(mem.procStats(p));
+            }
+            r.mem = mem.total();
+            r.elapsed = env.elapsed();
+            out.push_back(std::move(r));
+        }
+        return out;
+    }
+
+    rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
+                 simOpts.backend, simOpts.delivery});
+    std::vector<sim::ReplicaSpec> specs;
+    specs.reserve(exps.size());
+    for (const MemExperiment& e : exps) {
+        sim::ReplicaSpec s;
+        s.machine.nprocs = nprocs;
+        s.machine.cache = e.cache;
+        s.machine.replacementHints = e.hints;
+        s.homes = e.placed ? &env.heap() : nullptr;
+        specs.push_back(s);
+    }
+    sim::BroadcastReplay replay(specs, mode == Replicas::Threaded);
+    env.attachSink(&replay);
+    RunStats base;
+    base.valid = app.run(env, cfg).valid;
+    replay.flush();
+    for (int p = 0; p < nprocs; ++p) {
+        base.perProc.push_back(env.stats(p));
+        base.exec += env.stats(p);
+    }
+    base.elapsed = env.elapsed();
+    for (int i = 0; i < replay.replicas(); ++i) {
+        RunStats r = base;
+        for (int p = 0; p < nprocs; ++p)
+            r.memPerProc.push_back(replay.replica(i).procStats(p));
+        r.mem = replay.replica(i).total();
+        out.push_back(std::move(r));
+    }
     return out;
 }
 

@@ -112,6 +112,14 @@ Env::Env(const EnvConfig& cfg)
     if (cfg_.mode == Mode::Sim) {
         sched_ = std::make_unique<Scheduler>(cfg_.nprocs, cfg_.quantum,
                                              cfg_.backend);
+        // Home placement must stay stream-ordered for buffering sinks:
+        // deliver (and fully replay) everything issued under the old
+        // placement before the span map changes.
+        heap_.setPlacementObserver([this] {
+            drainRefs();
+            for (sim::RefSink* s : sinks_)
+                s->streamBarrier();
+        });
         if (cfg_.delivery == Delivery::Batched) {
             ring_.resize(kRingCap);
             // Drain before every control transfer so the delivered

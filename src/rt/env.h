@@ -254,6 +254,10 @@ Env::simAccess(ProcId p, Addr a, int n, AccessType t)
 {
     Scheduler& s = *sched_;
     s.advance(p, 1);
+    // Sinks see simulated (arena-relative) addresses, so set indices,
+    // interleaving, and home resolution never depend on where the host
+    // kernel mapped the arena.
+    a = heap_.toSim(a);
     if (cfg_.delivery == Delivery::Batched) [[likely]] {
         sim::AccessRec& r = ring_[ringN_];
         r.addr = a;

@@ -12,6 +12,7 @@
  * ucontext fallback ASan already intercepts swapcontext itself. */
 #if SPLASH2_FIBER_ASAN && !SPLASH2_FIBER_UCONTEXT
 #define SPLASH2_FIBER_ANNOTATE 1
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
 #endif
 
@@ -64,8 +65,15 @@ Fiber::Fiber(Entry entry, void* arg, std::size_t stackBytes)
 
 Fiber::~Fiber()
 {
-    if (stackMap_)
+    if (stackMap_) {
+#if SPLASH2_FIBER_ANNOTATE
+        // ASan does not clear shadow on munmap: redzones poisoned by
+        // frames that lived on this stack would linger and fire on
+        // whatever mapping the kernel places here next.
+        __asan_unpoison_memory_region(stackMap_, mapBytes_);
+#endif
         ::munmap(stackMap_, mapBytes_);
+    }
 }
 
 void

@@ -1,19 +1,34 @@
 #include "rt/shared_heap.h"
 
+#include <sys/mman.h>
+
 #include <cstring>
 
 #include "base/log.h"
 
-namespace splash::rt {
+#if defined(__SANITIZE_ADDRESS__)
+#define SPLASH2_HEAP_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SPLASH2_HEAP_ASAN 1
+#endif
+#endif
+#if SPLASH2_HEAP_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
 
-namespace {
-constexpr std::size_t kBlockBytes = 16u << 20;  // 16 MB arena blocks
-} // namespace
+namespace splash::rt {
 
 SharedHeap::SharedHeap(int nprocs, int lineSize)
     : nprocs_(nprocs), lineShift_(log2i(lineSize))
 {
     ensure(isPow2(lineSize), "line size must be a power of two");
+}
+
+SharedHeap::~SharedHeap()
+{
+    if (base_)
+        ::munmap(reinterpret_cast<void*>(base_), kArenaBytes);
 }
 
 void*
@@ -25,22 +40,30 @@ SharedHeap::alloc(std::size_t bytes, std::size_t align)
         align = 64;
     ensure(isPow2(align), "alignment must be a power of two");
 
-    auto misalign = reinterpret_cast<std::uintptr_t>(cursor_) & (align - 1);
-    std::size_t pad = misalign ? align - misalign : 0;
-    if (cursor_ == nullptr || pad + bytes > remaining_) {
-        std::size_t block = std::max(kBlockBytes, bytes + align);
-        blocks_.push_back(std::make_unique<char[]>(block));
-        cursor_ = blocks_.back().get();
-        remaining_ = block;
-        misalign = reinterpret_cast<std::uintptr_t>(cursor_) & (align - 1);
-        pad = misalign ? align - misalign : 0;
+    if (base_ == 0) {
+        // One lazily-backed reservation: nothing is committed until
+        // the zero-fill below touches a page, so the large span costs
+        // only address space.
+        void* m = ::mmap(nullptr, kArenaBytes, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE,
+                         -1, 0);
+        ensure(m != MAP_FAILED, "shared-heap arena reservation failed");
+        base_ = reinterpret_cast<Addr>(m);
     }
-    cursor_ += pad;
-    remaining_ -= pad;
-    void* out = cursor_;
+
+    std::size_t misalign = cursor_ & (align - 1);
+    if (misalign)
+        cursor_ += align - misalign;
+    ensure(bytes <= kArenaBytes - cursor_, "shared-heap arena exhausted");
+    void* out = reinterpret_cast<void*>(base_ + cursor_);
     cursor_ += bytes;
-    remaining_ -= bytes;
     allocated_ += bytes;
+#if SPLASH2_HEAP_ASAN
+    // The arena mmap can reuse pages whose shadow a prior mapping
+    // (e.g. a fiber stack torn down by another library) left poisoned;
+    // munmap does not clear shadow.
+    __asan_unpoison_memory_region(out, bytes);
+#endif
     std::memset(out, 0, bytes);
     return out;
 }
@@ -51,7 +74,9 @@ SharedHeap::setHome(const void* p, std::size_t bytes, ProcId home)
     ensure(home >= 0 && home < nprocs_, "home node out of range");
     if (bytes == 0)
         return;
-    Addr start = reinterpret_cast<Addr>(p);
+    if (preMutate_)
+        preMutate_();
+    Addr start = toSim(reinterpret_cast<Addr>(p));
     homes_[start] = Span{start + bytes, home};
 }
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * Placement-aware shared heap.
+ * Placement-aware shared heap with a stable simulated address space.
  *
  * All shared application data is carved from this arena so the memory
  * simulator can (a) identify shared addresses and (b) resolve each
@@ -9,14 +9,29 @@
  * block at its owning processor, Ocean homes each square subgrid
  * locally, FFT homes each contiguous row band locally.  Regions with no
  * explicit placement are interleaved across nodes at line granularity.
+ *
+ * Simulated addresses: the arena is one contiguous mmap reservation,
+ * and every instrumented reference is translated to a *simulated*
+ * address (arena offset + kSimBase) before it reaches any sink.  Cache
+ * set indices, line interleaving, and home resolution therefore depend
+ * only on the (deterministic) allocation sequence, never on where the
+ * host kernel happened to map the arena -- so repeated runs, runs in
+ * different processes, and runs sharing a process with concurrent
+ * experiments all produce bit-identical characterizations.  Placement
+ * spans (setHome) are stored in simulated coordinates; homeOf expects
+ * simulated line addresses.
+ *
+ * Placement changes are stream-ordered: a mutation observer installed
+ * by the Env fires before every setHome so buffering sinks (e.g. the
+ * broadcast replay engine) can finish delivering references issued
+ * under the old placement first.
  */
 #ifndef SPLASH2_RT_SHARED_HEAP_H
 #define SPLASH2_RT_SHARED_HEAP_H
 
 #include <cstddef>
+#include <functional>
 #include <map>
-#include <memory>
-#include <vector>
 
 #include "base/types.h"
 #include "sim/directory.h"
@@ -26,7 +41,16 @@ namespace splash::rt {
 class SharedHeap : public sim::HomeResolver
 {
   public:
+    /** Base of the simulated address range all arenas translate to. */
+    static constexpr Addr kSimBase = Addr(1) << 32;
+    /** Reserved (not committed) arena span; pages are backed lazily. */
+    static constexpr std::size_t kArenaBytes = std::size_t(1) << 30;
+
     explicit SharedHeap(int nprocs, int lineSize = 64);
+    ~SharedHeap() override;
+
+    SharedHeap(const SharedHeap&) = delete;
+    SharedHeap& operator=(const SharedHeap&) = delete;
 
     /** Allocate @p bytes aligned to @p align (>= one cache line so that
      *  distinct allocations never false-share by construction unless
@@ -40,8 +64,29 @@ class SharedHeap : public sim::HomeResolver
      *  once. */
     void setHome(const void* p, std::size_t bytes, ProcId home);
 
-    /** HomeResolver: home node of the line containing @p lineAddr. */
+    /** HomeResolver: home node of the line containing @p lineAddr
+     *  (a *simulated* address). */
     ProcId homeOf(Addr lineAddr) const override;
+
+    /** Translate a host address into the simulated address space.
+     *  Addresses outside the arena pass through unchanged (private or
+     *  stack data an application chose to instrument). */
+    Addr
+    toSim(Addr hostAddr) const
+    {
+        return hostAddr - base_ < kArenaBytes
+                   ? hostAddr - base_ + kSimBase
+                   : hostAddr;
+    }
+
+    /** Install a hook fired before any placement mutation (setHome);
+     *  the Env uses it to quiesce buffering reference sinks so home
+     *  resolution stays stream-ordered. */
+    void
+    setPlacementObserver(std::function<void()> f)
+    {
+        preMutate_ = std::move(f);
+    }
 
     std::size_t bytesAllocated() const { return allocated_; }
 
@@ -55,10 +100,10 @@ class SharedHeap : public sim::HomeResolver
     int nprocs_;
     int lineShift_;
     std::size_t allocated_ = 0;
-    std::vector<std::unique_ptr<char[]>> blocks_;
-    char* cursor_ = nullptr;
-    std::size_t remaining_ = 0;
-    std::map<Addr, Span> homes_;  // key: span start address
+    Addr base_ = 0;           ///< host base of the mmap reservation
+    std::size_t cursor_ = 0;  ///< next free arena offset
+    std::function<void()> preMutate_;
+    std::map<Addr, Span> homes_;  // key: simulated span start address
 };
 
 } // namespace splash::rt

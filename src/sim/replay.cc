@@ -1,0 +1,165 @@
+#include "sim/replay.h"
+
+#include "base/log.h"
+
+namespace splash::sim {
+
+BroadcastReplay::BroadcastReplay(const std::vector<ReplicaSpec>& specs,
+                                 bool threaded,
+                                 std::size_t chunkRecords,
+                                 int ringChunks)
+    : chunkRecords_(chunkRecords)
+{
+    ensure(!specs.empty(), "broadcast replay needs at least one replica");
+    ensure(chunkRecords_ >= 1 && ringChunks >= 2,
+           "broadcast replay ring too small");
+    mems_.reserve(specs.size());
+    for (const ReplicaSpec& s : specs)
+        mems_.push_back(std::make_unique<MemSystem>(s.machine, s.homes));
+
+    ring_.resize(ringChunks);
+    for (auto& c : ring_)
+        c.recs.reserve(chunkRecords_);
+
+    if (!threaded)
+        return;
+    consumers_.resize(mems_.size());
+    for (std::size_t i = 0; i < consumers_.size(); ++i) {
+        consumers_[i].replica = static_cast<int>(i);
+        consumers_[i].th =
+            std::thread([this, i] { consumerLoop(consumers_[i]); });
+    }
+}
+
+BroadcastReplay::~BroadcastReplay()
+{
+    flush();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cvPublished_.notify_all();
+    for (auto& c : consumers_)
+        if (c.th.joinable())
+            c.th.join();
+}
+
+std::uint64_t
+BroadcastReplay::minDone() const
+{
+    std::uint64_t m = published_;
+    for (const auto& c : consumers_)
+        m = std::min(m, c.done);
+    return m;
+}
+
+BroadcastReplay::Chunk&
+BroadcastReplay::acquireSlot()
+{
+    Chunk& slot = ring_[nextSeq_ % ring_.size()];
+    if (!consumers_.empty() && nextSeq_ >= ring_.size()) {
+        // Back-pressure: the slot is recycled only once every consumer
+        // has replayed its previous occupant (seq - ringChunks).
+        std::unique_lock<std::mutex> lk(mu_);
+        cvRecycled_.wait(lk, [&] {
+            return minDone() + ring_.size() > nextSeq_;
+        });
+    }
+    slot.seq = nextSeq_;
+    slot.recs.clear();
+    slot.reset = false;
+    return slot;
+}
+
+void
+BroadcastReplay::access(ProcId p, Addr addr, int size, AccessType type)
+{
+    if (cur_ == nullptr)
+        cur_ = &acquireSlot();
+    cur_->recs.push_back(
+        {addr, 0, size, static_cast<std::int16_t>(p), type});
+    if (cur_->recs.size() == chunkRecords_)
+        publish(false);
+}
+
+void
+BroadcastReplay::publish(bool resetMark)
+{
+    if (cur_ == nullptr)
+        cur_ = &acquireSlot();  // control event on an empty chunk
+    cur_->reset = resetMark;
+    ++nextSeq_;
+    if (consumers_.empty()) {
+        // Inline mode: replay the chunk into every replica here.
+        for (auto& m : mems_)
+            replayChunk(*m, *cur_);
+        cur_ = nullptr;
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        published_ = nextSeq_;
+    }
+    cvPublished_.notify_all();
+    cur_ = nullptr;
+}
+
+void
+BroadcastReplay::replayChunk(MemSystem& mem, const Chunk& c)
+{
+    for (const AccessRec& r : c.recs)
+        mem.access(r.proc, r.addr, r.size, r.type);
+    if (c.reset)
+        mem.resetStats();
+}
+
+void
+BroadcastReplay::consumerLoop(Consumer& me)
+{
+    MemSystem& mem = *mems_[me.replica];
+    for (;;) {
+        std::uint64_t seq = me.done;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cvPublished_.wait(lk,
+                              [&] { return published_ > seq || stop_; });
+            if (published_ <= seq)
+                return;  // stopped and drained
+        }
+        // The slot cannot be recycled before every consumer (us
+        // included) advances past it, so this read needs no lock.
+        const Chunk& c = ring_[seq % ring_.size()];
+        ensure(c.seq == seq, "broadcast ring overwrote a live chunk");
+        replayChunk(mem, c);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            me.done = seq + 1;
+        }
+        cvRecycled_.notify_all();
+    }
+}
+
+void
+BroadcastReplay::resetStats()
+{
+    publish(true);
+}
+
+void
+BroadcastReplay::streamBarrier()
+{
+    if (cur_ != nullptr && !cur_->recs.empty())
+        publish(false);
+    if (consumers_.empty())
+        return;
+    std::unique_lock<std::mutex> lk(mu_);
+    cvRecycled_.wait(lk, [&] { return minDone() == published_; });
+}
+
+void
+BroadcastReplay::flush()
+{
+    streamBarrier();
+}
+
+} // namespace splash::sim

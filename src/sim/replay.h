@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Broadcast replay: one reference stream, many memory systems.
+ *
+ * The paper's memory-system characterizations (Figures 4-7, the
+ * protocol ablation) vary only machine parameters -- line size, cache
+ * size, replacement hints, data placement -- while the PRAM reference
+ * stream of a given (application, P) is identical across all of them.
+ * Re-executing the fiber simulation once per configuration therefore
+ * repeats exactly the same work N times; this component executes the
+ * application ONCE and feeds N independent MemSystem replicas from the
+ * single stream.
+ *
+ * Pipeline shape: single producer (the Env's instrumentation, via
+ * RefSink::access), multiple consumers (one host worker thread per
+ * replica).  References are staged into fixed-capacity chunks placed
+ * in a sequence-numbered ring; a chunk is published when full and
+ * recycled only after every consumer has replayed it, which gives
+ * bounded back-pressure: the producer stalls instead of buffering an
+ * unbounded (or disk-materialized) trace.
+ *
+ * Determinism: each consumer replays every chunk in sequence order on
+ * one thread, so each replica observes exactly the reference stream a
+ * dedicated serial simulation would have observed -- statistics are
+ * bit-identical to running the application once per configuration
+ * (proven by tests/sim/replay_test.cc).  Stream-ordered control events
+ * ride in the chunks themselves: statistics resets (measurement
+ * boundaries) mark a chunk so each replica resets at the exact stream
+ * position, and placement changes arrive through streamBarrier(),
+ * which quiesces all consumers before the home map mutates.
+ *
+ * An inline (threads-off) mode replays chunks on the producer thread,
+ * for single-core hosts: the redundant executions are still saved,
+ * with no cross-thread traffic.
+ */
+#ifndef SPLASH2_SIM_REPLAY_H
+#define SPLASH2_SIM_REPLAY_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/memsys.h"
+#include "sim/trace.h"
+
+namespace splash::sim {
+
+/** One operating point replayed by a BroadcastReplay. */
+struct ReplicaSpec
+{
+    MachineConfig machine;
+    /** Home resolution for this replica: the run's placement-aware
+     *  heap, or null for line-interleaved homes (the MemSystem
+     *  default) -- the ablation's "no placement" point. */
+    const HomeResolver* homes = nullptr;
+};
+
+class BroadcastReplay final : public RefSink
+{
+  public:
+    /** @param threaded one consumer thread per replica; false replays
+     *  chunks inline on the producer thread (single-core hosts).
+     *  @param chunkRecords records per chunk; @param ringChunks chunks
+     *  in flight before the producer stalls (back-pressure bound). */
+    explicit BroadcastReplay(const std::vector<ReplicaSpec>& specs,
+                             bool threaded = true,
+                             std::size_t chunkRecords = std::size_t(1)
+                                                        << 15,
+                             int ringChunks = 8);
+    ~BroadcastReplay() override;
+
+    BroadcastReplay(const BroadcastReplay&) = delete;
+    BroadcastReplay& operator=(const BroadcastReplay&) = delete;
+
+    void access(ProcId p, Addr addr, int size, AccessType type) override;
+
+    /** Stream-ordered statistics reset: every replica resets at this
+     *  exact position of the reference stream (measurement boundary). */
+    void resetStats() override;
+
+    /** Quiesce: every published reference replayed in every replica. */
+    void streamBarrier() override;
+
+    /** Publish any partial chunk and quiesce; replica statistics are
+     *  exact once this returns. */
+    void flush();
+
+    int replicas() const { return static_cast<int>(mems_.size()); }
+    /** Replica @p i's memory system; flush() first for exact stats. */
+    MemSystem& replica(int i) { return *mems_[i]; }
+    const MemSystem& replica(int i) const { return *mems_[i]; }
+    int threads() const { return static_cast<int>(consumers_.size()); }
+
+  private:
+    struct Chunk
+    {
+        std::uint64_t seq = 0;
+        std::vector<AccessRec> recs;
+        bool reset = false;  ///< apply resetStats after the records
+    };
+
+    struct Consumer
+    {
+        int replica = 0;
+        std::uint64_t done = 0;  ///< chunks fully replayed
+        std::thread th;
+    };
+
+    void replayChunk(MemSystem& mem, const Chunk& c);
+    /** Producer: wait for slot of @p seq to be recycled, stage into it. */
+    Chunk& acquireSlot();
+    void publish(bool resetMark);
+    void consumerLoop(Consumer& me);
+    std::uint64_t minDone() const;
+
+    std::size_t chunkRecords_;
+    std::vector<std::unique_ptr<MemSystem>> mems_;
+
+    std::vector<Chunk> ring_;
+    Chunk* cur_ = nullptr;        ///< staging slot (producer-owned)
+    std::uint64_t nextSeq_ = 0;   ///< seq of the chunk being staged
+
+    mutable std::mutex mu_;
+    std::condition_variable cvPublished_;  ///< producer -> consumers
+    std::condition_variable cvRecycled_;   ///< consumers -> producer
+    std::uint64_t published_ = 0;  ///< chunks visible to consumers
+    bool stop_ = false;
+    std::vector<Consumer> consumers_;
+};
+
+} // namespace splash::sim
+
+#endif // SPLASH2_SIM_REPLAY_H

@@ -46,6 +46,12 @@ class RefSink
     /** Zero statistics while keeping simulation state (measurement
      *  windows); buffering sinks must deliver pending records first. */
     virtual void resetStats() {}
+
+    /** Quiesce: finish processing every reference delivered so far.
+     *  Fired before stream-ordered events outside the reference
+     *  stream itself (e.g. a placement change) so buffering sinks see
+     *  them at the right position.  No-op for synchronous sinks. */
+    virtual void streamBarrier() {}
 };
 
 /** In-memory reference trace, stored in fixed-size chunks so capture

@@ -10,122 +10,47 @@
  *              [--iters 0] [--aux 0] [--cachekb 1024] [--assoc 4]
  *              [--line 64] [--nohints 1] [--nomem 1] [--seed 1234]
  *              [--backend fiber|thread] [--quantum 250]
- *              [--delivery batched|direct]
+ *              [--delivery batched|direct] [--jobs N]
  *
+ *   splash2run --app all       # whole suite, one job per program
  *   splash2run --list          # enumerate programs
  *
  * --backend selects the interleaver's execution mechanism (stackful
  * fibers on one host thread, or one parked host thread per simulated
  * processor); --quantum sets the instrumentation events per scheduling
  * slice; --delivery selects how references reach the simulator (ring
- * batches drained at switch boundaries, or a call per reference).
- * All three change simulation speed only -- results are bit-identical
- * across backends, quanta, and delivery shapes.
+ * batches drained at switch boundaries, or a call per reference);
+ * --jobs schedules independent programs across host cores.
+ * All change simulation speed only -- output bytes are bit-identical
+ * across backends, quanta, delivery shapes, and job counts.
  */
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
-#include "harness/experiment.h"
-#include "harness/report.h"
+#include "harness/cli.h"
+#include "harness/runner.h"
 
 using namespace splash;
 using namespace splash::harness;
 
-int
-main(int argc, char** argv)
+namespace {
+
+void
+report(const App& app, const RunStats& r, bool with_mem,
+       const sim::CacheConfig& cache, bool hints, int procs,
+       const AppConfig& cfg, const SimOpts& simOpts)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--list") == 0) {
-            for (App* app : suite())
-                std::printf("%-10s (%s)\n", app->name().c_str(),
-                            app->isFloatingPoint() ? "floating-point"
-                                                   : "integer");
-            return 0;
-        }
-    }
-
-    Options opt(argc, argv);
-    std::string name = opt.getS("app", "");
-    App* app = findApp(name);
-    if (!app) {
-        std::fprintf(
-            stderr,
-            "usage: splash2run --app <name> [options]\n"
-            "       splash2run --list\n"
-            "options: --procs N --scale F --n N --iters N --aux N\n"
-            "         --seed N --cachekb N --assoc N --line N\n"
-            "         --nohints --nomem\n"
-            "         --backend fiber|thread  execution mechanism of\n"
-            "             the interleaver (default fiber; results are\n"
-            "             identical, fibers are much faster)\n"
-            "         --quantum N  instrumentation events per\n"
-            "             scheduling slice (default 250)\n"
-            "         --delivery batched|direct  reference delivery\n"
-            "             shape (default batched; results identical,\n"
-            "             batching is faster)\n");
-        return name.empty() ? 2 : 1;
-    }
-
-    int procs = static_cast<int>(opt.getI("procs", 32));
-    harness::SimOpts simOpts;
-    simOpts.quantum =
-        static_cast<std::uint64_t>(opt.getI("quantum", 250));
-    std::string backendArg = opt.getS("backend", "fiber");
-    if (!rt::parseBackendKind(backendArg, &simOpts.backend)) {
-        std::fprintf(stderr,
-                     "unknown --backend '%s' (fiber or thread)\n",
-                     backendArg.c_str());
-        return 2;
-    }
-    std::string deliveryArg = opt.getS("delivery", "batched");
-    if (!rt::parseDelivery(deliveryArg, &simOpts.delivery)) {
-        std::fprintf(stderr,
-                     "unknown --delivery '%s' (batched or direct)\n",
-                     deliveryArg.c_str());
-        return 2;
-    }
-    AppConfig cfg;
-    cfg.scale = opt.getD("scale", 1.0);
-    cfg.n = opt.getI("n", 0);
-    cfg.iters = opt.getI("iters", 0);
-    cfg.aux = opt.getI("aux", 0);
-    cfg.seed = static_cast<unsigned>(opt.getI("seed", 1234));
-
     std::printf("%s on %d processors (scale %.3g)\n",
-                app->name().c_str(), procs, cfg.scale);
-
-    RunStats r;
-    bool with_mem = !opt.has("nomem");
-    if (with_mem) {
-        sim::CacheConfig cache;
-        cache.size = std::uint64_t(opt.getI("cachekb", 1024)) << 10;
-        cache.assoc = static_cast<int>(opt.getI("assoc", 4));
-        cache.lineSize = static_cast<int>(opt.getI("line", 64));
-        rt::Env env({rt::Mode::Sim, procs, simOpts.quantum,
-                     simOpts.backend, simOpts.delivery});
-        sim::MachineConfig mc;
-        mc.nprocs = procs;
-        mc.cache = cache;
-        mc.replacementHints = !opt.has("nohints");
-        sim::MemSystem mem(mc, &env.heap());
-        env.attachMemSystem(&mem);
-        r.valid = app->run(env, cfg).valid;
-        for (int p = 0; p < procs; ++p) {
-            r.perProc.push_back(env.stats(p));
-            r.exec += env.stats(p);
-            r.memPerProc.push_back(mem.procStats(p));
-        }
-        r.mem = mem.total();
-        r.elapsed = env.elapsed();
+                app.name().c_str(), procs, cfg.scale);
+    if (with_mem)
         std::printf("machine: %llu KB %d-way %dB-line caches, "
                     "directory MESI%s\n",
                     static_cast<unsigned long long>(cache.size >> 10),
                     cache.assoc, cache.lineSize,
-                    mc.replacementHints ? " + replacement hints" : "");
-    } else {
-        r = runPram(*app, procs, cfg, simOpts);
+                    hints ? " + replacement hints" : "");
+    else
         std::printf("machine: PRAM (perfect memory)\n");
-    }
     std::printf("interleaver: %s backend, quantum %llu, %s delivery\n",
                 rt::backendName(simOpts.backend),
                 static_cast<unsigned long long>(simOpts.quantum),
@@ -187,13 +112,13 @@ main(int argc, char** argv)
             pct(r.mem.misses[int(sim::MissType::TrueSharing)]),
             pct(r.mem.misses[int(sim::MissType::FalseSharing)]),
             static_cast<unsigned long long>(r.mem.upgrades));
-        double den = trafficDenominator(*app, r.exec);
+        double den = trafficDenominator(app, r.exec);
         if (den <= 0)
             den = 1;
         std::printf("traffic (bytes per %s): remote data %.4f "
                     "(shared %.4f, cold %.4f, capacity %.4f, "
                     "writeback %.4f), overhead %.4f, local %.4f\n",
-                    app->isFloatingPoint() ? "FLOP" : "instr",
+                    app.isFloatingPoint() ? "FLOP" : "instr",
                     r.mem.remoteData() / den,
                     r.mem.remoteSharedData / den,
                     r.mem.remoteColdData / den,
@@ -203,7 +128,98 @@ main(int argc, char** argv)
         std::printf("true-sharing (inherent communication) proxy: "
                     "%.4f bytes per %s\n",
                     r.mem.trueSharedData / den,
-                    app->isFloatingPoint() ? "FLOP" : "instr");
+                    app.isFloatingPoint() ? "FLOP" : "instr");
     }
-    return r.valid ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--list") == 0) {
+            for (App* app : suite())
+                std::printf("%-10s (%s)\n", app->name().c_str(),
+                            app->isFloatingPoint() ? "floating-point"
+                                                   : "integer");
+            return 0;
+        }
+    }
+
+    Options opt(argc, argv);
+    std::string name = opt.getS("app", "");
+    std::vector<App*> apps;
+    if (name == "all") {
+        for (App* app : suite())
+            apps.push_back(app);
+    } else if (App* app = findApp(name)) {
+        apps.push_back(app);
+    }
+    if (apps.empty()) {
+        std::fprintf(
+            stderr,
+            "usage: splash2run --app <name|all> [options]\n"
+            "       splash2run --list\n"
+            "options: --procs N --scale F --n N --iters N --aux N\n"
+            "         --seed N --cachekb N --assoc N --line N\n"
+            "         --nohints --nomem\n"
+            "         --backend fiber|thread  execution mechanism of\n"
+            "             the interleaver (default fiber; results are\n"
+            "             identical, fibers are much faster)\n"
+            "         --quantum N  instrumentation events per\n"
+            "             scheduling slice (default 250)\n"
+            "         --delivery batched|direct  reference delivery\n"
+            "             shape (default batched; results identical,\n"
+            "             batching is faster)\n"
+            "         --jobs N  host threads running independent\n"
+            "             programs (--app all; default 1, 0 = cores;\n"
+            "             output bytes identical for every value)\n");
+        return name.empty() ? 2 : 1;
+    }
+
+    EngineOpts eng;
+    if (!parseEngineOpts(opt, &eng))
+        return 2;
+    int procs = static_cast<int>(opt.getI("procs", 32));
+    AppConfig cfg;
+    cfg.scale = opt.getD("scale", 1.0);
+    cfg.n = opt.getI("n", 0);
+    cfg.iters = opt.getI("iters", 0);
+    cfg.aux = opt.getI("aux", 0);
+    cfg.seed = static_cast<unsigned>(opt.getI("seed", 1234));
+
+    bool with_mem = !opt.has("nomem");
+    bool hints = !opt.has("nohints");
+    sim::CacheConfig cache;
+    cache.size = std::uint64_t(opt.getI("cachekb", 1024)) << 10;
+    cache.assoc = static_cast<int>(opt.getI("assoc", 4));
+    cache.lineSize = static_cast<int>(opt.getI("line", 64));
+
+    std::vector<RunStats> results(apps.size());
+    Runner runner(eng.jobs);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        runner.add(apps[i]->name(), appCostHint(*apps[i]), [&, i] {
+            if (with_mem) {
+                MemExperiment e;
+                e.cache = cache;
+                e.hints = hints;
+                results[i] = runCharacterizations(*apps[i], procs, {e},
+                                                  cfg, eng.sim)[0];
+            } else {
+                results[i] = runPram(*apps[i], procs, cfg, eng.sim);
+            }
+        });
+    }
+    runner.run();
+
+    bool all_valid = true;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        if (i)
+            std::printf("\n================\n\n");
+        report(*apps[i], results[i], with_mem, cache, hints, procs,
+               cfg, eng.sim);
+        all_valid = all_valid && results[i].valid;
+    }
+    return all_valid ? 0 : 1;
 }

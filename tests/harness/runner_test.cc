@@ -1,0 +1,102 @@
+// Tests for the parallel experiment runner: every job runs exactly
+// once in any mode, concurrent simulations stay bit-identical to
+// serial ones (the stable simulated address space at work), and job
+// exceptions propagate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/runner.h"
+
+using namespace splash;
+using namespace splash::harness;
+
+TEST(Runner, EveryJobRunsExactlyOnce)
+{
+    for (int jobs : {1, 2, 4, 7}) {
+        Runner r(jobs);
+        const int n = 23;
+        std::vector<std::atomic<int>> counts(n);
+        for (int i = 0; i < n; ++i)
+            r.add("job" + std::to_string(i), double(n - i),
+                  [&counts, i] { counts[i].fetch_add(1); });
+        r.run();
+        for (int i = 0; i < n; ++i)
+            EXPECT_EQ(counts[i].load(), 1) << "jobs=" << jobs;
+    }
+}
+
+TEST(Runner, SerialModeRunsInSubmissionOrder)
+{
+    Runner r(1);
+    std::vector<int> order;
+    // Costs deliberately inverted: serial mode must ignore them.
+    for (int i = 0; i < 8; ++i)
+        r.add("j", double(i), [&order, i] { order.push_back(i); });
+    r.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Runner, PropagatesFirstJobException)
+{
+    Runner r(3);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 6; ++i)
+        r.add("j", 1.0, [&ran, i] {
+            ran.fetch_add(1);
+            if (i == 2)
+                throw std::runtime_error("boom");
+        });
+    EXPECT_THROW(r.run(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 6);  // one failure doesn't cancel the rest
+}
+
+TEST(Runner, ResolveMapsZeroToHardwareConcurrency)
+{
+    EXPECT_EQ(Runner::resolve(3), 3);
+    EXPECT_GE(Runner::resolve(0), 1);
+}
+
+// The determinism claim behind --jobs: simulations running beside each
+// other on worker threads produce exactly the statistics they produce
+// alone.  Runs the same PRAM+MemSystem experiment serially and then
+// four copies concurrently, and requires equality (not tolerance).
+TEST(Runner, ConcurrentSimulationsAreBitIdenticalToSerial)
+{
+    App* app = findApp("lu");
+    ASSERT_NE(app, nullptr);
+    AppConfig cfg;
+    cfg.scale = 0.25;
+    sim::CacheConfig cache;
+    cache.size = 64 << 10;
+
+    RunStats alone = runWithMemSystem(*app, 4, cache, cfg);
+
+    const int kCopies = 4;
+    std::vector<RunStats> together(kCopies);
+    Runner r(kCopies);
+    for (int i = 0; i < kCopies; ++i)
+        r.add("copy", 1.0, [&, i] {
+            together[std::size_t(i)] =
+                runWithMemSystem(*app, 4, cache, cfg);
+        });
+    r.run();
+
+    for (const RunStats& got : together) {
+        EXPECT_EQ(alone.elapsed, got.elapsed);
+        EXPECT_EQ(alone.exec.reads, got.exec.reads);
+        EXPECT_EQ(alone.exec.writes, got.exec.writes);
+        EXPECT_EQ(alone.mem.accesses(), got.mem.accesses());
+        EXPECT_EQ(alone.mem.totalMisses(), got.mem.totalMisses());
+        for (int m = 0; m < sim::kNumMissTypes; ++m)
+            EXPECT_EQ(alone.mem.misses[m], got.mem.misses[m]);
+        EXPECT_EQ(alone.mem.totalTraffic(), got.mem.totalTraffic());
+        EXPECT_EQ(alone.mem.localData, got.mem.localData);
+        EXPECT_EQ(alone.mem.trueSharedData, got.mem.trueSharedData);
+    }
+}

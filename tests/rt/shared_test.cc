@@ -21,21 +21,23 @@ TEST(SharedHeap, AllocationsAreLineAlignedAndZeroed)
 
 TEST(SharedHeap, ExplicitPlacementWins)
 {
+    // homeOf operates on simulated addresses (see toSim).
     SharedHeap heap(4);
     char* a = static_cast<char*>(heap.alloc(4096));
     heap.setHome(a, 2048, 3);
     heap.setHome(a + 2048, 2048, 1);
-    EXPECT_EQ(heap.homeOf(reinterpret_cast<Addr>(a)), 3);
-    EXPECT_EQ(heap.homeOf(reinterpret_cast<Addr>(a) + 2047), 3);
-    EXPECT_EQ(heap.homeOf(reinterpret_cast<Addr>(a) + 2048), 1);
-    EXPECT_EQ(heap.homeOf(reinterpret_cast<Addr>(a) + 4095), 1);
+    Addr s = heap.toSim(reinterpret_cast<Addr>(a));
+    EXPECT_EQ(heap.homeOf(s), 3);
+    EXPECT_EQ(heap.homeOf(s + 2047), 3);
+    EXPECT_EQ(heap.homeOf(s + 2048), 1);
+    EXPECT_EQ(heap.homeOf(s + 4095), 1);
 }
 
 TEST(SharedHeap, UnplacedDataInterleavesAcrossNodes)
 {
     SharedHeap heap(4);
     char* a = static_cast<char*>(heap.alloc(64 * 16));
-    Addr base = reinterpret_cast<Addr>(a);
+    Addr base = heap.toSim(reinterpret_cast<Addr>(a));
     int seen[4] = {0, 0, 0, 0};
     for (int i = 0; i < 16; ++i)
         ++seen[heap.homeOf(base + Addr(i) * 64)];
@@ -51,6 +53,25 @@ TEST(SharedHeap, LargeAllocationsSpanBlocks)
     void* more = heap.alloc(1024);
     ASSERT_NE(more, nullptr);
     EXPECT_GE(heap.bytesAllocated(), (40u << 20) + 1024u);
+}
+
+TEST(SharedHeap, SimulatedAddressesAreStableAcrossHeaps)
+{
+    // Two heaps performing the same allocation sequence hand out the
+    // same *simulated* addresses even though the host arenas differ --
+    // the property that makes concurrent experiments bit-identical to
+    // serial ones.
+    SharedHeap h1(4), h2(4);
+    for (std::size_t bytes : {100u, 4096u, 64u, 333u, 128u}) {
+        Addr s1 = h1.toSim(reinterpret_cast<Addr>(h1.alloc(bytes)));
+        Addr s2 = h2.toSim(reinterpret_cast<Addr>(h2.alloc(bytes)));
+        EXPECT_EQ(s1, s2) << bytes;
+        EXPECT_GE(s1, SharedHeap::kSimBase);
+    }
+    // Addresses outside the arena pass through untranslated.
+    int local = 0;
+    EXPECT_EQ(h1.toSim(reinterpret_cast<Addr>(&local)),
+              reinterpret_cast<Addr>(&local));
 }
 
 TEST(SharedArray, ProxyReadsAndWritesAreCounted)
