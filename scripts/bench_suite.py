@@ -50,6 +50,8 @@ def main():
                     help="comma-separated subset of bench targets")
     ap.add_argument("--reps", type=int, default=1)
     args = ap.parse_args()
+    if args.jobs < 1:
+        args.jobs = os.cpu_count() or 1
 
     os.chdir(benchlib.repo_root())
     only = set(t for t in args.targets.split(",") if t)

@@ -71,6 +71,9 @@ Fft::setInput(const std::vector<Complex>& src)
 Result
 Fft::run()
 {
+    // Which matrix ends up holding the result is fixed by the config;
+    // set it here once rather than racily from every proc in body().
+    out_ = cfg_.lastTranspose ? &trans_ : &x_;
     env_.run([this](rt::ProcCtx& c) { body(c); });
     Result r;
     double sum = 0.0;
@@ -102,11 +105,9 @@ Fft::body(rt::ProcCtx& c)
     transpose(c, trans_, x_);       // 4: X = T^t
     bar_->arrive(c);
     rowFfts(c, x_);                 // 5: root-point FFTs on X's rows
-    out_ = &x_;
     if (cfg_.lastTranspose) {
         bar_->arrive(c);
         transpose(c, x_, trans_);   // 6: T = X^t (natural order)
-        out_ = &trans_;
     }
     bar_->arrive(c);
     if (cfg_.direction > 0) {

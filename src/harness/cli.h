@@ -4,17 +4,21 @@
  * bench and by splash2run:
  *
  *   --jobs N          host threads for independent experiments
- *                     (0 = hardware concurrency; default 1 = serial)
+ *                     (N >= 1; default 1 = serial)
  *   --replicas MODE   broadcast replay of multi-configuration runs:
  *                     off | inline | threads | auto (default auto)
  *   --backend KIND    interleaver execution mechanism: fiber | thread
  *   --quantum N       instrumentation events per scheduling slice
  *   --delivery SHAPE  reference delivery: batched | direct
  *   --sweep-threads N working-set sweep replay pool
+ *   --check N         coherence invariant checker sampling period: a
+ *                     full directory/cache cross-validation every N
+ *                     slow-path transactions (0 = off, the default)
  *
  * Every flag changes wall clock only; results and output bytes are
  * identical for any combination (--jobs 1 --replicas off is the
- * serial differential oracle).
+ * serial differential oracle).  Invalid values are rejected with an
+ * error rather than silently falling back.
  */
 #ifndef SPLASH2_HARNESS_CLI_H
 #define SPLASH2_HARNESS_CLI_H
@@ -38,11 +42,35 @@ struct EngineOpts
 inline bool
 parseEngineOpts(const Options& opt, EngineOpts* out)
 {
-    out->jobs = static_cast<int>(opt.getI("jobs", 1));
-    out->sim.quantum =
-        static_cast<std::uint64_t>(opt.getI("quantum", 250));
-    out->sim.sweepThreads =
-        static_cast<int>(opt.getI("sweep-threads", 0));
+    long jobs = opt.getI("jobs", 1);
+    if (jobs < 1) {
+        std::fprintf(stderr, "--jobs must be >= 1 (got %ld)\n", jobs);
+        return false;
+    }
+    out->jobs = static_cast<int>(jobs);
+    long quantum = opt.getI("quantum", 250);
+    if (quantum < 1) {
+        std::fprintf(stderr, "--quantum must be >= 1 (got %ld)\n",
+                     quantum);
+        return false;
+    }
+    out->sim.quantum = static_cast<std::uint64_t>(quantum);
+    long sweepThreads = opt.getI("sweep-threads", 0);
+    if (sweepThreads < 0) {
+        std::fprintf(stderr,
+                     "--sweep-threads must be >= 0 (got %ld; 0 = "
+                     "hardware concurrency)\n",
+                     sweepThreads);
+        return false;
+    }
+    out->sim.sweepThreads = static_cast<int>(sweepThreads);
+    long check = opt.getI("check", 0);
+    if (check < 0) {
+        std::fprintf(stderr,
+                     "--check must be >= 0 (got %ld; 0 = off)\n", check);
+        return false;
+    }
+    out->sim.checkPeriod = static_cast<std::uint64_t>(check);
     std::string backend = opt.getS("backend", "fiber");
     if (!rt::parseBackendKind(backend, &out->sim.backend)) {
         std::fprintf(stderr,

@@ -80,6 +80,10 @@ struct SimOpts
     int sweepThreads = 1;
     /** Broadcast-replay mode for multi-configuration experiments. */
     Replicas replicas = Replicas::Auto;
+    /** Coherence invariant checker: run the full sweep every N
+     *  slow-path transactions (0 = off).  Observation only -- results
+     *  are identical with any value; violations abort. */
+    std::uint64_t checkPeriod = 0;
 };
 
 /** Run @p app on @p nprocs with no memory system attached (PRAM-only;
@@ -111,6 +115,7 @@ runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
     mc.nprocs = nprocs;
     mc.cache = cache;
     sim::MemSystem mem(mc, &env.heap());
+    mem.setCheckPeriod(simOpts.checkPeriod);
     env.attachMemSystem(&mem);
     RunStats out;
     out.valid = app.run(env, cfg).valid;
@@ -162,6 +167,7 @@ runCharacterizations(App& app, int nprocs,
             mc.cache = e.cache;
             mc.replacementHints = e.hints;
             sim::MemSystem mem(mc, e.placed ? &env.heap() : nullptr);
+            mem.setCheckPeriod(simOpts.checkPeriod);
             env.attachMemSystem(&mem);
             RunStats r;
             r.valid = app.run(env, cfg).valid;
@@ -187,6 +193,7 @@ runCharacterizations(App& app, int nprocs,
         s.machine.cache = e.cache;
         s.machine.replacementHints = e.hints;
         s.homes = e.placed ? &env.heap() : nullptr;
+        s.checkPeriod = simOpts.checkPeriod;
         specs.push_back(s);
     }
     sim::BroadcastReplay replay(specs, mode == Replicas::Threaded);

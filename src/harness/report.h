@@ -10,8 +10,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "base/log.h"
 
 namespace splash::harness {
 
@@ -107,14 +110,36 @@ class Options
     getD(const std::string& k, double def) const
     {
         auto it = kv_.find(k);
-        return it == kv_.end() ? def : std::stod(it->second);
+        if (it == kv_.end())
+            return def;
+        // Reject partial parses ("1.5x") and non-numbers outright
+        // rather than silently truncating or throwing out of main().
+        try {
+            std::size_t pos = 0;
+            double v = std::stod(it->second, &pos);
+            if (pos == it->second.size())
+                return v;
+        } catch (const std::exception&) {
+        }
+        fatal("option --" + k + " expects a number, got '" +
+              it->second + "'");
     }
 
     long
     getI(const std::string& k, long def) const
     {
         auto it = kv_.find(k);
-        return it == kv_.end() ? def : std::stol(it->second);
+        if (it == kv_.end())
+            return def;
+        try {
+            std::size_t pos = 0;
+            long v = std::stol(it->second, &pos);
+            if (pos == it->second.size())
+                return v;
+        } catch (const std::exception&) {
+        }
+        fatal("option --" + k + " expects an integer, got '" +
+              it->second + "'");
     }
 
     std::string

@@ -16,6 +16,12 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+/* TSan has no swapcontext support at all, so its fiber annotations are
+ * required on both the hand-rolled and the ucontext paths. */
+#if SPLASH2_FIBER_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
 #if !SPLASH2_FIBER_UCONTEXT
 extern "C" {
 void splash_fiber_swap(void** save_sp, void* restore_sp);
@@ -54,17 +60,35 @@ ucontextEntry(unsigned hi, unsigned lo)
 
 } // namespace
 
-Fiber::Fiber() = default;
+Fiber::Fiber()
+{
+#if SPLASH2_FIBER_TSAN
+    // Adopt the calling host thread's existing TSan context; it is
+    // owned by the thread and outlives this Fiber.
+    tsanFiber_ = __tsan_get_current_fiber();
+    tsanAdopted_ = true;
+#endif
+}
 
 Fiber::Fiber(Entry entry, void* arg, std::size_t stackBytes)
     : entry_(entry), arg_(arg)
 {
     ensure(entry != nullptr, "fiber needs an entry function");
     initStack(stackBytes);
+#if SPLASH2_FIBER_TSAN
+    tsanFiber_ = __tsan_create_fiber(0);
+#endif
 }
 
 Fiber::~Fiber()
 {
+#if SPLASH2_FIBER_TSAN
+    // Never destroy an adopted context (it is the host thread's own);
+    // created contexts are destroyed only here, after the fiber has
+    // exited for good.
+    if (tsanFiber_ && !tsanAdopted_)
+        __tsan_destroy_fiber(tsanFiber_);
+#endif
     if (stackMap_) {
 #if SPLASH2_FIBER_ANNOTATE
         // ASan does not clear shadow on munmap: redzones poisoned by
@@ -141,6 +165,12 @@ Fiber::switchImpl(Fiber& from, Fiber& to, bool fromExiting)
         to.asanSize_);
 #else
     (void)fromExiting;
+#endif
+
+#if SPLASH2_FIBER_TSAN
+    // Flag 0 (not no_sync): the switch carries a synchronization edge,
+    // matching the real happens-before of a cooperative handoff.
+    __tsan_switch_to_fiber(to.tsanFiber_, 0);
 #endif
 
 #if SPLASH2_FIBER_UCONTEXT

@@ -15,7 +15,12 @@
  * overflow faults deterministically instead of corrupting a neighbor.
  * Under AddressSanitizer every switch is bracketed with the
  * __sanitizer_*_switch_fiber annotations so ASan tracks the active
- * stack correctly across switches.
+ * stack correctly across switches.  Under ThreadSanitizer every Fiber
+ * carries a __tsan_create_fiber context and every transfer calls
+ * __tsan_switch_to_fiber immediately before the switch, so TSan's
+ * per-context shadow state follows the simulated processors instead of
+ * reporting phantom races between frames that merely share a host
+ * thread (build with -DSPLASH2_TSAN=ON).
  *
  * Two transfer flavors:
  *  - switchTo(from, to): `from` expects to be resumed later.
@@ -37,6 +42,14 @@
 #elif defined(__has_feature)
 #if __has_feature(address_sanitizer)
 #define SPLASH2_FIBER_ASAN 1
+#endif
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define SPLASH2_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SPLASH2_FIBER_TSAN 1
 #endif
 #endif
 
@@ -94,6 +107,12 @@ class Fiber
     void* fakeStack_ = nullptr;       ///< ASan fake-stack save slot
     const void* asanBottom_ = nullptr; ///< stack bottom for annotations
     std::size_t asanSize_ = 0;
+#endif
+#if SPLASH2_FIBER_TSAN
+    void* tsanFiber_ = nullptr;  ///< TSan context for this fiber
+    /** The context belongs to the adopting host thread (default-
+     *  constructed fibers); it must not be destroyed with the Fiber. */
+    bool tsanAdopted_ = false;
 #endif
 };
 

@@ -152,6 +152,31 @@ class SharedArray
         *p = v;
     }
 
+    /** Instrumented load that is also a host-level relaxed atomic.
+     *  The *simulated* machine is coherent (the memory-system model
+     *  provides that), but lock-free idioms like an unlocked emptiness
+     *  peek are real data races on the host unless both sides use
+     *  atomic accesses.  Same touchRead as ld(), so the simulated
+     *  reference stream is unchanged. */
+    template <typename U = T>
+        requires std::is_integral_v<U>
+    T
+    ldAtomic(std::size_t i) const
+    {
+        touchRead(&data_[i], sizeof(T));
+        return __atomic_load_n(&data_[i], __ATOMIC_RELAXED);
+    }
+
+    /** Instrumented store, host-level relaxed atomic (see ldAtomic). */
+    template <typename U = T>
+        requires std::is_integral_v<U>
+    void
+    stAtomic(std::size_t i, const T& v)
+    {
+        touchWrite(&data_[i], sizeof(T));
+        __atomic_store_n(&data_[i], v, __ATOMIC_RELAXED);
+    }
+
     /** Uninstrumented access for setup/verification and for annotated
      *  bulk kernels. */
     T* raw() { return data_; }
@@ -185,6 +210,9 @@ class SharedVar
     typename SharedArray<T>::Ref operator*() { return a_[0]; }
     T get() const { return a_.ld(0); }
     void set(const T& v) { a_.st(0, v); }
+    /** Host-level relaxed atomics (see SharedArray::ldAtomic). */
+    T getAtomic() const { return a_.ldAtomic(0); }
+    void setAtomic(const T& v) { a_.stAtomic(0, v); }
     T* raw() { return a_.raw(); }
 
   private:

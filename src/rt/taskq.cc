@@ -29,7 +29,8 @@ TaskQueues::push(ProcCtx& c, int q, std::uint64_t task)
 {
     {
         Lock::Guard g(*pendingLock_, c);
-        *pending_ += 1;
+        // Atomic store: get() reads the count without the lock.
+        pending_.setAtomic(pending_.get() + 1);
     }
     Lock::Guard g(*locks_[q], c);
     std::size_t base = static_cast<std::size_t>(q) * kHeaderStride;
@@ -38,7 +39,9 @@ TaskQueues::push(ProcCtx& c, int q, std::uint64_t task)
     if (tail - head > mask_)
         fatal("task queue overflow; raise TaskQueues capacity");
     rings_[q][tail & mask_] = task;
-    headers_[base + 1] = tail + 1;
+    // Header indices are written with host-level atomics because the
+    // emptiness peeks below read them without taking the queue lock.
+    headers_.stAtomic(base + 1, tail + 1);
 }
 
 bool
@@ -47,8 +50,7 @@ TaskQueues::popLifo(ProcCtx& c, int q, std::uint64_t& out)
     // Lock-free emptiness peek (re-checked under the lock): pollers
     // only generate read traffic, never a lock convoy.
     std::size_t base = static_cast<std::size_t>(q) * kHeaderStride;
-    if (std::uint64_t(headers_[base + 0]) ==
-        std::uint64_t(headers_[base + 1]))
+    if (headers_.ldAtomic(base + 0) == headers_.ldAtomic(base + 1))
         return false;
     Lock::Guard g(*locks_[q], c);
     std::uint64_t head = headers_[base + 0];
@@ -56,7 +58,7 @@ TaskQueues::popLifo(ProcCtx& c, int q, std::uint64_t& out)
     if (head == tail)
         return false;
     out = rings_[q][(tail - 1) & mask_];
-    headers_[base + 1] = tail - 1;
+    headers_.stAtomic(base + 1, tail - 1);
     return true;
 }
 
@@ -64,8 +66,7 @@ bool
 TaskQueues::stealFifo(ProcCtx& c, int q, std::uint64_t& out)
 {
     std::size_t base = static_cast<std::size_t>(q) * kHeaderStride;
-    if (std::uint64_t(headers_[base + 0]) ==
-        std::uint64_t(headers_[base + 1]))
+    if (headers_.ldAtomic(base + 0) == headers_.ldAtomic(base + 1))
         return false;
     Lock::Guard g(*locks_[q], c);
     std::uint64_t head = headers_[base + 0];
@@ -73,7 +74,7 @@ TaskQueues::stealFifo(ProcCtx& c, int q, std::uint64_t& out)
     if (head == tail)
         return false;
     out = rings_[q][head & mask_];
-    headers_[base + 0] = head + 1;
+    headers_.stAtomic(base + 0, head + 1);
     return true;
 }
 
@@ -99,7 +100,7 @@ TaskQueues::get(ProcCtx& c, int q, std::uint64_t& out)
         // Unlocked read of the pending count (pushes/dones still
         // serialize on the lock; a stale nonzero read just polls once
         // more, and zero is only reached after all work is done).
-        if (pending_.get() == 0)
+        if (pending_.getAtomic() == 0)
             return false;
         // Work may still be produced by in-flight tasks: back off with
         // exponentially growing (logical) delay so idle processors do
@@ -114,7 +115,7 @@ void
 TaskQueues::done(ProcCtx& c)
 {
     Lock::Guard g(*pendingLock_, c);
-    *pending_ += -1;
+    pending_.setAtomic(pending_.get() - 1);
 }
 
 } // namespace splash::rt

@@ -1,0 +1,185 @@
+#include "sim/check.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/memsys.h"
+
+namespace splash::sim {
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string
+fmt(const char* f, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof buf, f, ap);
+    va_end(ap);
+    return buf;
+}
+
+void
+report(std::vector<Violation>* out, std::size_t& n, const char* rule,
+       Addr line, std::string what)
+{
+    ++n;
+    if (out)
+        out->push_back({rule, std::move(what), line});
+}
+
+} // namespace
+
+void
+CoherenceChecker::checkOneLine(Addr line, const DirEntry* d,
+                               std::vector<Violation>* out,
+                               std::size_t& n) const
+{
+    const MemSystem& m = mem_;
+    const MachineConfig& cfg = m.cfg_;
+    const bool hints = cfg.replacementHints;
+
+    int modified = 0, valid = 0;
+    ProcId mproc = -1;
+    for (int p = 0; p < cfg.nprocs; ++p) {
+        LineState st = m.caches_[p].peek(line);
+        bool cached = st != LineState::Invalid;
+        bool listed = d && d->isSharer(p);
+        // A cached copy the directory does not know about can never
+        // happen: even without hints the vector is a superset.
+        if (cached && !listed)
+            report(out, n, "sharer-missing", line,
+                   fmt("proc %d caches line 0x%" PRIxPTR
+                       " but its directory sharer bit is clear",
+                       p, line));
+        // With hints the vector is exact, so a listed non-holder is
+        // stale; without hints that state is legal until the next
+        // invalidation discovers the copy is gone.
+        if (hints && listed && !cached)
+            report(out, n, "sharer-stale", line,
+                   fmt("directory lists proc %d for line 0x%" PRIxPTR
+                       " but its cache holds no copy (hints are on)",
+                       p, line));
+        if (cached)
+            ++valid;
+        if (st == LineState::Modified) {
+            ++modified;
+            mproc = p;
+        }
+        if (st == LineState::Exclusive && (!d || d->numSharers() != 1))
+            report(out, n, "mesi-exclusive-shared", line,
+                   fmt("proc %d holds line 0x%" PRIxPTR
+                       " Exclusive but the directory lists %d sharers",
+                       p, line, d ? d->numSharers() : 0));
+    }
+    if (modified > 1)
+        report(out, n, "mesi-multiple-modified", line,
+               fmt("%d caches hold line 0x%" PRIxPTR " Modified",
+                   modified, line));
+    if (d && d->empty())
+        report(out, n, "dir-entry-empty", line,
+               fmt("directory entry for line 0x%" PRIxPTR
+                   " has no sharers but was not erased",
+                   line));
+    if (d && d->dirty) {
+        if (d->owner < 0 || d->owner >= cfg.nprocs ||
+            !d->isSharer(d->owner) ||
+            m.caches_[d->owner].peek(line) != LineState::Modified)
+            report(out, n, "dirty-owner", line,
+                   fmt("line 0x%" PRIxPTR " is dirty with owner %d, "
+                       "who does not hold it Modified",
+                       line, d->owner));
+    } else if (modified == 1) {
+        // Deferred silent E->M promotion: legal only while the holder
+        // is the sole sharer (reconcileDir repairs the entry at the
+        // next directory consult).  Anything wider is corruption.
+        if (!d || d->numSharers() != 1 || !d->isSharer(mproc))
+            report(out, n, "lazy-dirty-bound", line,
+                   fmt("proc %d holds line 0x%" PRIxPTR " Modified "
+                       "under a clean entry that does not list it as "
+                       "sole sharer",
+                       mproc, line));
+    }
+    if (d && (hints ? valid != d->numSharers() : valid > d->numSharers()))
+        report(out, n, "resident-count", line,
+               fmt("line 0x%" PRIxPTR ": %d cached copies vs %d "
+                   "directory sharers",
+                   line, valid, d->numSharers()));
+}
+
+std::size_t
+CoherenceChecker::checkLine(Addr lineAddr,
+                            std::vector<Violation>* out) const
+{
+    std::size_t n = 0;
+    auto it = mem_.dir_.find(lineAddr);
+    checkOneLine(lineAddr, it == mem_.dir_.end() ? nullptr : &it->second,
+                 out, n);
+    return n;
+}
+
+std::size_t
+CoherenceChecker::checkTraffic(std::vector<Violation>* out) const
+{
+    std::size_t n = 0;
+    std::uint64_t bytes = 0;
+    for (const MemStats& s : mem_.stats_)
+        bytes += s.remoteSharedData + s.remoteColdData +
+                 s.remoteCapacityData + s.remoteWriteback + s.localData;
+    std::uint64_t moved = std::uint64_t(mem_.cfg_.cache.lineSize) *
+                          (mem_.xferLines_ + mem_.wbLines_);
+    if (bytes != moved)
+        report(out, n, "traffic-conservation", 0,
+               fmt("%" PRIu64 " data bytes accounted vs %" PRIu64
+                   " moved (%" PRIu64 " transfers + %" PRIu64
+                   " writebacks of %d-byte lines)",
+                   bytes, moved, mem_.xferLines_, mem_.wbLines_,
+                   mem_.cfg_.cache.lineSize));
+    return n;
+}
+
+std::size_t
+CoherenceChecker::checkAll(std::vector<Violation>* out) const
+{
+    std::size_t n = 0;
+    std::uint64_t reachable = 0;
+    for (const auto& [line, d] : mem_.dir_) {
+        checkOneLine(line, &d, out, n);
+        for (int p = 0; p < mem_.cfg_.nprocs; ++p)
+            if (mem_.caches_[p].peek(line) != LineState::Invalid)
+                ++reachable;
+    }
+    // Catch cached lines with no directory entry at all: every
+    // resident line must be visible through some entry above.
+    std::uint64_t resident = 0;
+    for (const Cache& c : mem_.caches_)
+        resident += c.residentLines();
+    if (resident != reachable)
+        report(out, n, "sharer-missing", 0,
+               fmt("%" PRIu64 " lines resident in caches but only "
+                   "%" PRIu64 " reachable through directory entries",
+                   resident, reachable));
+    n += checkTraffic(out);
+    return n;
+}
+
+std::string
+formatViolations(const std::vector<Violation>& v)
+{
+    std::string s;
+    for (const Violation& x : v) {
+        s += "  [";
+        s += x.rule;
+        s += "] ";
+        s += x.what;
+        s += '\n';
+    }
+    return s;
+}
+
+} // namespace splash::sim

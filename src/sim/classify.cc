@@ -50,7 +50,7 @@ MissClassifier::classifyMiss(ProcId p, Addr addr, int size)
     int first = static_cast<int>((addr - line) / kWordBytes);
     int last = static_cast<int>((addr + size - 1 - line) / kWordBytes);
     for (int w = first; w <= last && w < wordsPerLine_; ++w) {
-        std::uint32_t old = snap.empty() ? 0 : snap[w];
+        std::uint64_t old = snap.empty() ? 0 : snap[w];
         if (cur[w] != old)
             return MissType::TrueSharing;
     }

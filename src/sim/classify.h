@@ -51,7 +51,7 @@ class MissClassifier
     recordWrite(Addr addr, int size)
     {
         Addr line = lineOf(addr);
-        std::vector<std::uint32_t>* vers = lastVers_;
+        std::vector<std::uint64_t>* vers = lastVers_;
         if (line != lastLine_ || !vers) [[unlikely]] {
             vers = &wordVersion_[line];
             if (vers->empty())
@@ -87,17 +87,17 @@ class MissClassifier
         LossCause cause;
         /** Word versions at the time the copy was lost (empty for
          *  replacement losses and for never-written lines). */
-        std::vector<std::uint32_t> snapshot;
+        std::vector<std::uint64_t> snapshot;
     };
 
     int wordsPerLine_;
     int lineSize_;
 
     /** Current per-word write version of every line ever written. */
-    std::unordered_map<Addr, std::vector<std::uint32_t>> wordVersion_;
+    std::unordered_map<Addr, std::vector<std::uint64_t>> wordVersion_;
     /** recordWrite memo: the last line written and its version vector. */
     Addr lastLine_ = 0;
-    std::vector<std::uint32_t>* lastVers_ = nullptr;
+    std::vector<std::uint64_t>* lastVers_ = nullptr;
 
     /** Per-processor record of how each line was last lost. */
     std::vector<std::unordered_map<Addr, LostCopy>> lost_;

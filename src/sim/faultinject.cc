@@ -1,0 +1,209 @@
+#include "sim/faultinject.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "sim/memsys.h"
+
+namespace splash::sim {
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string
+fmt(const char* f, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof buf, f, ap);
+    va_end(ap);
+    return buf;
+}
+
+struct Target
+{
+    Addr line;
+    ProcId proc;
+};
+
+/** Collect (line, proc) pairs satisfying @p pred over every directory
+ *  entry, in deterministic sorted order.  unordered_map iteration
+ *  order is not stable across runs/platforms, hence the sort. */
+template <typename Pred>
+std::vector<Target>
+candidates(const std::unordered_map<Addr, DirEntry>& dir, int nprocs,
+           Pred pred)
+{
+    std::vector<Target> v;
+    for (const auto& [line, d] : dir)
+        for (ProcId p = 0; p < nprocs; ++p)
+            if (pred(line, d, p))
+                v.push_back({line, p});
+    std::sort(v.begin(), v.end(), [](const Target& a, const Target& b) {
+        return a.line != b.line ? a.line < b.line : a.proc < b.proc;
+    });
+    return v;
+}
+
+} // namespace
+
+const char*
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::DroppedInval:   return "dropped-inval";
+      case FaultKind::StaleSharer:    return "stale-sharer";
+      case FaultKind::DoubleModified: return "double-modified";
+      case FaultKind::LostHint:       return "lost-hint";
+      case FaultKind::DirtyDesync:    return "dirty-desync";
+      case FaultKind::TrafficSkew:    return "traffic-skew";
+      default:                        return "?";
+    }
+}
+
+bool
+parseFaultKind(const std::string& s, FaultKind* out)
+{
+    for (int i = 0; i < kNumFaultKinds; ++i) {
+        auto k = static_cast<FaultKind>(i);
+        if (s == faultKindName(k)) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+FaultInjector::inject(FaultKind k, std::uint64_t seed)
+{
+    auto& dir = mem_.dir_;
+    auto& caches = mem_.caches_;
+    const int nprocs = mem_.cfg_.nprocs;
+    const bool hints = mem_.cfg_.replacementHints;
+
+    switch (k) {
+      case FaultKind::DroppedInval: {
+          // Keep the cached copy, lose the directory's knowledge of it.
+          auto v = candidates(dir, nprocs,
+                              [&](Addr line, const DirEntry& d, ProcId p) {
+                                  return d.isSharer(p) &&
+                                         caches[p].peek(line) !=
+                                             LineState::Invalid;
+                              });
+          if (v.empty())
+              return "";
+          Target t = v[seed % v.size()];
+          dir[t.line].dropSharer(t.proc);
+          return fmt("dropped-inval: cleared sharer bit of proc %d for "
+                     "line 0x%" PRIxPTR " while its copy stays cached",
+                     t.proc, t.line);
+      }
+
+      case FaultKind::StaleSharer: {
+          // Only a fault when hints keep the vector exact.
+          if (!hints)
+              return "";
+          auto v = candidates(dir, nprocs,
+                              [&](Addr line, const DirEntry& d, ProcId p) {
+                                  return !d.isSharer(p) &&
+                                         caches[p].peek(line) ==
+                                             LineState::Invalid;
+                              });
+          if (v.empty())
+              return "";
+          Target t = v[seed % v.size()];
+          dir[t.line].addSharer(t.proc);
+          return fmt("stale-sharer: set sharer bit of proc %d for line "
+                     "0x%" PRIxPTR " though it holds no copy",
+                     t.proc, t.line);
+      }
+
+      case FaultKind::DoubleModified: {
+          // Grant Modified to a second holder of a line with >= 2
+          // copies; targets are lines, proc picks the second holder.
+          auto v = candidates(dir, nprocs,
+                              [&](Addr line, const DirEntry& d, ProcId p) {
+                                  (void)line;
+                                  return p == 0 && d.numSharers() >= 2;
+                              });
+          if (v.empty())
+              return "";
+          Addr line = v[seed % v.size()].line;
+          ProcId first = -1, second = -1;
+          for (ProcId p = 0; p < nprocs && second < 0; ++p) {
+              if (caches[p].peek(line) == LineState::Invalid)
+                  continue;
+              (first < 0 ? first : second) = p;
+          }
+          if (second < 0)
+              return "";
+          caches[first].setState(line, LineState::Modified);
+          caches[second].setState(line, LineState::Modified);
+          return fmt("double-modified: procs %d and %d both hold line "
+                     "0x%" PRIxPTR " Modified",
+                     first, second, line);
+      }
+
+      case FaultKind::LostHint: {
+          // The cache replaced the line but the hint never arrived.
+          if (!hints)
+              return "";
+          auto v = candidates(dir, nprocs,
+                              [&](Addr line, const DirEntry& d, ProcId p) {
+                                  LineState st = caches[p].peek(line);
+                                  return d.isSharer(p) &&
+                                         (st == LineState::Shared ||
+                                          st == LineState::Exclusive);
+                              });
+          if (v.empty())
+              return "";
+          Target t = v[seed % v.size()];
+          caches[t.proc].invalidate(t.line);
+          return fmt("lost-hint: dropped proc %d's copy of line "
+                     "0x%" PRIxPTR " without clearing its sharer bit",
+                     t.proc, t.line);
+      }
+
+      case FaultKind::DirtyDesync: {
+          // Mark a clean entry dirty, owned by a holder that is not
+          // Modified -- a reconciliation gone wrong.
+          auto v = candidates(dir, nprocs,
+                              [&](Addr line, const DirEntry& d, ProcId p) {
+                                  LineState st = caches[p].peek(line);
+                                  return !d.dirty && d.isSharer(p) &&
+                                         (st == LineState::Shared ||
+                                          st == LineState::Exclusive);
+                              });
+          if (v.empty())
+              return "";
+          Target t = v[seed % v.size()];
+          DirEntry& d = dir[t.line];
+          d.dirty = true;
+          d.owner = t.proc;
+          return fmt("dirty-desync: marked line 0x%" PRIxPTR " dirty "
+                     "with owner %d whose copy is not Modified",
+                     t.line, t.proc);
+      }
+
+      case FaultKind::TrafficSkew: {
+          ProcId p = static_cast<ProcId>(seed % std::uint64_t(nprocs));
+          mem_.stats_[p].localData += mem_.cfg_.cache.lineSize;
+          return fmt("traffic-skew: credited proc %d with %d local data "
+                     "bytes that were never transferred",
+                     p, mem_.cfg_.cache.lineSize);
+      }
+
+      default:
+          return "";
+    }
+}
+
+} // namespace splash::sim

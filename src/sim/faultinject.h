@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic protocol fault injection.
+ *
+ * The invariant checker (sim/check.h) is only trustworthy if it
+ * demonstrably fires on real corruption, so this harness seeds the
+ * exact states a protocol bug would leave behind:
+ *
+ *  - DroppedInval:   an invalidation was "sent" but the sharer bit was
+ *                    cleared anyway -- a cache keeps a copy the
+ *                    directory no longer knows about.
+ *  - StaleSharer:    a sharer bit set for a processor holding no copy
+ *                    (meaningful only with replacement hints, where the
+ *                    vector is supposed to be exact).
+ *  - DoubleModified: two caches granted Modified for the same line --
+ *                    the canonical MESI exclusivity break.
+ *  - LostHint:       a replacement hint was lost: the cache dropped the
+ *                    line but the directory bit survived (again only a
+ *                    fault when hints are on).
+ *  - DirtyDesync:    a clean directory entry marked dirty with an owner
+ *                    whose copy is not Modified -- a broken lazy
+ *                    dirty-bit reconciliation.
+ *  - TrafficSkew:    a line's worth of bytes credited to a counter with
+ *                    no corresponding transfer -- breaks global traffic
+ *                    conservation.
+ *
+ * Injection is deterministic: eligible (line, proc) candidates are
+ * collected in sorted order and @p seed indexes into them, so a
+ * failing seed reproduces exactly.  inject() returns a description of
+ * the mutation, or "" when the current simulator state offers no
+ * eligible target (e.g. hint faults with hints disabled).
+ */
+#ifndef SPLASH2_SIM_FAULTINJECT_H
+#define SPLASH2_SIM_FAULTINJECT_H
+
+#include <cstdint>
+#include <string>
+
+namespace splash::sim {
+
+class MemSystem;
+
+enum class FaultKind : int {
+    DroppedInval = 0,
+    StaleSharer,
+    DoubleModified,
+    LostHint,
+    DirtyDesync,
+    TrafficSkew,
+    NumKinds
+};
+
+constexpr int kNumFaultKinds = static_cast<int>(FaultKind::NumKinds);
+
+/** Stable CLI name of a fault kind (e.g. "dropped-inval"). */
+const char* faultKindName(FaultKind k);
+
+/** Parse a CLI name; returns false if @p s names no fault kind. */
+bool parseFaultKind(const std::string& s, FaultKind* out);
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(MemSystem& mem) : mem_(mem) {}
+
+    /** Mutate the simulator state with one fault of kind @p k.  The
+     *  target is the seed-th eligible candidate in deterministic
+     *  (line, proc) order.  Returns a description of what was broken,
+     *  or "" if no eligible target exists in the current state. */
+    std::string inject(FaultKind k, std::uint64_t seed);
+
+  private:
+    MemSystem& mem_;
+};
+
+} // namespace splash::sim
+
+#endif // SPLASH2_SIM_FAULTINJECT_H

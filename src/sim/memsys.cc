@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "sim/check.h"
 
 namespace splash::sim {
 
@@ -98,6 +99,7 @@ MemSystem::readMiss(ProcId p, Addr lineAddr, Addr addr, int size)
 #ifndef NDEBUG
     txEnd(p, /*expectData=*/1);
 #endif
+    maybeCheck(lineAddr);
 }
 
 void
@@ -122,6 +124,27 @@ MemSystem::writeSlow(ProcId p, Addr lineAddr, Addr addr, int size,
 #ifndef NDEBUG
     txEnd(p, expectData);
 #endif
+    maybeCheck(lineAddr);
+}
+
+void
+MemSystem::maybeCheck(Addr lineAddr)
+{
+    CoherenceChecker chk(*this);
+    std::vector<Violation> v;
+#ifndef NDEBUG
+    // Debug builds validate the touched line after every transaction;
+    // O(nprocs), so it rides along with the existing tx_ asserts.
+    chk.checkLine(lineAddr, &v);
+#else
+    (void)lineAddr;
+#endif
+    if (checkPeriod_ != 0 && ++sinceCheck_ >= checkPeriod_) {
+        sinceCheck_ = 0;
+        chk.checkAll(&v);
+    }
+    if (!v.empty())
+        panic("coherence invariant violated:\n" + formatViolations(v));
 }
 
 void
@@ -287,6 +310,7 @@ MemSystem::dataTransfer(ProcId p, ProcId src, ProcId dst, MissType mt)
 #ifndef NDEBUG
     ++tx_.dataTransfers;
 #endif
+    ++xferLines_;
     const int line = cfg_.cache.lineSize;
     if (src == dst) {
         stats_[p].localData += line;
@@ -314,6 +338,7 @@ MemSystem::writebackTransfer(ProcId p, ProcId src, ProcId home)
 #ifndef NDEBUG
     ++tx_.writebacks;
 #endif
+    ++wbLines_;
     const int line = cfg_.cache.lineSize;
     if (src == home) {
         stats_[p].localData += line;
@@ -328,6 +353,10 @@ MemSystem::resetStats()
 {
     for (auto& s : stats_)
         s = MemStats{};
+    // The traffic-conservation ledger covers the same window as the
+    // byte counters it validates.
+    xferLines_ = 0;
+    wbLines_ = 0;
 }
 
 MemStats
@@ -355,45 +384,7 @@ MemSystem::dirEntry(Addr addr) const
 bool
 MemSystem::checkCoherenceInvariants() const
 {
-    for (const auto& [line, d] : dir_) {
-        int modified = 0, valid = 0;
-        ProcId mproc = -1;
-        for (int p = 0; p < cfg_.nprocs; ++p) {
-            LineState st = caches_[p].peek(line);
-            bool cached = st != LineState::Invalid;
-            // With hints the list is exact; without, it may only be a
-            // superset of the true sharers.
-            if (cached && !d.isSharer(p))
-                return false;
-            if (cfg_.replacementHints && cached != d.isSharer(p))
-                return false;
-            if (cached)
-                ++valid;
-            if (st == LineState::Modified) {
-                ++modified;
-                mproc = p;
-            }
-            if (st == LineState::Exclusive && d.numSharers() != 1)
-                return false;
-        }
-        if (modified > 1)
-            return false;
-        if (d.dirty) {
-            if (modified != 1 ||
-                caches_[d.owner].peek(line) != LineState::Modified)
-                return false;
-        } else if (modified == 1) {
-            // Deferred silent E->M promotion: legal only while the
-            // Modified holder is the sole sharer (reconcileDir fixes
-            // the entry at the next directory consult).
-            if (d.numSharers() != 1 || !d.isSharer(mproc))
-                return false;
-        }
-        if (cfg_.replacementHints ? valid != d.numSharers()
-                                  : valid > d.numSharers())
-            return false;
-    }
-    return true;
+    return CoherenceChecker(*this).checkAll() == 0;
 }
 
 } // namespace splash::sim

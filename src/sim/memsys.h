@@ -42,6 +42,9 @@
 
 namespace splash::sim {
 
+class CoherenceChecker;  // sim/check.h
+class FaultInjector;     // sim/faultinject.h
+
 class MemSystem
 {
   public:
@@ -109,10 +112,22 @@ class MemSystem
 
     /** Check protocol invariants over the whole directory (at most one
      *  Modified copy, sharer lists consistent with caches, Exclusive
-     *  implies sole sharer). Returns true when consistent. */
+     *  implies sole sharer). Returns true when consistent.  Convenience
+     *  wrapper over CoherenceChecker (sim/check.h). */
     bool checkCoherenceInvariants() const;
 
+    /** Run the full CoherenceChecker sweep every @p period slow-path
+     *  transactions (0 disables sampling).  Violations panic with a
+     *  rule-by-rule report.  Debug builds additionally validate the
+     *  touched line after every slow-path transaction regardless of
+     *  the period.  The checker only reads state, so enabling it
+     *  cannot change any statistic. */
+    void setCheckPeriod(std::uint64_t period) { checkPeriod_ = period; }
+    std::uint64_t checkPeriod() const { return checkPeriod_; }
+
   private:
+    friend class CoherenceChecker;
+    friend class FaultInjector;
     /** Rare line-straddling reference: split per line, count once. */
     void accessMulti(ProcId p, Addr addr, int size, AccessType type);
     /** Slow paths (counters for the reference already bumped). */
@@ -138,6 +153,10 @@ class MemSystem
     ProcId homeOf(Addr lineAddr) const;
     Addr lineOf(Addr a) const { return alignDown(a, cfg_.cache.lineSize); }
 
+    /** Invariant-checker hook, called at the end of every slow-path
+     *  transaction with the line it touched. */
+    void maybeCheck(Addr lineAddr);
+
     MachineConfig cfg_;
     const HomeResolver* homes_;
     InterleavedHome defaultHomes_;
@@ -145,6 +164,15 @@ class MemSystem
     std::unordered_map<Addr, DirEntry> dir_;
     MissClassifier classifier_;
     std::vector<MemStats> stats_;
+
+    /** Always-on transfer counts backing the checker's global traffic-
+     *  conservation rule: every byte in the per-processor data counters
+     *  must come from exactly one of these line movements. */
+    std::uint64_t xferLines_ = 0;  ///< dataTransfer calls since reset
+    std::uint64_t wbLines_ = 0;    ///< writebackTransfer calls since reset
+
+    std::uint64_t checkPeriod_ = 0;  ///< full sweep every N txns (0 = off)
+    std::uint64_t sinceCheck_ = 0;   ///< txns since the last full sweep
 
 #ifndef NDEBUG
     /** Traffic-conservation invariant, checked per line transaction in

@@ -1,5 +1,7 @@
 #include "sim/replay.h"
 
+#include <exception>
+
 #include "base/log.h"
 
 namespace splash::sim {
@@ -8,14 +10,17 @@ BroadcastReplay::BroadcastReplay(const std::vector<ReplicaSpec>& specs,
                                  bool threaded,
                                  std::size_t chunkRecords,
                                  int ringChunks)
-    : chunkRecords_(chunkRecords)
+    : chunkRecords_(chunkRecords),
+      uncaughtAtCtor_(std::uncaught_exceptions())
 {
     ensure(!specs.empty(), "broadcast replay needs at least one replica");
     ensure(chunkRecords_ >= 1 && ringChunks >= 2,
            "broadcast replay ring too small");
     mems_.reserve(specs.size());
-    for (const ReplicaSpec& s : specs)
+    for (const ReplicaSpec& s : specs) {
         mems_.push_back(std::make_unique<MemSystem>(s.machine, s.homes));
+        mems_.back()->setCheckPeriod(s.checkPeriod);
+    }
 
     ring_.resize(ringChunks);
     for (auto& c : ring_)
@@ -33,15 +38,38 @@ BroadcastReplay::BroadcastReplay(const std::vector<ReplicaSpec>& specs,
 
 BroadcastReplay::~BroadcastReplay()
 {
-    flush();
+    // Destroyed during exception unwinding (the producer threw
+    // mid-stream): the staged tail is torn, so abort -- wake blocked
+    // consumers and discard -- rather than flush and block on a full
+    // drain of a stream that was never completed.
+    if (std::uncaught_exceptions() > uncaughtAtCtor_)
+        abortStream();
+    if (!aborted())
+        flush();
+    shutdown(/*abort=*/false);
+}
+
+void
+BroadcastReplay::shutdown(bool abort)
+{
     {
         std::lock_guard<std::mutex> lk(mu_);
         stop_ = true;
+        if (abort)
+            aborted_.store(true);
     }
     cvPublished_.notify_all();
+    cvRecycled_.notify_all();
     for (auto& c : consumers_)
         if (c.th.joinable())
             c.th.join();
+}
+
+void
+BroadcastReplay::abortStream()
+{
+    cur_ = nullptr;  // drop the partially staged chunk
+    shutdown(/*abort=*/true);
 }
 
 std::uint64_t
@@ -59,10 +87,12 @@ BroadcastReplay::acquireSlot()
     Chunk& slot = ring_[nextSeq_ % ring_.size()];
     if (!consumers_.empty() && nextSeq_ >= ring_.size()) {
         // Back-pressure: the slot is recycled only once every consumer
-        // has replayed its previous occupant (seq - ringChunks).
+        // has replayed its previous occupant (seq - ringChunks).  The
+        // stop_ escape keeps an abort from leaving the producer wedged
+        // here.
         std::unique_lock<std::mutex> lk(mu_);
         cvRecycled_.wait(lk, [&] {
-            return minDone() + ring_.size() > nextSeq_;
+            return stop_ || minDone() + ring_.size() > nextSeq_;
         });
     }
     slot.seq = nextSeq_;
@@ -74,6 +104,8 @@ BroadcastReplay::acquireSlot()
 void
 BroadcastReplay::access(ProcId p, Addr addr, int size, AccessType type)
 {
+    if (aborted_.load(std::memory_order_relaxed)) [[unlikely]]
+        return;  // stream is dead; drop the reference
     if (cur_ == nullptr)
         cur_ = &acquireSlot();
     cur_->recs.push_back(
@@ -123,8 +155,10 @@ BroadcastReplay::consumerLoop(Consumer& me)
             std::unique_lock<std::mutex> lk(mu_);
             cvPublished_.wait(lk,
                               [&] { return published_ > seq || stop_; });
-            if (published_ <= seq)
-                return;  // stopped and drained
+            // On abort leave immediately, undrained chunks and all;
+            // on a clean stop drain what was published first.
+            if (aborted_.load() || published_ <= seq)
+                return;
         }
         // The slot cannot be recycled before every consumer (us
         // included) advances past it, so this read needs no lock.
@@ -148,12 +182,14 @@ BroadcastReplay::resetStats()
 void
 BroadcastReplay::streamBarrier()
 {
+    if (aborted_.load())
+        return;  // nothing left to quiesce; the tail was discarded
     if (cur_ != nullptr && !cur_->recs.empty())
         publish(false);
     if (consumers_.empty())
         return;
     std::unique_lock<std::mutex> lk(mu_);
-    cvRecycled_.wait(lk, [&] { return minDone() == published_; });
+    cvRecycled_.wait(lk, [&] { return stop_ || minDone() == published_; });
 }
 
 void

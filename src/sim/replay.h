@@ -36,6 +36,7 @@
 #ifndef SPLASH2_SIM_REPLAY_H
 #define SPLASH2_SIM_REPLAY_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -56,6 +57,9 @@ struct ReplicaSpec
      *  heap, or null for line-interleaved homes (the MemSystem
      *  default) -- the ablation's "no placement" point. */
     const HomeResolver* homes = nullptr;
+    /** Invariant-checker sampling period for this replica's MemSystem
+     *  (0 = off); see MemSystem::setCheckPeriod. */
+    std::uint64_t checkPeriod = 0;
 };
 
 class BroadcastReplay final : public RefSink
@@ -85,8 +89,20 @@ class BroadcastReplay final : public RefSink
     void streamBarrier() override;
 
     /** Publish any partial chunk and quiesce; replica statistics are
-     *  exact once this returns. */
+     *  exact once this returns.  No-op after abortStream(). */
     void flush();
+
+    /** Producer failed mid-stream: wake every consumer (including any
+     *  blocked waiting for the next chunk) and discard undrained and
+     *  partially staged work instead of replaying a torn tail.
+     *  Idempotent.  The destructor calls this automatically when it
+     *  runs during exception unwinding, so a throwing producer can
+     *  never hang the consumers; replica statistics are unspecified
+     *  afterwards. */
+    void abortStream();
+
+    /** True once the stream was aborted. */
+    bool aborted() const { return aborted_.load(); }
 
     int replicas() const { return static_cast<int>(mems_.size()); }
     /** Replica @p i's memory system; flush() first for exact stats. */
@@ -115,6 +131,8 @@ class BroadcastReplay final : public RefSink
     void publish(bool resetMark);
     void consumerLoop(Consumer& me);
     std::uint64_t minDone() const;
+    /** Stop consumers and join; @p abort discards undrained chunks. */
+    void shutdown(bool abort);
 
     std::size_t chunkRecords_;
     std::vector<std::unique_ptr<MemSystem>> mems_;
@@ -128,6 +146,13 @@ class BroadcastReplay final : public RefSink
     std::condition_variable cvRecycled_;   ///< consumers -> producer
     std::uint64_t published_ = 0;  ///< chunks visible to consumers
     bool stop_ = false;
+    /** Producer failed; the tail is torn.  Atomic so the producer's
+     *  hot path (access) can check it without taking the ring mutex. */
+    std::atomic<bool> aborted_{false};
+    /** In-flight exception count at construction: the destructor is
+     *  running during unwinding exactly when the current count exceeds
+     *  this, and must then abort instead of flushing a torn stream. */
+    int uncaughtAtCtor_ = 0;
     std::vector<Consumer> consumers_;
 };
 

@@ -93,8 +93,8 @@ CacheSweep::StackProfiler::compact()
 }
 
 void
-CacheSweep::StackProfiler::touch(Addr line, std::uint32_t oldVer,
-                                 std::uint32_t newVer, bool isWrite)
+CacheSweep::StackProfiler::touch(Addr line, std::uint64_t oldVer,
+                                 std::uint64_t newVer, bool isWrite)
 {
     if (now + 1 > timeCap)
         compact();
@@ -125,7 +125,7 @@ CacheSweep::StackProfiler::touch(Addr line, std::uint32_t oldVer,
 
 void
 CacheSweep::cohAdvance(Addr lineAddr, ProcId p, bool isWrite,
-                       std::uint32_t* oldVer, std::uint32_t* newVer)
+                       std::uint64_t* oldVer, std::uint64_t* newVer)
 {
     Coh& c = coh_[lineAddr];
     *oldVer = c.version;
@@ -144,8 +144,8 @@ CacheSweep::cohAdvance(Addr lineAddr, ProcId p, bool isWrite,
 template <typename StaleFn>
 void
 CacheSweep::applyTagArray(TagArray& ta, Addr lineAddr,
-                          std::uint64_t lineId, std::uint32_t oldVer,
-                          std::uint32_t newVer, bool isWrite,
+                          std::uint64_t lineId, std::uint64_t oldVer,
+                          std::uint64_t newVer, bool isWrite,
                           StaleFn&& stale)
 {
     std::uint64_t set = lineId & ta.setMask;
@@ -204,11 +204,11 @@ CacheSweep::accessLine(ProcId p, Addr lineAddr, AccessType type)
     ++accesses_[p];
 
     bool is_write = type == AccessType::Write;
-    std::uint32_t old_ver, new_ver;
+    std::uint64_t old_ver, new_ver;
     cohAdvance(lineAddr, p, is_write, &old_ver, &new_ver);
 
     std::uint64_t line_id = lineAddr >> lineShift_;
-    auto stale = [this](Addr tag, std::uint32_t ver) {
+    auto stale = [this](Addr tag, std::uint64_t ver) {
         auto it = coh_.find(tag);
         return it != coh_.end() && it->second.version != ver;
     };
@@ -355,7 +355,7 @@ void
 ParallelSweep::captureLine(ProcId p, Addr lineAddr, bool isWrite)
 {
     ++sweep_.accesses_[p];
-    std::uint32_t oldVer, newVer;
+    std::uint64_t oldVer, newVer;
     sweep_.cohAdvance(lineAddr, p, isWrite, &oldVer, &newVer);
     buf_.push_back({lineAddr, oldVer, newVer,
                     static_cast<std::int16_t>(p),
@@ -378,7 +378,7 @@ ParallelSweep::access(ProcId p, Addr addr, int size, AccessType type)
 void
 ParallelSweep::replayChunk(Worker& w, const Rec* recs, std::size_t n)
 {
-    auto stale = [&w](Addr tag, std::uint32_t ver) {
+    auto stale = [&w](Addr tag, std::uint64_t ver) {
         auto it = w.verMap.find(tag);
         return (it == w.verMap.end() ? 0u : it->second) != ver;
     };

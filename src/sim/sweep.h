@@ -90,9 +90,11 @@ class CacheSweep
   private:
     friend class ParallelSweep;
 
+    /** Version stamps and LRU clocks are 64-bit: they advance with the
+     *  reference count, which exceeds 2^32 at large problem scales. */
     struct Coh
     {
-        std::uint32_t version = 0;
+        std::uint64_t version = 0;
         ProcId lastWriter = -1;
         bool readSince = false;
     };
@@ -100,8 +102,8 @@ class CacheSweep
     struct TagEntry
     {
         Addr tag = 0;
-        std::uint32_t version = 0;
-        std::uint32_t lastUse = 0;
+        std::uint64_t version = 0;
+        std::uint64_t lastUse = 0;
         bool valid = false;
     };
 
@@ -110,7 +112,7 @@ class CacheSweep
     {
         int ways = 0;
         std::uint64_t setMask = 0;
-        std::uint32_t useClock = 0;
+        std::uint64_t useClock = 0;
         std::vector<TagEntry> entries;
         std::uint64_t misses = 0;
     };
@@ -121,7 +123,7 @@ class CacheSweep
         struct LineInfo
         {
             std::uint64_t lastTime = 0;
-            std::uint32_t version = 0;
+            std::uint64_t version = 0;
         };
         std::unordered_map<Addr, LineInfo> lines;
         std::vector<std::uint32_t> bit;   // Fenwick tree over timestamps
@@ -135,7 +137,7 @@ class CacheSweep
         void bitAdd(std::uint64_t i, int delta);
         std::uint64_t bitSum(std::uint64_t i) const;
         void compact();
-        void touch(Addr line, std::uint32_t oldVer, std::uint32_t newVer,
+        void touch(Addr line, std::uint64_t oldVer, std::uint64_t newVer,
                    bool isWrite);
     };
 
@@ -144,15 +146,15 @@ class CacheSweep
      *  piece of cross-configuration state; shared by the serial path
      *  and trace capture so the two cannot drift. */
     void cohAdvance(Addr lineAddr, ProcId p, bool isWrite,
-                    std::uint32_t* oldVer, std::uint32_t* newVer);
+                    std::uint64_t* oldVer, std::uint64_t* newVer);
 
     /** Replay one annotated line reference into one tag array.
      *  @p stale decides whether a resident victim candidate has been
      *  coherence-invalidated: called with (tag, storedVersion). */
     template <typename StaleFn>
     static void applyTagArray(TagArray& ta, Addr lineAddr,
-                              std::uint64_t lineId, std::uint32_t oldVer,
-                              std::uint32_t newVer, bool isWrite,
+                              std::uint64_t lineId, std::uint64_t oldVer,
+                              std::uint64_t newVer, bool isWrite,
                               StaleFn&& stale);
 
     void accessLine(ProcId p, Addr lineAddr, AccessType type);
@@ -214,8 +216,8 @@ class ParallelSweep final : public RefSink
     struct Rec
     {
         Addr line;
-        std::uint32_t oldVer;
-        std::uint32_t newVer;
+        std::uint64_t oldVer;
+        std::uint64_t newVer;
         std::int16_t proc;
         std::uint8_t write;
     };
@@ -226,7 +228,7 @@ class ParallelSweep final : public RefSink
         std::vector<char> stackMine;   ///< [proc] -> owns that stack
         /** Line versions as of the record being replayed (sparse:
          *  only ever-bumped lines appear; absent means version 0). */
-        std::unordered_map<Addr, std::uint32_t> verMap;
+        std::unordered_map<Addr, std::uint64_t> verMap;
         std::thread th;
     };
 

@@ -14,6 +14,9 @@
  *
  *   splash2run --app all       # whole suite, one job per program
  *   splash2run --list          # enumerate programs
+ *   splash2run --app fft --inject all [--seed N]
+ *                              # fault-injection harness: seed protocol
+ *                              # corruptions, prove the checker fires
  *
  * --backend selects the interleaver's execution mechanism (stackful
  * fibers on one host thread, or one parked host thread per simulated
@@ -30,6 +33,8 @@
 
 #include "harness/cli.h"
 #include "harness/runner.h"
+#include "sim/check.h"
+#include "sim/faultinject.h"
 
 using namespace splash;
 using namespace splash::harness;
@@ -132,6 +137,92 @@ report(const App& app, const RunStats& r, bool with_mem,
     }
 }
 
+/** Fault-injection harness (--inject): for each requested fault kind,
+ *  run @p app to a realistic protocol state, prove the checker is
+ *  silent on it, seed the corruption, and prove the checker fires.
+ *  Returns 0 when every eligible fault was detected. */
+int
+runInjection(App& app, int procs, const sim::CacheConfig& cache,
+             bool hints, const AppConfig& cfg, const SimOpts& simOpts,
+             const std::string& which, std::uint64_t seed)
+{
+    std::vector<sim::FaultKind> todo;
+    if (which == "all") {
+        for (int k = 0; k < sim::kNumFaultKinds; ++k)
+            todo.push_back(static_cast<sim::FaultKind>(k));
+    } else {
+        sim::FaultKind k;
+        if (!sim::parseFaultKind(which, &k)) {
+            std::fprintf(stderr,
+                         "unknown --inject '%s' (all", which.c_str());
+            for (int i = 0; i < sim::kNumFaultKinds; ++i)
+                std::fprintf(stderr, ", %s",
+                             sim::faultKindName(
+                                 static_cast<sim::FaultKind>(i)));
+            std::fprintf(stderr, ")\n");
+            return 2;
+        }
+        todo.push_back(k);
+    }
+
+    std::printf("fault injection: %s on %d processors, seed %llu%s\n\n",
+                app.name().c_str(), procs,
+                static_cast<unsigned long long>(seed),
+                hints ? "" : " (replacement hints off)");
+    int missed = 0;
+    for (sim::FaultKind k : todo) {
+        // Fresh simulator state per fault: injections must not compound.
+        rt::Env env({rt::Mode::Sim, procs, simOpts.quantum,
+                     simOpts.backend, simOpts.delivery});
+        sim::MachineConfig mc;
+        mc.nprocs = procs;
+        mc.cache = cache;
+        mc.replacementHints = hints;
+        sim::MemSystem mem(mc, &env.heap());
+        env.attachMemSystem(&mem);
+        if (!app.run(env, cfg).valid) {
+            std::fprintf(stderr, "%s: run failed validation\n",
+                         app.name().c_str());
+            return 1;
+        }
+
+        sim::CoherenceChecker chk(mem);
+        std::vector<sim::Violation> v;
+        if (chk.checkAll(&v) != 0) {
+            std::fprintf(stderr,
+                         "baseline state already violates invariants "
+                         "(checker bug?):\n%s",
+                         sim::formatViolations(v).c_str());
+            return 1;
+        }
+
+        std::string what = sim::FaultInjector(mem).inject(k, seed);
+        if (what.empty()) {
+            std::printf("%-16s SKIP    no eligible target in this "
+                        "state\n",
+                        sim::faultKindName(k));
+            continue;
+        }
+        v.clear();
+        std::size_t n = chk.checkAll(&v);
+        if (n == 0) {
+            std::printf("%-16s MISSED  injected %s\n",
+                        sim::faultKindName(k), what.c_str());
+            ++missed;
+        } else {
+            std::printf("%-16s detected (%zu violation%s)\n"
+                        "    injected: %s\n"
+                        "    caught:   %s: %s\n",
+                        sim::faultKindName(k), n, n == 1 ? "" : "s",
+                        what.c_str(), v[0].rule.c_str(),
+                        v[0].what.c_str());
+        }
+    }
+    std::printf("\n%s\n", missed ? "FAIL: checker missed seeded faults"
+                                 : "all seeded faults detected");
+    return missed ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -173,8 +264,15 @@ main(int argc, char** argv)
             "             shape (default batched; results identical,\n"
             "             batching is faster)\n"
             "         --jobs N  host threads running independent\n"
-            "             programs (--app all; default 1, 0 = cores;\n"
-            "             output bytes identical for every value)\n");
+            "             programs (--app all; N >= 1, default 1;\n"
+            "             output bytes identical for every value)\n"
+            "         --check N  coherence invariant checker: full\n"
+            "             directory/cache cross-validation every N\n"
+            "             slow-path transactions (default 0 = off;\n"
+            "             observation only, violations abort)\n"
+            "         --inject all|<kind>  fault-injection harness:\n"
+            "             run, seed a protocol corruption, and verify\n"
+            "             the checker detects it (see --inject help)\n");
         return name.empty() ? 2 : 1;
     }
 
@@ -195,6 +293,22 @@ main(int argc, char** argv)
     cache.size = std::uint64_t(opt.getI("cachekb", 1024)) << 10;
     cache.assoc = static_cast<int>(opt.getI("assoc", 4));
     cache.lineSize = static_cast<int>(opt.getI("line", 64));
+
+    if (opt.has("inject")) {
+        if (!with_mem) {
+            std::fprintf(stderr,
+                         "--inject needs the memory system (drop "
+                         "--nomem)\n");
+            return 2;
+        }
+        int rc = 0;
+        for (App* app : apps)
+            rc = std::max(rc, runInjection(*app, procs, cache, hints,
+                                           cfg, eng.sim,
+                                           opt.getS("inject", "all"),
+                                           cfg.seed));
+        return rc;
+    }
 
     std::vector<RunStats> results(apps.size());
     Runner runner(eng.jobs);

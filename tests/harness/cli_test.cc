@@ -1,0 +1,113 @@
+// Tests for the shared engine-flag parser: every invalid value --
+// nonsensical job counts, zero quanta, unknown modes, non-numeric
+// garbage -- must be rejected loudly instead of silently falling back
+// to a default, and valid values must land in the right SimOpts knob.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/cli.h"
+
+using namespace splash::harness;
+
+namespace {
+
+/** Run parseEngineOpts over a synthetic command line. */
+bool
+parse(std::vector<std::string> words, EngineOpts* out)
+{
+    std::vector<std::string> full = {"prog"};
+    full.insert(full.end(), words.begin(), words.end());
+    std::vector<char*> argv;
+    argv.reserve(full.size());
+    for (auto& s : full)
+        argv.push_back(s.data());
+    Options opt(static_cast<int>(argv.size()), argv.data());
+    return parseEngineOpts(opt, out);
+}
+
+} // namespace
+
+TEST(EngineOpts, DefaultsParse)
+{
+    EngineOpts eng;
+    ASSERT_TRUE(parse({}, &eng));
+    EXPECT_EQ(eng.jobs, 1);
+    EXPECT_EQ(eng.sim.quantum, 250u);
+    EXPECT_EQ(eng.sim.sweepThreads, 0);
+    EXPECT_EQ(eng.sim.checkPeriod, 0u);
+}
+
+TEST(EngineOpts, ValidValuesLand)
+{
+    EngineOpts eng;
+    ASSERT_TRUE(parse({"--jobs", "4", "--quantum", "100", "--backend",
+                       "thread", "--delivery", "direct", "--replicas",
+                       "inline", "--sweep-threads", "2", "--check",
+                       "512"},
+                      &eng));
+    EXPECT_EQ(eng.jobs, 4);
+    EXPECT_EQ(eng.sim.quantum, 100u);
+    EXPECT_EQ(eng.sim.backend, splash::rt::BackendKind::Thread);
+    EXPECT_EQ(eng.sim.delivery, splash::rt::Delivery::Direct);
+    EXPECT_EQ(eng.sim.replicas, Replicas::Inline);
+    EXPECT_EQ(eng.sim.sweepThreads, 2);
+    EXPECT_EQ(eng.sim.checkPeriod, 512u);
+}
+
+TEST(EngineOpts, RejectsBadJobCounts)
+{
+    EngineOpts eng;
+    EXPECT_FALSE(parse({"--jobs", "0"}, &eng));
+    EXPECT_FALSE(parse({"--jobs", "-3"}, &eng));
+}
+
+TEST(EngineOpts, RejectsBadQuanta)
+{
+    EngineOpts eng;
+    EXPECT_FALSE(parse({"--quantum", "0"}, &eng));
+    EXPECT_FALSE(parse({"--quantum", "-250"}, &eng));
+}
+
+TEST(EngineOpts, RejectsNegativeSweepThreadsAndCheck)
+{
+    EngineOpts eng;
+    EXPECT_FALSE(parse({"--sweep-threads", "-1"}, &eng));
+    EXPECT_FALSE(parse({"--check", "-1"}, &eng));
+    // 0 stays meaningful for both (hardware concurrency / off).
+    EXPECT_TRUE(parse({"--sweep-threads", "0", "--check", "0"}, &eng));
+}
+
+TEST(EngineOpts, RejectsUnknownModes)
+{
+    EngineOpts eng;
+    EXPECT_FALSE(parse({"--replicas", "sometimes"}, &eng));
+    EXPECT_FALSE(parse({"--backend", "coroutine"}, &eng));
+    EXPECT_FALSE(parse({"--delivery", "postal"}, &eng));
+}
+
+// Non-numeric and partially-numeric values must terminate with an
+// error (exit 1) instead of truncating ("2x" -> 2) or throwing an
+// unhandled std::invalid_argument out of main().
+TEST(EngineOptsDeathTest, NumericGarbageIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EngineOpts eng;
+    EXPECT_EXIT(parse({"--jobs", "many"}, &eng),
+                ::testing::ExitedWithCode(1), "expects an integer");
+    EXPECT_EXIT(parse({"--quantum", "2x"}, &eng),
+                ::testing::ExitedWithCode(1), "expects an integer");
+}
+
+TEST(OptionsDeathTest, NonNumericDoubleIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    std::vector<std::string> full = {"prog", "--scale", "1.5x"};
+    std::vector<char*> argv;
+    for (auto& s : full)
+        argv.push_back(s.data());
+    Options opt(static_cast<int>(argv.size()), argv.data());
+    EXPECT_EXIT(opt.getD("scale", 1.0), ::testing::ExitedWithCode(1),
+                "expects a number");
+}

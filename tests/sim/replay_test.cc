@@ -9,6 +9,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -201,6 +202,100 @@ TEST(BroadcastReplay, StreamBarriersAreStatisticallyInvisible)
         expectSameStats(serial[std::size_t(i)],
                         replay.replica(i).total(),
                         "barrier replica " + std::to_string(i));
+}
+
+// ----------------------------------------------------------------------
+// Abort path: a producer that throws mid-stream must never hang the
+// consumer pool.  The destructor runs during unwinding, detects it, and
+// aborts -- waking consumers blocked waiting for the next chunk --
+// instead of flushing a torn stream.
+
+TEST(BroadcastReplay, ProducerExceptionWakesIdleConsumers)
+{
+    const int nprocs = 4;
+    auto specs = mixedSpecs(nprocs);
+    const auto stream = randomStream(nprocs, 100, 50, 99);
+    // Feed fewer records than one chunk: nothing is ever published, so
+    // every consumer is parked waiting for the first chunk when the
+    // exception unwinds the producer scope.  If the destructor tried to
+    // flush (or forgot to wake them) this test would hang.
+    EXPECT_THROW(
+        {
+            BroadcastReplay replay(specs, /*threaded=*/true,
+                                   /*chunkRecords=*/1 << 12,
+                                   /*ringChunks=*/2);
+            for (const auto& acc : stream)
+                replay.access(acc.p, acc.a, 8, acc.t);
+            throw std::runtime_error("producer failed mid-stream");
+        },
+        std::runtime_error);
+}
+
+TEST(BroadcastReplay, ProducerExceptionWakesBusyConsumers)
+{
+    const int nprocs = 4;
+    auto specs = mixedSpecs(nprocs);
+    // Tiny chunks and minimal ring: consumers are replaying and the
+    // producer takes the back-pressure wait; throw from deep inside the
+    // stream with chunks in every pipeline state.
+    const auto stream = randomStream(nprocs, 40000, 900, 7);
+    EXPECT_THROW(
+        {
+            BroadcastReplay replay(specs, /*threaded=*/true,
+                                   /*chunkRecords=*/64,
+                                   /*ringChunks=*/2);
+            for (std::size_t i = 0; i < stream.size(); ++i) {
+                if (i == stream.size() / 2)
+                    throw std::runtime_error("producer failed");
+                replay.access(stream[i].p, stream[i].a, 8, stream[i].t);
+            }
+        },
+        std::runtime_error);
+}
+
+// Differential companion: explicitly aborting leaves the object in a
+// safe, quiescent state (idempotent abort, dead-stream accessors), and
+// -- unlike a clean flush -- does NOT guarantee replica statistics, so
+// the clean half of the same stream must still match serial replay
+// while the aborted half makes no promise but must not crash or hang.
+TEST(BroadcastReplay, AbortStreamQuiescesAndCleanRunStillMatches)
+{
+    const int nprocs = 4;
+    auto specs = mixedSpecs(nprocs);
+    const auto stream = randomStream(nprocs, 20000, 600, 55);
+
+    std::vector<MemStats> serial;
+    for (const auto& spec : specs) {
+        MemSystem mem(spec.machine);
+        for (const auto& acc : stream)
+            mem.access(acc.p, acc.a, 8, acc.t);
+        serial.push_back(mem.total());
+    }
+
+    {
+        BroadcastReplay replay(specs, /*threaded=*/true,
+                               /*chunkRecords=*/128, /*ringChunks=*/2);
+        for (std::size_t i = 0; i < stream.size() / 2; ++i)
+            replay.access(stream[i].p, stream[i].a, 8, stream[i].t);
+        replay.abortStream();
+        EXPECT_TRUE(replay.aborted());
+        // Dead stream: further traffic is dropped, quiesce and flush
+        // are no-ops, and a second abort is harmless.
+        replay.access(0, 0x200000, 8, AccessType::Write);
+        replay.streamBarrier();
+        replay.flush();
+        replay.abortStream();
+        EXPECT_TRUE(replay.aborted());
+    }  // destructor after abort: must not flush or hang
+
+    BroadcastReplay clean(specs, /*threaded=*/true,
+                          /*chunkRecords=*/128, /*ringChunks=*/2);
+    for (const auto& acc : stream)
+        clean.access(acc.p, acc.a, 8, acc.t);
+    clean.flush();
+    for (int i = 0; i < clean.replicas(); ++i)
+        expectSameStats(serial[std::size_t(i)], clean.replica(i).total(),
+                        "post-abort clean replica " + std::to_string(i));
 }
 
 // ----------------------------------------------------------------------
