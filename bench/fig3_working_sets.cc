@@ -38,7 +38,7 @@ main(int argc, char** argv)
     Options opt(argc, argv);
     EngineOpts eng;
     if (!parseEngineOpts(opt, &eng))
-        return 2;
+        return eng.listRequested ? 0 : 2;
     int procs = static_cast<int>(opt.getI("procs", 32));
     int line = static_cast<int>(opt.getI("line", 64));
     bool csv = opt.has("csv");

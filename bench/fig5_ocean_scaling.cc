@@ -31,7 +31,7 @@ main(int argc, char** argv)
     Options opt(argc, argv);
     EngineOpts eng;
     if (!parseEngineOpts(opt, &eng))
-        return 2;
+        return eng.listRequested ? 0 : 2;
     int procs = static_cast<int>(
         opt.getI("procs", opt.has("quick") ? 8 : 32));
     long n1 = opt.getI("n1", opt.has("quick") ? 64 : 128);

@@ -35,7 +35,7 @@ main(int argc, char** argv)
     Options opt(argc, argv);
     EngineOpts eng;
     if (!parseEngineOpts(opt, &eng))
-        return 2;
+        return eng.listRequested ? 0 : 2;
     AppConfig cfg;
     cfg.scale = opt.getD("scale", opt.has("quick") ? 0.25 : 1.0);
     int maxp = static_cast<int>(
@@ -64,6 +64,7 @@ main(int argc, char** argv)
                        appCostHint(*app) * procs[j], [&, app, i, j] {
                            std::vector<MemExperiment> exps;
                            MemExperiment e;
+                           e.protocol = eng.sim.protocol;
                            e.cache = small;
                            exps.push_back(e);
                            if (csv) {

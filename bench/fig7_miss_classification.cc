@@ -35,7 +35,7 @@ main(int argc, char** argv)
     Options opt(argc, argv);
     EngineOpts eng;
     if (!parseEngineOpts(opt, &eng))
-        return 2;
+        return eng.listRequested ? 0 : 2;
     int procs = static_cast<int>(
         opt.getI("procs", opt.has("quick") ? 8 : 32));
     AppConfig cfg;
@@ -56,6 +56,7 @@ main(int argc, char** argv)
             std::vector<MemExperiment> exps;
             for (int line : lines) {
                 MemExperiment e;
+                e.protocol = eng.sim.protocol;
                 e.cache.lineSize = line;
                 exps.push_back(e);
             }

@@ -4,7 +4,10 @@
  * itself, plus the DESIGN.md ablation on scheduler quantum size.
  *
  *  - MemSystem reference throughput: hit fast path (BM_MemSysHit),
- *    miss/coherence slow path (BM_MemSysMiss, BM_MemSysSharingMiss)
+ *    miss/coherence slow path (BM_MemSysMiss, BM_MemSysSharingMiss),
+ *    each also captured per coherence protocol (BM_MemSysHitProto/msi,
+ *    BM_MemSysMissProto/dragon, ...) to show the table-driven dispatch
+ *    costs the same across the zoo
  *  - Working-set sweep throughput: serial online (BM_SweepAccess) and
  *    the batched capture/replay pipeline (BM_SweepBatched)
  *  - Reference delivery shape under a full Env (BM_Delivery)
@@ -30,14 +33,15 @@
 using namespace splash;
 
 /** Hit-dominated reference stream: after the 64 cold fills every
- *  access takes the inlined MESI hit fast path (tag probe + counters,
- *  no directory consult).  Mixes reads (M-state hits) and writes
- *  (silent stores) 3:1 like typical SPLASH-2 codes. */
+ *  access takes the silent-hit fast path (tag probe + mask test +
+ *  counters, no directory consult).  Mixes reads (M-state hits) and
+ *  writes (silent stores) 3:1 like typical SPLASH-2 codes. */
 static void
-BM_MemSysHit(benchmark::State& state)
+BM_MemSysHitProto(benchmark::State& state, sim::ProtocolKind proto)
 {
     sim::MachineConfig mc;
     mc.nprocs = 4;
+    mc.protocol = proto;
     sim::MemSystem mem(mc);
     std::uint64_t i = 0;
     for (auto _ : state) {
@@ -48,18 +52,31 @@ BM_MemSysHit(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations());
 }
+
+/** The headline number (MESI, the paper default): must not regress
+ *  against the hand-inlined hit path the protocol table replaced. */
+static void
+BM_MemSysHit(benchmark::State& state)
+{
+    BM_MemSysHitProto(state, sim::ProtocolKind::MESI);
+}
 BENCHMARK(BM_MemSysHit);
+BENCHMARK_CAPTURE(BM_MemSysHitProto, msi, sim::ProtocolKind::MSI);
+BENCHMARK_CAPTURE(BM_MemSysHitProto, moesi, sim::ProtocolKind::MOESI);
+BENCHMARK_CAPTURE(BM_MemSysHitProto, dragon, sim::ProtocolKind::Dragon);
 
 /** Miss-dominated stream: a cyclic scan over 2x the cache capacity in
  *  a direct-mapped cache, so every reference takes the slow path
- *  (classification, directory, victim writeback accounting). */
+ *  (classification, directory, table-driven transition, victim
+ *  writeback accounting). */
 static void
-BM_MemSysMiss(benchmark::State& state)
+BM_MemSysMissProto(benchmark::State& state, sim::ProtocolKind proto)
 {
     sim::MachineConfig mc;
     mc.nprocs = 4;
     mc.cache.size = 1u << 16;
     mc.cache.assoc = 1;
+    mc.protocol = proto;
     sim::MemSystem mem(mc);
     const std::uint64_t kLines = (mc.cache.size / 64) * 2;
     std::uint64_t i = 0;
@@ -69,7 +86,16 @@ BM_MemSysMiss(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations());
 }
+
+static void
+BM_MemSysMiss(benchmark::State& state)
+{
+    BM_MemSysMissProto(state, sim::ProtocolKind::MESI);
+}
 BENCHMARK(BM_MemSysMiss);
+BENCHMARK_CAPTURE(BM_MemSysMissProto, msi, sim::ProtocolKind::MSI);
+BENCHMARK_CAPTURE(BM_MemSysMissProto, moesi, sim::ProtocolKind::MOESI);
+BENCHMARK_CAPTURE(BM_MemSysMissProto, dragon, sim::ProtocolKind::Dragon);
 
 static void
 BM_MemSysSharingMiss(benchmark::State& state)

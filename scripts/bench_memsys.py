@@ -6,7 +6,11 @@ Three measurements:
  1. Reference cost: the BM_MemSysHit / BM_MemSysMiss / BM_SweepAccess /
     BM_SweepBatched / BM_Delivery_* / BM_Broadcast microbenchmarks from
     bench/micro_simthroughput (each reports references per second;
-    ns/ref = 1e9 / that).
+    ns/ref = 1e9 / that).  BM_MemSysHitProto/<name> and
+    BM_MemSysMissProto/<name> repeat the hit/miss measurements under
+    every registered coherence protocol, so the table-driven dispatch
+    can be compared across the zoo (BM_MemSysHit/Miss themselves are
+    the MESI instances).
  2. End-to-end characterization: wall clock of a full splash2run
     (FFT, 32 processors) under direct versus batched delivery, best
     of N.
@@ -61,8 +65,9 @@ def main():
         args.reps)
 
     report = {
-        "description": "Memory-path cost: MESI hit fast path, batched "
-                       "reference delivery, parallel working-set sweep",
+        "description": "Memory-path cost: silent-hit fast path (per "
+                       "protocol), batched reference delivery, "
+                       "parallel working-set sweep",
         "host_cpus": os.cpu_count(),
         "reference_cost": micro,
         "end_to_end_characterization": {

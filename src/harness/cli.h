@@ -14,11 +14,16 @@
  *   --check N         coherence invariant checker sampling period: a
  *                     full directory/cache cross-validation every N
  *                     slow-path transactions (0 = off, the default)
+ *   --protocol NAME   coherence protocol of the simulated machine:
+ *                     msi | mesi | moesi | dragon (default mesi), or
+ *                     "list" to print the protocol zoo and exit
  *
- * Every flag changes wall clock only; results and output bytes are
- * identical for any combination (--jobs 1 --replicas off is the
- * serial differential oracle).  Invalid values are rejected with an
- * error rather than silently falling back.
+ * Every flag except --protocol changes wall clock only; results and
+ * output bytes are identical for any combination (--jobs 1
+ * --replicas off is the serial differential oracle).  --protocol
+ * selects the machine being measured, so it changes results by
+ * design.  Invalid values are rejected with an error rather than
+ * silently falling back.
  */
 #ifndef SPLASH2_HARNESS_CLI_H
 #define SPLASH2_HARNESS_CLI_H
@@ -35,6 +40,10 @@ struct EngineOpts
 {
     int jobs = 1;
     SimOpts sim;
+    /** True when parseEngineOpts handled an informational request
+     *  (--protocol list) and printed it: the caller should exit 0
+     *  instead of treating the false return as a usage error. */
+    bool listRequested = false;
 };
 
 /** Parse the shared engine flags; prints to stderr and returns false
@@ -91,6 +100,19 @@ parseEngineOpts(const Options& opt, EngineOpts* out)
                      "unknown --replicas '%s' (off, inline, threads, "
                      "or auto)\n",
                      replicas.c_str());
+        return false;
+    }
+    std::string protoName = opt.getS("protocol", "mesi");
+    if (protoName == "list") {
+        std::fputs(sim::protocolZoo().c_str(), stdout);
+        out->listRequested = true;
+        return false;
+    }
+    if (!sim::parseProtocol(protoName, &out->sim.protocol)) {
+        std::fprintf(stderr,
+                     "unknown --protocol '%s' (msi, mesi, moesi, "
+                     "dragon, or list)\n",
+                     protoName.c_str());
         return false;
     }
     return true;

@@ -67,10 +67,14 @@ parseReplicas(const std::string& s, Replicas* out)
 
 /** Simulation-substrate knobs shared by the drivers below; the
  *  defaults match EnvConfig (fiber backend, quantum 250, batched
- *  delivery). They change simulation speed, never results. */
+ *  delivery).  All of them change simulation speed, never results --
+ *  except `protocol`, which selects the simulated coherence protocol
+ *  and therefore the machine being measured. */
 struct SimOpts
 {
     std::uint64_t quantum = 250;
+    /** Coherence protocol for memory-system runs (--protocol). */
+    sim::ProtocolKind protocol = sim::ProtocolKind::MESI;
     rt::BackendKind backend = rt::BackendKind::Fiber;
     /** Reference delivery shape (bit-identical either way). */
     rt::Delivery delivery = rt::Delivery::Batched;
@@ -104,7 +108,8 @@ runPram(App& app, int nprocs, const AppConfig& cfg,
     return out;
 }
 
-/** Run @p app under the full directory-MESI memory system. */
+/** Run @p app under the full directory-coherent memory system
+ *  (simOpts.protocol selects the protocol; default MESI). */
 inline RunStats
 runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
                  const AppConfig& cfg, const SimOpts& simOpts = {})
@@ -114,6 +119,7 @@ runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
     sim::MachineConfig mc;
     mc.nprocs = nprocs;
     mc.cache = cache;
+    mc.protocol = simOpts.protocol;
     sim::MemSystem mem(mc, &env.heap());
     mem.setCheckPeriod(simOpts.checkPeriod);
     env.attachMemSystem(&mem);
@@ -136,6 +142,10 @@ struct MemExperiment
     sim::CacheConfig cache;
     bool hints = true;   ///< replacement hints (protocol ablation)
     bool placed = true;  ///< placement-aware homes vs pure interleave
+    /** Coherence protocol of this replica; benches forward the
+     *  --protocol flag here (one broadcast replay can feed replicas
+     *  running different protocols side by side). */
+    sim::ProtocolKind protocol = sim::ProtocolKind::MESI;
 };
 
 /** Characterize @p app on @p nprocs under every configuration in
@@ -166,6 +176,7 @@ runCharacterizations(App& app, int nprocs,
             mc.nprocs = nprocs;
             mc.cache = e.cache;
             mc.replacementHints = e.hints;
+            mc.protocol = e.protocol;
             sim::MemSystem mem(mc, e.placed ? &env.heap() : nullptr);
             mem.setCheckPeriod(simOpts.checkPeriod);
             env.attachMemSystem(&mem);
@@ -192,6 +203,7 @@ runCharacterizations(App& app, int nprocs,
         s.machine.nprocs = nprocs;
         s.machine.cache = e.cache;
         s.machine.replacementHints = e.hints;
+        s.machine.protocol = e.protocol;
         s.homes = e.placed ? &env.heap() : nullptr;
         s.checkPeriod = simOpts.checkPeriod;
         specs.push_back(s);

@@ -4,9 +4,11 @@
 
 namespace splash::sim {
 
-Cache::Cache(const CacheConfig& cfg) : cfg_(cfg)
+Cache::Cache(const CacheConfig& cfg, const Protocol& proto) : cfg_(cfg)
 {
     cfg_.validate();
+    for (int i = 0; i < kNumLineStates; ++i)
+        writeNext_[i] = proto.silentWriteNext[i];
     ways_ = cfg_.assoc == 0 ? cfg_.numLines() : cfg_.assoc;
     numSets_ = cfg_.numLines() / ways_;
     big_ = ways_ > 16;
@@ -24,8 +26,8 @@ Cache::probeForBig(Addr lineAddr, AccessType type)
         return LineState::Invalid;
     lru_.splice(lru_.begin(), lru_, it->second);
     LineState st = it->second->second;
-    if (type == AccessType::Write && st == LineState::Exclusive)
-        it->second->second = LineState::Modified;
+    if (type == AccessType::Write)
+        it->second->second = writeNext_[static_cast<int>(st)];
     return st;
 }
 

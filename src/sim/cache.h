@@ -2,10 +2,10 @@
  * @file
  * Set-associative write-back cache tag array with true LRU replacement.
  *
- * This models one processor's single-level cache in the directory-based
- * Illinois (MESI) protocol.  Only tags and coherence state are kept; data
- * values live in the application's real memory (PRAM timing means the
- * simulator never needs the bytes themselves).
+ * This models one processor's single-level cache in a directory-based
+ * coherence protocol (sim/protocol.h).  Only tags and coherence state
+ * are kept; data values live in the application's real memory (PRAM
+ * timing means the simulator never needs the bytes themselves).
  *
  * Two internal organizations are used: small associativities probe a
  * contiguous way array (the hot path for the paper's 4-way caches), while
@@ -22,22 +22,16 @@
 
 #include "base/types.h"
 #include "sim/config.h"
+#include "sim/protocol.h"
 
 namespace splash::sim {
-
-/** MESI line states (Illinois protocol). */
-enum class LineState : std::uint8_t {
-    Invalid = 0,
-    Shared,
-    Exclusive,  ///< valid-exclusive: clean, only cached copy
-    Modified
-};
 
 /** One processor's cache. Addresses passed in are line-aligned. */
 class Cache
 {
   public:
-    explicit Cache(const CacheConfig& cfg);
+    explicit Cache(const CacheConfig& cfg,
+                   const Protocol& proto = protocol(ProtocolKind::MESI));
 
     /** Result of inserting a line: the replaced victim, if any. */
     struct Victim
@@ -51,11 +45,12 @@ class Cache
      *  hit. */
     LineState probe(Addr lineAddr);
 
-    /** Hot-path lookup for MemSystem::access: on a hit updates LRU and,
-     *  for a write hit to an Exclusive line, silently promotes it to
-     *  Modified in place (Illinois semantics -- the directory learns
-     *  lazily).  Returns the pre-promotion state; Invalid on miss.
-     *  Inline so the common hit needs no function call. */
+    /** Hot-path lookup for MemSystem::access: on a hit updates LRU and
+     *  applies the protocol's silent write promotion in place (the
+     *  Illinois E->M: the directory learns lazily).  The promotion
+     *  table comes from the Protocol descriptor, so this is the same
+     *  rule the slow path uses.  Returns the pre-promotion state;
+     *  Invalid on miss.  Inline so the common hit needs no call. */
     LineState
     probeFor(Addr lineAddr, AccessType type)
     {
@@ -67,9 +62,8 @@ class Cache
             if (e.state != LineState::Invalid && e.tag == lineAddr) {
                 e.lastUse = ++useClock_;
                 LineState st = e.state;
-                if (type == AccessType::Write &&
-                    st == LineState::Exclusive)
-                    e.state = LineState::Modified;
+                if (type == AccessType::Write)
+                    e.state = writeNext_[static_cast<int>(st)];
                 return st;
             }
         }
@@ -116,6 +110,10 @@ class Cache
     int ways_;
     std::uint64_t numSets_;
     std::uint64_t useClock_ = 0;
+
+    /** Protocol's silent write-hit promotion, copied at construction
+     *  (identity for states with no silent upgrade). */
+    LineState writeNext_[kNumLineStates];
 
     /** Small-associativity storage: numSets_ * ways_ entries. */
     std::vector<Way> sets_;

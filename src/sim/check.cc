@@ -42,6 +42,7 @@ CoherenceChecker::checkOneLine(Addr line, const DirEntry* d,
 {
     const MemSystem& m = mem_;
     const MachineConfig& cfg = m.cfg_;
+    const Protocol& proto = protocol(cfg.protocol);
     const bool hints = cfg.replacementHints;
 
     int modified = 0, valid = 0;
@@ -50,6 +51,11 @@ CoherenceChecker::checkOneLine(Addr line, const DirEntry* d,
         LineState st = m.caches_[p].peek(line);
         bool cached = st != LineState::Invalid;
         bool listed = d && d->isSharer(p);
+        if (cached && !stateIn(proto.legalStates, st))
+            report(out, n, "illegal-state", line,
+                   fmt("proc %d holds line 0x%" PRIxPTR " in state %d, "
+                       "which protocol %s does not use",
+                       p, line, static_cast<int>(st), proto.name));
         // A cached copy the directory does not know about can never
         // happen: even without hints the vector is a superset.
         if (cached && !listed)
@@ -72,13 +78,22 @@ CoherenceChecker::checkOneLine(Addr line, const DirEntry* d,
             mproc = p;
         }
         if (st == LineState::Exclusive && (!d || d->numSharers() != 1))
-            report(out, n, "mesi-exclusive-shared", line,
+            report(out, n, "exclusive-shared", line,
                    fmt("proc %d holds line 0x%" PRIxPTR
                        " Exclusive but the directory lists %d sharers",
                        p, line, d ? d->numSharers() : 0));
+        // Owned (MOESI's O, Dragon's Sm) is dirty-shared: it exists
+        // only at the registered dirty owner, which also bounds it to
+        // one copy per line.
+        if (st == LineState::Owned &&
+            (!d || !d->dirty || d->owner != p))
+            report(out, n, "owned-orphan", line,
+                   fmt("proc %d holds line 0x%" PRIxPTR " Owned but is "
+                       "not the registered dirty owner",
+                       p, line));
     }
     if (modified > 1)
-        report(out, n, "mesi-multiple-modified", line,
+        report(out, n, "multiple-modified", line,
                fmt("%d caches hold line 0x%" PRIxPTR " Modified",
                    modified, line));
     if (d && d->empty())
@@ -89,16 +104,19 @@ CoherenceChecker::checkOneLine(Addr line, const DirEntry* d,
     if (d && d->dirty) {
         if (d->owner < 0 || d->owner >= cfg.nprocs ||
             !d->isSharer(d->owner) ||
-            m.caches_[d->owner].peek(line) != LineState::Modified)
+            !stateIn(proto.ownerStates,
+                     m.caches_[d->owner].peek(line)))
             report(out, n, "dirty-owner", line,
                    fmt("line 0x%" PRIxPTR " is dirty with owner %d, "
-                       "who does not hold it Modified",
+                       "who does not hold it in an owner state",
                        line, d->owner));
     } else if (modified == 1) {
-        // Deferred silent E->M promotion: legal only while the holder
-        // is the sole sharer (reconcileDir repairs the entry at the
-        // next directory consult).  Anything wider is corruption.
-        if (!d || d->numSharers() != 1 || !d->isSharer(mproc))
+        // Deferred silent E->M promotion: legal only under a protocol
+        // with clean-exclusive, and only while the holder is the sole
+        // sharer (reconcileDir repairs the entry at the next directory
+        // consult).  Anything wider is corruption.
+        if (!proto.hasExclusive || !d || d->numSharers() != 1 ||
+            !d->isSharer(mproc))
             report(out, n, "lazy-dirty-bound", line,
                    fmt("proc %d holds line 0x%" PRIxPTR " Modified "
                        "under a clean entry that does not list it as "

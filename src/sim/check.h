@@ -6,21 +6,31 @@
  * The paper's value rests on the simulated counters being exact, so
  * the protocol state they are derived from must be provably
  * consistent.  CoherenceChecker cross-validates the directory against
- * the per-processor cache line states and the traffic counters:
+ * the per-processor cache line states and the traffic counters.  The
+ * rules are parameterized by the configured Protocol descriptor
+ * (legal-state set, owner-state set, clean-exclusive capability), so
+ * one checker certifies every registered protocol:
  *
- *  - mesi-multiple-modified: at most one cache holds a line Modified.
- *  - mesi-exclusive-shared:  an Exclusive copy implies no other cached
+ *  - illegal-state:   every cached state is in the protocol's
+ *    legalStates set (e.g. no Owned copy under MESI).
+ *  - multiple-modified: at most one cache holds a line Modified.
+ *  - exclusive-shared:  an Exclusive copy implies no other cached
  *    copy (and an exact sole-sharer directory entry).
+ *  - owned-orphan:    an Owned copy exists only at the dirty owner of
+ *    a dirty directory entry (which also bounds Owned to one copy).
  *  - sharer-missing:  every cached copy has its directory bit set.
  *  - sharer-stale:    with replacement hints the sharer vector is
  *    exact, so a set bit implies a cached copy; without hints the
  *    vector may only be a superset of the true sharers.
  *  - dirty-owner:     a dirty directory entry names a valid owner that
- *    is a sharer and holds the line Modified.
- *  - lazy-dirty-bound: the fast path promotes E->M without consulting
- *    the directory, so a Modified copy under a clean entry is legal
- *    only while its holder is the sole sharer (reconcileDir repairs
- *    the entry at the next consult).  Any wider desync is corruption.
+ *    is a sharer and holds the line in one of the protocol's owner
+ *    states (Modified, or Owned/Sm where the protocol has them).
+ *  - lazy-dirty-bound: protocols with a clean-exclusive state promote
+ *    E->M on the fast path without consulting the directory, so a
+ *    Modified copy under a clean entry is legal only while its holder
+ *    is the sole sharer (reconcileDir repairs the entry at the next
+ *    consult).  Any wider desync -- or any such copy under a protocol
+ *    without clean-exclusive -- is corruption.
  *  - dir-entry-empty: entries with no sharers are erased eagerly.
  *  - resident-count:  per line, the number of cached copies matches
  *    the sharer count (equality with hints, <= without).

@@ -14,6 +14,7 @@
 
 #include "base/log.h"
 #include "base/types.h"
+#include "sim/protocol.h"
 
 namespace splash::sim {
 
@@ -65,6 +66,9 @@ struct MachineConfig
      *  replacements are silent and the directory sends spurious
      *  invalidations to stale sharers. */
     bool replacementHints = true;
+    /** Coherence protocol (sim/protocol.h); the paper's machine runs
+     *  the Illinois MESI protocol. */
+    ProtocolKind protocol = ProtocolKind::MESI;
 
     void
     validate() const

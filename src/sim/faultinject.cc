@@ -64,6 +64,7 @@ faultKindName(FaultKind k)
       case FaultKind::LostHint:       return "lost-hint";
       case FaultKind::DirtyDesync:    return "dirty-desync";
       case FaultKind::TrafficSkew:    return "traffic-skew";
+      case FaultKind::IllegalState:   return "illegal-state";
       default:                        return "?";
     }
 }
@@ -88,6 +89,14 @@ FaultInjector::inject(FaultKind k, std::uint64_t seed)
     auto& caches = mem_.caches_;
     const int nprocs = mem_.cfg_.nprocs;
     const bool hints = mem_.cfg_.replacementHints;
+    const Protocol& proto = protocol(mem_.cfg_.protocol);
+    // A valid copy that carries no ownership (S, E, Dragon's Sc):
+    // dropping or mislabeling one must trip the sharer rules, not the
+    // dirty-owner rule.
+    auto cleanValid = [&](LineState st) {
+        return st != LineState::Invalid &&
+               !stateIn(proto.ownerStates, st);
+    };
 
     switch (k) {
       case FaultKind::DroppedInval: {
@@ -158,10 +167,8 @@ FaultInjector::inject(FaultKind k, std::uint64_t seed)
               return "";
           auto v = candidates(dir, nprocs,
                               [&](Addr line, const DirEntry& d, ProcId p) {
-                                  LineState st = caches[p].peek(line);
                                   return d.isSharer(p) &&
-                                         (st == LineState::Shared ||
-                                          st == LineState::Exclusive);
+                                         cleanValid(caches[p].peek(line));
                               });
           if (v.empty())
               return "";
@@ -173,14 +180,12 @@ FaultInjector::inject(FaultKind k, std::uint64_t seed)
       }
 
       case FaultKind::DirtyDesync: {
-          // Mark a clean entry dirty, owned by a holder that is not
-          // Modified -- a reconciliation gone wrong.
+          // Mark a clean entry dirty, owned by a holder in none of the
+          // protocol's owner states -- a reconciliation gone wrong.
           auto v = candidates(dir, nprocs,
                               [&](Addr line, const DirEntry& d, ProcId p) {
-                                  LineState st = caches[p].peek(line);
                                   return !d.dirty && d.isSharer(p) &&
-                                         (st == LineState::Shared ||
-                                          st == LineState::Exclusive);
+                                         cleanValid(caches[p].peek(line));
                               });
           if (v.empty())
               return "";
@@ -189,7 +194,7 @@ FaultInjector::inject(FaultKind k, std::uint64_t seed)
           d.dirty = true;
           d.owner = t.proc;
           return fmt("dirty-desync: marked line 0x%" PRIxPTR " dirty "
-                     "with owner %d whose copy is not Modified",
+                     "with owner %d whose copy is in no owner state",
                      t.line, t.proc);
       }
 
@@ -199,6 +204,35 @@ FaultInjector::inject(FaultKind k, std::uint64_t seed)
           return fmt("traffic-skew: credited proc %d with %d local data "
                      "bytes that were never transferred",
                      p, mem_.cfg_.cache.lineSize);
+      }
+
+      case FaultKind::IllegalState: {
+          // Flip a cached copy to the lowest valid state the protocol
+          // does not use; ineligible when the legal set is the full
+          // alphabet (MOESI, Dragon).
+          LineState illegal = LineState::Invalid;
+          for (int s = 1; s < kNumLineStates; ++s) {
+              if (!stateIn(proto.legalStates, static_cast<LineState>(s))) {
+                  illegal = static_cast<LineState>(s);
+                  break;
+              }
+          }
+          if (illegal == LineState::Invalid)
+              return "";
+          auto v = candidates(dir, nprocs,
+                              [&](Addr line, const DirEntry& d, ProcId p) {
+                                  (void)d;
+                                  return caches[p].peek(line) !=
+                                         LineState::Invalid;
+                              });
+          if (v.empty())
+              return "";
+          Target t = v[seed % v.size()];
+          caches[t.proc].setState(t.line, illegal);
+          return fmt("illegal-state: set proc %d's copy of line "
+                     "0x%" PRIxPTR " to state %d, unused by protocol %s",
+                     t.proc, t.line, static_cast<int>(illegal),
+                     proto.name);
       }
 
       default:

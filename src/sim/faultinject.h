@@ -18,11 +18,20 @@
  *                    line but the directory bit survived (again only a
  *                    fault when hints are on).
  *  - DirtyDesync:    a clean directory entry marked dirty with an owner
- *                    whose copy is not Modified -- a broken lazy
- *                    dirty-bit reconciliation.
+ *                    whose copy is in none of the protocol's owner
+ *                    states -- a broken lazy dirty-bit reconciliation.
  *  - TrafficSkew:    a line's worth of bytes credited to a counter with
  *                    no corresponding transfer -- breaks global traffic
  *                    conservation.
+ *  - IllegalState:   a cached copy flipped to a state outside the
+ *                    protocol's legal-state set (e.g. Exclusive under
+ *                    MSI, Owned under MESI) -- a table-decode bug.
+ *                    Ineligible under protocols whose legal set is the
+ *                    full state alphabet (MOESI, Dragon).
+ *
+ * The predicates are parameterized by the configured Protocol
+ * descriptor, so every kind (except where noted ineligible) seeds a
+ * genuine fault under every registered protocol.
  *
  * Injection is deterministic: eligible (line, proc) candidates are
  * collected in sorted order and @p seed indexes into them, so a
@@ -47,6 +56,7 @@ enum class FaultKind : int {
     LostHint,
     DirtyDesync,
     TrafficSkew,
+    IllegalState,
     NumKinds
 };
 

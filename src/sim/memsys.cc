@@ -8,14 +8,15 @@
 namespace splash::sim {
 
 MemSystem::MemSystem(const MachineConfig& cfg, const HomeResolver* homes)
-    : cfg_(cfg), homes_(homes),
-      defaultHomes_(cfg.nprocs, cfg.cache.lineSize),
+    : cfg_(cfg), proto_(protocol(cfg.protocol)),
+      writeSilent_(proto_.silentHit[static_cast<int>(AccessType::Write)]),
+      homes_(homes), defaultHomes_(cfg.nprocs, cfg.cache.lineSize),
       classifier_(cfg.nprocs, cfg.cache.lineSize), stats_(cfg.nprocs)
 {
     cfg_.validate();
     caches_.reserve(cfg_.nprocs);
     for (int p = 0; p < cfg_.nprocs; ++p)
-        caches_.emplace_back(cfg_.cache);
+        caches_.emplace_back(cfg_.cache, proto_);
 }
 
 ProcId
@@ -79,7 +80,7 @@ MemSystem::accessMulti(ProcId p, Addr addr, int size, AccessType type)
                 readMiss(p, line, lo, sz);
         } else {
             LineState st = caches_[p].probeFor(line, AccessType::Write);
-            if (st == LineState::Modified || st == LineState::Exclusive)
+            if (stateIn(writeSilent_, st))
                 classifier_.recordWrite(lo, sz);
             else
                 writeSlow(p, line, lo, sz, st);
@@ -95,7 +96,7 @@ MemSystem::readMiss(ProcId p, Addr lineAddr, Addr addr, int size)
 #endif
     MissType mt = classifier_.classifyMiss(p, addr, size);
     ++stats_[p].misses[static_cast<int>(mt)];
-    handleReadMiss(p, lineAddr, mt);
+    runTransition(p, lineAddr, ProtoEvent::ReadMiss, mt);
 #ifndef NDEBUG
     txEnd(p, /*expectData=*/1);
 #endif
@@ -110,14 +111,18 @@ MemSystem::writeSlow(ProcId p, Addr lineAddr, Addr addr, int size,
     txBegin(p);
 #endif
     [[maybe_unused]] int expectData;
-    if (st == LineState::Shared) {
+    if (st != LineState::Invalid) {
+        // Non-silent write hit: permissions move (and, under Dragon,
+        // updates broadcast), but no line is supplied.
         ++stats_[p].upgrades;
-        handleUpgrade(p, lineAddr);
-        expectData = 0;  // upgrade moves permissions, not data
+        const Transition& t =
+            runTransition(p, lineAddr, ProtoEvent::WriteHit,
+                          MissType::Cold /*unused: no data supply*/);
+        expectData = t.supply == Supply::None ? 0 : 1;
     } else {
         MissType mt = classifier_.classifyMiss(p, addr, size);
         ++stats_[p].misses[static_cast<int>(mt)];
-        handleWriteMiss(p, lineAddr, mt);
+        runTransition(p, lineAddr, ProtoEvent::WriteMiss, mt);
         expectData = 1;
     }
     classifier_.recordWrite(addr, size);
@@ -162,106 +167,103 @@ MemSystem::reconcileDir(Addr lineAddr, DirEntry& d)
     }
 }
 
-void
-MemSystem::handleReadMiss(ProcId p, Addr lineAddr, MissType mt)
+const Transition&
+MemSystem::runTransition(ProcId p, Addr lineAddr, ProtoEvent ev,
+                         MissType mt)
 {
     ProcId home = homeOf(lineAddr);
-    packet(p, p, home);  // request
+    packet(p, p, home);  // request to the home
 
     auto& d = dir_[lineAddr];
     reconcileDir(lineAddr, d);
-    LineState newState;
-    if (d.dirty) {
+    DirGroup g = d.empty() ? DirGroup::Uncached
+                 : d.dirty ? DirGroup::Dirty
+                           : DirGroup::Clean;
+    const Transition& t = proto_.at(ev, g);
+    ensure(t.valid, "transition unreachable under this protocol");
+
+    // --- line supply --------------------------------------------------
+    if (t.supply == Supply::Owner) {
         ProcId q = d.owner;
-        ensure(q != p, "dirty owner cannot be the missing processor");
-        packet(p, home, q);            // intervention
-        dataTransfer(p, q, p, mt);     // cache-to-cache reply
-        writebackTransfer(p, q, home); // sharing writeback (memory update)
-        caches_[q].setState(lineAddr, LineState::Shared);
-        d.dirty = false;
-        d.owner = -1;
-        newState = LineState::Shared;
-    } else {
-        dataTransfer(p, home, p, mt);  // supplied by home memory
-        if (d.empty()) {
-            newState = LineState::Exclusive;
-        } else {
-            newState = LineState::Shared;
-            // Any Exclusive (clean) copy elsewhere downgrades to Shared;
-            // the home notifies the sole holder.
-            if (d.numSharers() == 1) {
-                ProcId q = static_cast<ProcId>(
-                    __builtin_ctzll(d.sharers));
-                if (caches_[q].peek(lineAddr) == LineState::Exclusive) {
-                    packet(p, home, q);
-                    caches_[q].setState(lineAddr, LineState::Shared);
-                }
-            }
-        }
-    }
-    d.addSharer(p);
-    installLine(p, lineAddr, newState);
-}
-
-void
-MemSystem::handleUpgrade(ProcId p, Addr lineAddr)
-{
-    ProcId home = homeOf(lineAddr);
-    packet(p, p, home);  // upgrade request
-
-    auto& d = dir_[lineAddr];
-    ensure(!d.dirty, "upgrade on a dirty line");
-    for (int q = 0; q < cfg_.nprocs; ++q) {
-        if (q == p || !d.isSharer(q))
-            continue;
-        packet(p, home, q);  // invalidation (spurious if q replaced
-        packet(p, q, p);     // the line silently) + ack to requester
-        if (caches_[q].peek(lineAddr) != LineState::Invalid) {
+        ensure(q != p, "dirty owner cannot be the requesting processor");
+        packet(p, home, q);         // intervention
+        dataTransfer(p, q, p, mt);  // cache-to-cache reply
+        if (t.sharingWriteback)
+            writebackTransfer(p, q, home);  // memory picks up the line
+        if (t.ownerNext == LineState::Invalid) {
             caches_[q].invalidate(lineAddr);
             classifier_.noteInvalidated(q, lineAddr);
+            ++stats_[p].invalidations;
+            d.dropSharer(q);
+        } else {
+            caches_[q].setState(lineAddr, t.ownerNext);
         }
-        d.dropSharer(q);
+    } else if (t.supply == Supply::Memory) {
+        dataTransfer(p, home, p, mt);  // supplied by home memory
     }
-    d.dirty = true;
-    d.owner = p;
-    caches_[p].setState(lineAddr, LineState::Modified);
-}
 
-void
-MemSystem::handleWriteMiss(ProcId p, Addr lineAddr, MissType mt)
-{
-    ProcId home = homeOf(lineAddr);
-    packet(p, p, home);  // read-exclusive request
-
-    auto& d = dir_[lineAddr];
-    reconcileDir(lineAddr, d);
-    if (d.dirty) {
-        ProcId q = d.owner;
-        ensure(q != p, "dirty owner cannot be the missing processor");
-        packet(p, home, q);         // invalidating intervention
-        dataTransfer(p, q, p, mt);  // ownership transfer, cache-to-cache
-        caches_[q].invalidate(lineAddr);
-        classifier_.noteInvalidated(q, lineAddr);
-        d.dropSharer(q);
-    } else {
-        dataTransfer(p, home, p, mt);
+    // --- the other holders --------------------------------------------
+    switch (t.others) {
+      case OthersOp::DowngradeExclusive:
+        // A sole clean-exclusive copy degrades to Shared; the home
+        // notifies the holder.
+        if (d.numSharers() == 1) {
+            ProcId q = static_cast<ProcId>(__builtin_ctzll(d.sharers));
+            if (q != p &&
+                caches_[q].peek(lineAddr) == LineState::Exclusive) {
+                packet(p, home, q);
+                caches_[q].setState(lineAddr, LineState::Shared);
+            }
+        }
+        break;
+      case OthersOp::Invalidate:
         for (int q = 0; q < cfg_.nprocs; ++q) {
             if (q == p || !d.isSharer(q))
                 continue;
-            packet(p, home, q);  // invalidation
-            packet(p, q, p);     // ack
+            packet(p, home, q);  // invalidation (spurious if q replaced
+            packet(p, q, p);     // the line silently) + ack to requester
             if (caches_[q].peek(lineAddr) != LineState::Invalid) {
                 caches_[q].invalidate(lineAddr);
                 classifier_.noteInvalidated(q, lineAddr);
+                ++stats_[p].invalidations;
             }
             d.dropSharer(q);
         }
+        break;
+      case OthersOp::Update:
+        for (int q = 0; q < cfg_.nprocs; ++q) {
+            if (q == p || !d.isSharer(q))
+                continue;
+            packet(p, home, q);  // word update (spurious if stale)
+            packet(p, q, p);     // ack
+            ++stats_[p].updates;
+            // Copies stay valid but any exclusive-flavored holder
+            // degrades: the writer is about to take ownership.
+            LineState sq = caches_[q].peek(lineAddr);
+            if (sq == LineState::Exclusive || sq == LineState::Owned)
+                caches_[q].setState(lineAddr, LineState::Shared);
+        }
+        break;
+      case OthersOp::None:
+        break;
     }
-    d.sharers = 0;
+
+    // --- directory + requester finalization ---------------------------
+    if (t.setDirty) {
+        d.dirty = true;
+        d.owner = p;
+    } else if (!t.keepDirty) {
+        d.dirty = false;
+        d.owner = -1;
+    }
+    bool alone = (d.sharers & ~(std::uint64_t{1} << p)) == 0;
+    LineState ns = alone ? t.reqStateAlone : t.reqState;
     d.addSharer(p);
-    d.dirty = true;
-    d.owner = p;
-    installLine(p, lineAddr, LineState::Modified);
+    if (ev == ProtoEvent::WriteHit)
+        caches_[p].setState(lineAddr, ns);
+    else
+        installLine(p, lineAddr, ns);
+    return t;
 }
 
 void
@@ -280,7 +282,9 @@ MemSystem::evictVictim(ProcId p, const Cache::Victim& v)
     ensure(it != dir_.end(), "evicted line missing from directory");
     DirEntry& d = it->second;
 
-    if (v.state == LineState::Modified) {
+    if (stateIn(proto_.ownerStates, v.state)) {
+        // Evicting an owner state (M, and O/Sm where the protocol has
+        // them) writes the line back and cleans the entry.
         writebackTransfer(p, p, home);
         d.dirty = false;
         d.owner = -1;

@@ -5,10 +5,15 @@
  * Models the machine of the SPLASH-2 paper: a cache-coherent shared
  * address space multiprocessor with physically distributed memory, one
  * processor per node, a single-level cache per processor kept coherent
- * by a directory-based Illinois (MESI) protocol, and replacement hints
- * so sharer lists stay exact.  Timing is PRAM (every access completes
- * in one cycle), so the simulator records *events and traffic*, never
- * latency.
+ * by a directory-based protocol, and replacement hints so sharer lists
+ * stay exact.  Timing is PRAM (every access completes in one cycle),
+ * so the simulator records *events and traffic*, never latency.
+ *
+ * The coherence state machine itself is data: MemSystem executes the
+ * Transition table of the configured Protocol (sim/protocol.h; the
+ * paper's Illinois MESI is the default).  Slow-path transactions are
+ * (event, directory-group) lookups; hits are screened by the
+ * protocol's precomputed silent-hit masks.
  *
  * Traffic model (all control packets and data headers are
  * `overheadBytes` long, data transfers are one line):
@@ -17,13 +22,14 @@
  *  - Clean lines are supplied by home memory (local data if the
  *    requester is the home, else remote data + header).
  *  - Dirty lines are supplied cache-to-cache: intervention packet to
- *    the owner, data reply to the requester, and (on read misses) a
- *    sharing writeback of the line to the home, per Illinois semantics
- *    that memory is updated when a dirty line is read.
- *  - Writes to Shared lines send invalidations to each other sharer and
- *    collect one ack per invalidation.
+ *    the owner, data reply to the requester, and -- where the protocol
+ *    says memory picks up the line (MESI/MSI read of a dirty line) --
+ *    a sharing writeback to the home.
+ *  - Write transactions send an invalidation (or, under Dragon, a
+ *    word update) to each other sharer and collect one ack each.
  *  - Replacing a clean line sends a replacement hint to the home;
- *    replacing a Modified line writes the line back.
+ *    replacing a line in one of the protocol's owner states (M, and
+ *    O/Sm where they exist) writes the line back.
  */
 #ifndef SPLASH2_SIM_MEMSYS_H
 #define SPLASH2_SIM_MEMSYS_H
@@ -58,8 +64,9 @@ class MemSystem
      *  goes through the full protocol) but count as a single read or
      *  write.
      *
-     *  Inlined hit fast path: a read hit in M/E/S and a write hit in
-     *  M/E touch only the requester's tag array (LRU + silent E->M
+     *  Inlined hit fast path: a read hit in any valid state and a
+     *  write hit in one of the protocol's silent-hit states touch only
+     *  the requester's tag array (LRU + the protocol's silent write
      *  promotion), the word-version vector, and the per-processor
      *  counters.  Directory lookup, home resolution, and traffic
      *  accounting happen only on the slow paths; the directory's dirty
@@ -80,11 +87,10 @@ class MemSystem
                 ++stats_[p].writes;
                 LineState st =
                     caches_[p].probeFor(line, AccessType::Write);
-                if (st == LineState::Modified ||
-                    st == LineState::Exclusive) [[likely]] {
-                    // Write hit; an Exclusive line was silently
-                    // promoted to Modified in the cache, directory
-                    // reconciliation deferred.
+                if (stateIn(writeSilent_, st)) [[likely]] {
+                    // Silent write hit; any in-place promotion (the
+                    // Illinois E->M) was applied by the cache,
+                    // directory reconciliation deferred.
                     classifier_.recordWrite(addr, size);
                     return;
                 }
@@ -137,9 +143,12 @@ class MemSystem
     /** The fast path promotes E->M without consulting the directory;
      *  bring the directory entry up to date before it is read. */
     void reconcileDir(Addr lineAddr, DirEntry& d);
-    void handleReadMiss(ProcId p, Addr lineAddr, MissType mt);
-    void handleWriteMiss(ProcId p, Addr lineAddr, MissType mt);
-    void handleUpgrade(ProcId p, Addr lineAddr);
+    /** Execute the protocol's Transition for @p ev on @p lineAddr:
+     *  request packet, directory-group classification, table lookup,
+     *  line supply, other-holder op, directory/state finalization.
+     *  Returns the executed cell (for the debug traffic asserts). */
+    const Transition& runTransition(ProcId p, Addr lineAddr,
+                                    ProtoEvent ev, MissType mt);
     void installLine(ProcId p, Addr lineAddr, LineState st);
     void evictVictim(ProcId p, const Cache::Victim& v);
 
@@ -158,6 +167,10 @@ class MemSystem
     void maybeCheck(Addr lineAddr);
 
     MachineConfig cfg_;
+    /** Registered protocol descriptor (static lifetime). */
+    const Protocol& proto_;
+    /** proto_.silentHit[Write], cached for the inlined fast path. */
+    std::uint8_t writeSilent_;
     const HomeResolver* homes_;
     InterleavedHome defaultHomes_;
     std::vector<Cache> caches_;

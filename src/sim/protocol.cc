@@ -1,0 +1,280 @@
+#include "sim/protocol.h"
+
+#include "base/log.h"
+
+namespace splash::sim {
+
+namespace {
+
+using LS = LineState;
+
+void
+identityWriteNext(Protocol& p)
+{
+    for (int i = 0; i < kNumLineStates; ++i)
+        p.silentWriteNext[i] = static_cast<LS>(i);
+}
+
+Transition&
+cell(Protocol& p, ProtoEvent e, DirGroup g)
+{
+    Transition& t = p.table[static_cast<int>(e)][static_cast<int>(g)];
+    t.valid = true;
+    return t;
+}
+
+/** Shared invalidation-protocol core (the MSI skeleton): memory
+ *  supplies clean lines, the dirty owner supplies cache-to-cache, and
+ *  every write transaction invalidates the other holders.  The
+ *  variants refine individual cells. */
+void
+invalidationCore(Protocol& p)
+{
+    {
+        Transition& t = cell(p, ProtoEvent::ReadMiss, DirGroup::Uncached);
+        t.supply = Supply::Memory;
+        t.reqState = t.reqStateAlone = LS::Shared;
+    }
+    {
+        Transition& t = cell(p, ProtoEvent::ReadMiss, DirGroup::Clean);
+        t.supply = Supply::Memory;
+        t.reqState = t.reqStateAlone = LS::Shared;
+    }
+    {
+        Transition& t = cell(p, ProtoEvent::ReadMiss, DirGroup::Dirty);
+        t.supply = Supply::Owner;
+        t.ownerNext = LS::Shared;
+        t.sharingWriteback = true;  // memory picks up the dirty line
+        t.reqState = t.reqStateAlone = LS::Shared;
+    }
+    {
+        Transition& t = cell(p, ProtoEvent::WriteMiss, DirGroup::Uncached);
+        t.supply = Supply::Memory;
+        t.reqState = t.reqStateAlone = LS::Modified;
+        t.setDirty = true;
+    }
+    {
+        Transition& t = cell(p, ProtoEvent::WriteMiss, DirGroup::Clean);
+        t.supply = Supply::Memory;
+        t.others = OthersOp::Invalidate;
+        t.reqState = t.reqStateAlone = LS::Modified;
+        t.setDirty = true;
+    }
+    {
+        Transition& t = cell(p, ProtoEvent::WriteMiss, DirGroup::Dirty);
+        t.supply = Supply::Owner;
+        t.ownerNext = LS::Invalid;  // ownership transfer invalidates
+        t.others = OthersOp::Invalidate;
+        t.reqState = t.reqStateAlone = LS::Modified;
+        t.setDirty = true;
+    }
+    {
+        // Upgrade: permissions move, no data.  A write hit under a
+        // dirty entry is unreachable here -- the only non-silent write
+        // state is Shared, which cannot coexist with a dirty owner.
+        Transition& t = cell(p, ProtoEvent::WriteHit, DirGroup::Clean);
+        t.others = OthersOp::Invalidate;
+        t.reqState = t.reqStateAlone = LS::Modified;
+        t.setDirty = true;
+    }
+}
+
+Protocol
+makeMsi()
+{
+    Protocol p;
+    p.kind = ProtocolKind::MSI;
+    p.name = "msi";
+    p.display = "MSI";
+    p.blurb = "invalidation-based, no clean-exclusive state";
+    p.legalStates = stateBit(LS::Shared) | stateBit(LS::Modified);
+    p.ownerStates = stateBit(LS::Modified);
+    p.silentHit[0] = stateBit(LS::Shared) | stateBit(LS::Modified);
+    p.silentHit[1] = stateBit(LS::Modified);
+    identityWriteNext(p);
+    p.hasExclusive = false;
+    invalidationCore(p);
+    return p;
+}
+
+Protocol
+makeMesi()
+{
+    Protocol p;
+    p.kind = ProtocolKind::MESI;
+    p.name = "mesi";
+    p.display = "MESI";
+    p.blurb = "Illinois: clean-exclusive + silent E->M (paper default)";
+    p.legalStates = stateBit(LS::Shared) | stateBit(LS::Exclusive) |
+                    stateBit(LS::Modified);
+    p.ownerStates = stateBit(LS::Modified);
+    p.silentHit[0] = stateBit(LS::Shared) | stateBit(LS::Exclusive) |
+                     stateBit(LS::Modified);
+    p.silentHit[1] = stateBit(LS::Exclusive) | stateBit(LS::Modified);
+    identityWriteNext(p);
+    p.silentWriteNext[static_cast<int>(LS::Exclusive)] = LS::Modified;
+    p.hasExclusive = true;
+    invalidationCore(p);
+    // Cold reads install clean-exclusive; a later read by someone else
+    // downgrades the sole E copy.
+    cell(p, ProtoEvent::ReadMiss, DirGroup::Uncached).reqState =
+        cell(p, ProtoEvent::ReadMiss, DirGroup::Uncached).reqStateAlone =
+            LS::Exclusive;
+    cell(p, ProtoEvent::ReadMiss, DirGroup::Clean).others =
+        OthersOp::DowngradeExclusive;
+    return p;
+}
+
+Protocol
+makeMoesi()
+{
+    Protocol p = makeMesi();
+    p.kind = ProtocolKind::MOESI;
+    p.name = "moesi";
+    p.display = "MOESI";
+    p.blurb = "Owned state: dirty lines stay dirty across read sharing";
+    p.legalStates |= stateBit(LS::Owned);
+    p.ownerStates |= stateBit(LS::Owned);
+    // A dirty line read by another processor is NOT written back; the
+    // supplier keeps ownership as Owned and writes back on eviction.
+    {
+        Transition& t = cell(p, ProtoEvent::ReadMiss, DirGroup::Dirty);
+        t.ownerNext = LS::Owned;
+        t.sharingWriteback = false;
+        t.keepDirty = true;
+    }
+    // Writing while the entry is dirty (the requester holds S or O) is
+    // an upgrade that invalidates every other holder, owner included.
+    {
+        Transition& t = cell(p, ProtoEvent::WriteHit, DirGroup::Dirty);
+        t.others = OthersOp::Invalidate;
+        t.reqState = t.reqStateAlone = LS::Modified;
+        t.setDirty = true;
+    }
+    return p;
+}
+
+Protocol
+makeDragon()
+{
+    Protocol p;
+    p.kind = ProtocolKind::Dragon;
+    p.name = "dragon";
+    p.display = "Dragon";
+    p.blurb = "update-based: writes broadcast updates, never invalidate";
+    p.legalStates = stateBit(LS::Shared) | stateBit(LS::Exclusive) |
+                    stateBit(LS::Owned) | stateBit(LS::Modified);
+    p.ownerStates = stateBit(LS::Owned) | stateBit(LS::Modified);
+    p.silentHit[0] = stateBit(LS::Shared) | stateBit(LS::Exclusive) |
+                     stateBit(LS::Owned) | stateBit(LS::Modified);
+    p.silentHit[1] = stateBit(LS::Exclusive) | stateBit(LS::Modified);
+    identityWriteNext(p);
+    p.silentWriteNext[static_cast<int>(LS::Exclusive)] = LS::Modified;
+    p.hasExclusive = true;
+    {
+        Transition& t = cell(p, ProtoEvent::ReadMiss, DirGroup::Uncached);
+        t.supply = Supply::Memory;
+        t.reqState = t.reqStateAlone = LS::Exclusive;
+    }
+    {
+        Transition& t = cell(p, ProtoEvent::ReadMiss, DirGroup::Clean);
+        t.supply = Supply::Memory;
+        t.others = OthersOp::DowngradeExclusive;
+        t.reqState = t.reqStateAlone = LS::Shared;
+    }
+    {
+        // Sm keeps supplying; memory stays stale until Sm is evicted.
+        Transition& t = cell(p, ProtoEvent::ReadMiss, DirGroup::Dirty);
+        t.supply = Supply::Owner;
+        t.ownerNext = LS::Owned;
+        t.keepDirty = true;
+        t.reqState = t.reqStateAlone = LS::Shared;
+    }
+    {
+        Transition& t = cell(p, ProtoEvent::WriteMiss, DirGroup::Uncached);
+        t.supply = Supply::Memory;
+        t.reqState = t.reqStateAlone = LS::Modified;
+        t.setDirty = true;
+    }
+    {
+        Transition& t = cell(p, ProtoEvent::WriteMiss, DirGroup::Clean);
+        t.supply = Supply::Memory;
+        t.others = OthersOp::Update;
+        t.reqState = LS::Owned;  // Sm while other copies remain
+        t.reqStateAlone = LS::Modified;
+        t.setDirty = true;
+    }
+    {
+        // The old Sm supplies, takes the update, and degrades to Sc.
+        Transition& t = cell(p, ProtoEvent::WriteMiss, DirGroup::Dirty);
+        t.supply = Supply::Owner;
+        t.ownerNext = LS::Shared;
+        t.others = OthersOp::Update;
+        t.reqState = LS::Owned;
+        t.reqStateAlone = LS::Modified;
+        t.setDirty = true;
+    }
+    for (DirGroup g : {DirGroup::Clean, DirGroup::Dirty}) {
+        // Write hit to Sc/Sm: broadcast the update, become the owner.
+        Transition& t = cell(p, ProtoEvent::WriteHit, g);
+        t.others = OthersOp::Update;
+        t.reqState = LS::Owned;
+        t.reqStateAlone = LS::Modified;
+        t.setDirty = true;
+    }
+    return p;
+}
+
+} // namespace
+
+const Protocol&
+protocol(ProtocolKind k)
+{
+    static const Protocol msi = makeMsi();
+    static const Protocol mesi = makeMesi();
+    static const Protocol moesi = makeMoesi();
+    static const Protocol dragon = makeDragon();
+    switch (k) {
+      case ProtocolKind::MSI:    return msi;
+      case ProtocolKind::MESI:   return mesi;
+      case ProtocolKind::MOESI:  return moesi;
+      case ProtocolKind::Dragon: return dragon;
+    }
+    panic("unknown protocol kind");
+}
+
+const char*
+protocolName(ProtocolKind k)
+{
+    return protocol(k).name;
+}
+
+bool
+parseProtocol(const std::string& s, ProtocolKind* out)
+{
+    for (int i = 0; i < kNumProtocols; ++i) {
+        auto k = static_cast<ProtocolKind>(i);
+        if (s == protocol(k).name) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+protocolZoo()
+{
+    std::string s;
+    for (int i = 0; i < kNumProtocols; ++i) {
+        const Protocol& p = protocol(static_cast<ProtocolKind>(i));
+        s += p.name;
+        for (std::size_t pad = std::string(p.name).size(); pad < 8; ++pad)
+            s += ' ';
+        s += p.blurb;
+        s += '\n';
+    }
+    return s;
+}
+
+} // namespace splash::sim

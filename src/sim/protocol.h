@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Table-driven directory coherence protocols.
+ *
+ * The coherence state machine lives here as data, not code: a Protocol
+ * descriptor holds one Transition entry per (event, directory-group)
+ * cell plus precomputed hit masks, and MemSystem executes whatever the
+ * table says.  Events are the three slow-path transactions (read miss,
+ * write miss, non-silent write hit); the directory group collapses the
+ * home's view of a line to uncached / clean / dirty.  Everything a
+ * protocol may vary -- who supplies the line, what happens to the
+ * owner and the other holders, which state the requester installs,
+ * whether memory is updated -- is a field of the Transition.
+ *
+ * Hits never consult the table.  Each protocol precomputes
+ * - silentHit[read|write]: the mask of line states that hit without a
+ *   directory transaction, tested with one shift on the fast path; and
+ * - silentWriteNext[]: the in-place promotion applied by the cache on
+ *   a write hit (E->M for the Illinois-style protocols, identity
+ *   elsewhere), which is the single home of the silent-upgrade rule
+ *   that used to be duplicated between Cache::probeFor and MemSystem.
+ *
+ * Four protocols are registered:
+ *
+ *  - msi:    invalidation-based, no clean-exclusive state; every
+ *            first write after a read pays an upgrade transaction.
+ *  - mesi:   the paper's Illinois protocol (default); cold reads
+ *            install Exclusive, write hits to E promote silently, a
+ *            dirty line read by another processor is written back to
+ *            memory ("sharing writeback") and degrades to Shared.
+ *  - moesi:  adds an Owned state: a dirty line read by another
+ *            processor stays dirty at its owner (now Owned), which
+ *            keeps supplying cache-to-cache with no memory update
+ *            until the owner writes back on eviction.
+ *  - dragon: update-based: writes to shared lines broadcast word
+ *            updates to the other holders instead of invalidating
+ *            them, so coherence invalidations (and hence invalidation
+ *            misses) are zero; the writer holds the line Sm (mapped to
+ *            Owned) and supplies it dirty, Dragon's Sc maps to Shared.
+ *
+ * The registry is static and immutable; references returned by
+ * protocol() are valid for the program's lifetime.
+ */
+#ifndef SPLASH2_SIM_PROTOCOL_H
+#define SPLASH2_SIM_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.h"
+
+namespace splash::sim {
+
+/** Cache line states, the union over all registered protocols.  MESI
+ *  uses {I,S,E,M}; MOESI adds Owned; Dragon maps Sc->Shared and
+ *  Sm->Owned.  States a protocol does not use are simply absent from
+ *  its legalStates mask. */
+enum class LineState : std::uint8_t {
+    Invalid = 0,
+    Shared,
+    Exclusive,  ///< valid-exclusive: clean, only cached copy
+    Owned,      ///< dirty but possibly shared; this copy supplies & writes back
+    Modified
+};
+
+constexpr int kNumLineStates = 5;
+
+/** Bitmask helpers over LineState sets. */
+constexpr std::uint8_t
+stateBit(LineState s)
+{
+    return static_cast<std::uint8_t>(1u << static_cast<int>(s));
+}
+
+constexpr bool
+stateIn(std::uint8_t mask, LineState s)
+{
+    return (mask >> static_cast<int>(s)) & 1;
+}
+
+enum class ProtocolKind : std::uint8_t { MSI = 0, MESI, MOESI, Dragon };
+constexpr int kNumProtocols = 4;
+
+/** The three slow-path transactions the directory arbitrates. */
+enum class ProtoEvent : std::uint8_t {
+    ReadMiss = 0,
+    WriteMiss,
+    WriteHit  ///< non-silent write hit (upgrade/update transaction)
+};
+constexpr int kNumProtoEvents = 3;
+
+/** The home's collapsed view of a line when a request arrives. */
+enum class DirGroup : std::uint8_t { Uncached = 0, Clean, Dirty };
+constexpr int kNumDirGroups = 3;
+
+/** Who supplies the line's data for this transaction. */
+enum class Supply : std::uint8_t {
+    None = 0,  ///< permissions only, no data moves (upgrades)
+    Memory,    ///< home memory supplies
+    Owner      ///< the dirty owner supplies cache-to-cache
+};
+
+/** What happens to the holders other than requester and owner. */
+enum class OthersOp : std::uint8_t {
+    None = 0,
+    DowngradeExclusive,  ///< a sole clean-exclusive copy degrades to S
+    Invalidate,          ///< invalidate every other listed sharer
+    Update               ///< send a word update to every other sharer
+};
+
+/** One cell of the transition table. */
+struct Transition
+{
+    bool valid = false;          ///< cell reachable under this protocol
+    Supply supply = Supply::None;
+    OthersOp others = OthersOp::None;
+    /** Requester's new state when other sharers remain / when it ends
+     *  up the only listed holder. */
+    LineState reqState = LineState::Invalid;
+    LineState reqStateAlone = LineState::Invalid;
+    /** Owner's state after supplying (Supply::Owner only); Invalid
+     *  means the owner's copy is invalidated. */
+    LineState ownerNext = LineState::Invalid;
+    /** Owner also writes the line back to home memory while supplying
+     *  (MESI sharing writeback). */
+    bool sharingWriteback = false;
+    /** Directory outcome: setDirty makes the requester the dirty
+     *  owner; keepDirty preserves the current owner; neither clears
+     *  the dirty bit. */
+    bool setDirty = false;
+    bool keepDirty = false;
+};
+
+/** Immutable descriptor of one coherence protocol. */
+struct Protocol
+{
+    ProtocolKind kind = ProtocolKind::MESI;
+    const char* name = "";     ///< stable CLI name (lowercase)
+    const char* display = "";  ///< report display name
+    const char* blurb = "";    ///< one-line summary for --protocol list
+
+    /** States a cached (non-Invalid) copy may legally be in under
+     *  this protocol; the Invalid bit is never set. */
+    std::uint8_t legalStates = 0;
+    /** States that carry ownership of dirty data: the directory's
+     *  dirty owner must hold one of these, and evicting one writes
+     *  the line back. */
+    std::uint8_t ownerStates = 0;
+    /** Hit masks for [AccessType::Read, AccessType::Write]: states
+     *  that complete in the requester's tag array alone. */
+    std::uint8_t silentHit[2] = {0, 0};
+    /** In-place state applied by the cache on a write hit, indexed by
+     *  the pre-write state (identity where no silent promotion
+     *  exists).  The single home of the silent E->M upgrade. */
+    LineState silentWriteNext[kNumLineStates] = {};
+    /** Protocol has a clean-exclusive state (enables the lazy-dirty
+     *  reconciliation exemption in the invariant checker). */
+    bool hasExclusive = false;
+
+    Transition table[kNumProtoEvents][kNumDirGroups];
+
+    const Transition&
+    at(ProtoEvent e, DirGroup g) const
+    {
+        return table[static_cast<int>(e)][static_cast<int>(g)];
+    }
+};
+
+/** The registered descriptor for @p k (static lifetime). */
+const Protocol& protocol(ProtocolKind k);
+
+/** Stable CLI name ("msi", "mesi", "moesi", "dragon"). */
+const char* protocolName(ProtocolKind k);
+
+/** Parse a CLI name; returns false if @p s names no protocol.  Names
+ *  are exact (lowercase): no case folding, no prefixes. */
+bool parseProtocol(const std::string& s, ProtocolKind* out);
+
+/** One line per protocol ("name  blurb"), for --protocol list. */
+std::string protocolZoo();
+
+} // namespace splash::sim
+
+#endif // SPLASH2_SIM_PROTOCOL_H

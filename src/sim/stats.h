@@ -47,8 +47,18 @@ struct MemStats
 
     // --- miss counts by type ----------------------------------------------
     std::array<std::uint64_t, kNumMissTypes> misses{};
-    /** Write hits to Shared lines that required invalidations. */
+    /** Non-silent write hits: the write needed a directory transaction
+     *  (invalidations for the invalidation protocols, update
+     *  broadcasts for Dragon). */
     std::uint64_t upgrades = 0;
+
+    // --- coherence actions charged to this processor's requests -----------
+    /** Cached copies invalidated on behalf of this processor's writes
+     *  (always 0 under the update-based Dragon protocol). */
+    std::uint64_t invalidations = 0;
+    /** Word-update messages sent on behalf of this processor's writes
+     *  (Dragon only; 0 under invalidation protocols). */
+    std::uint64_t updates = 0;
 
     // --- traffic in bytes --------------------------------------------------
     std::uint64_t remoteSharedData = 0;    ///< data bytes, sharing misses
@@ -102,6 +112,8 @@ struct MemStats
         for (int i = 0; i < kNumMissTypes; ++i)
             misses[i] += o.misses[i];
         upgrades += o.upgrades;
+        invalidations += o.invalidations;
+        updates += o.updates;
         remoteSharedData += o.remoteSharedData;
         remoteColdData += o.remoteColdData;
         remoteCapacityData += o.remoteCapacityData;

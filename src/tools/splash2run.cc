@@ -9,6 +9,7 @@
  *   splash2run --app fft [--procs 32] [--scale 1.0] [--n 0]
  *              [--iters 0] [--aux 0] [--cachekb 1024] [--assoc 4]
  *              [--line 64] [--nohints 1] [--nomem 1] [--seed 1234]
+ *              [--protocol msi|mesi|moesi|dragon]
  *              [--backend fiber|thread] [--quantum 250]
  *              [--delivery batched|direct] [--jobs N]
  *
@@ -18,14 +19,17 @@
  *                              # fault-injection harness: seed protocol
  *                              # corruptions, prove the checker fires
  *
- * --backend selects the interleaver's execution mechanism (stackful
- * fibers on one host thread, or one parked host thread per simulated
- * processor); --quantum sets the instrumentation events per scheduling
- * slice; --delivery selects how references reach the simulator (ring
- * batches drained at switch boundaries, or a call per reference);
- * --jobs schedules independent programs across host cores.
- * All change simulation speed only -- output bytes are bit-identical
- * across backends, quanta, delivery shapes, and job counts.
+ * --protocol selects the coherence protocol of the simulated machine
+ * (the one engine flag that changes results: it changes the machine);
+ * --protocol list prints the registered zoo.  --backend selects the
+ * interleaver's execution mechanism (stackful fibers on one host
+ * thread, or one parked host thread per simulated processor);
+ * --quantum sets the instrumentation events per scheduling slice;
+ * --delivery selects how references reach the simulator (ring batches
+ * drained at switch boundaries, or a call per reference); --jobs
+ * schedules independent programs across host cores.  Those change
+ * simulation speed only -- output bytes are bit-identical across
+ * backends, quanta, delivery shapes, and job counts.
  */
 #include <cstdio>
 #include <cstring>
@@ -50,9 +54,10 @@ report(const App& app, const RunStats& r, bool with_mem,
                 app.name().c_str(), procs, cfg.scale);
     if (with_mem)
         std::printf("machine: %llu KB %d-way %dB-line caches, "
-                    "directory MESI%s\n",
+                    "directory %s%s\n",
                     static_cast<unsigned long long>(cache.size >> 10),
                     cache.assoc, cache.lineSize,
+                    sim::protocol(simOpts.protocol).display,
                     hints ? " + replacement hints" : "");
     else
         std::printf("machine: PRAM (perfect memory)\n");
@@ -178,6 +183,7 @@ runInjection(App& app, int procs, const sim::CacheConfig& cache,
         mc.nprocs = procs;
         mc.cache = cache;
         mc.replacementHints = hints;
+        mc.protocol = simOpts.protocol;
         sim::MemSystem mem(mc, &env.heap());
         env.attachMemSystem(&mem);
         if (!app.run(env, cfg).valid) {
@@ -239,6 +245,11 @@ main(int argc, char** argv)
     }
 
     Options opt(argc, argv);
+    // Engine flags first: informational requests (--protocol list)
+    // and bad engine values resolve without requiring --app.
+    EngineOpts eng;
+    if (!parseEngineOpts(opt, &eng))
+        return eng.listRequested ? 0 : 2;
     std::string name = opt.getS("app", "");
     std::vector<App*> apps;
     if (name == "all") {
@@ -255,6 +266,9 @@ main(int argc, char** argv)
             "options: --procs N --scale F --n N --iters N --aux N\n"
             "         --seed N --cachekb N --assoc N --line N\n"
             "         --nohints --nomem\n"
+            "         --protocol msi|mesi|moesi|dragon  coherence\n"
+            "             protocol of the simulated machine (default\n"
+            "             mesi; 'list' prints the registered zoo)\n"
             "         --backend fiber|thread  execution mechanism of\n"
             "             the interleaver (default fiber; results are\n"
             "             identical, fibers are much faster)\n"
@@ -276,9 +290,6 @@ main(int argc, char** argv)
         return name.empty() ? 2 : 1;
     }
 
-    EngineOpts eng;
-    if (!parseEngineOpts(opt, &eng))
-        return 2;
     int procs = static_cast<int>(opt.getI("procs", 32));
     AppConfig cfg;
     cfg.scale = opt.getD("scale", 1.0);
@@ -318,6 +329,7 @@ main(int argc, char** argv)
                 MemExperiment e;
                 e.cache = cache;
                 e.hints = hints;
+                e.protocol = eng.sim.protocol;
                 results[i] = runCharacterizations(*apps[i], procs, {e},
                                                   cfg, eng.sim)[0];
             } else {

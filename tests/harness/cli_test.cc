@@ -87,6 +87,48 @@ TEST(EngineOpts, RejectsUnknownModes)
     EXPECT_FALSE(parse({"--delivery", "postal"}, &eng));
 }
 
+TEST(EngineOpts, ProtocolNamesLand)
+{
+    EngineOpts eng;
+    ASSERT_TRUE(parse({}, &eng));
+    EXPECT_EQ(eng.sim.protocol, splash::sim::ProtocolKind::MESI);
+    ASSERT_TRUE(parse({"--protocol", "msi"}, &eng));
+    EXPECT_EQ(eng.sim.protocol, splash::sim::ProtocolKind::MSI);
+    ASSERT_TRUE(parse({"--protocol", "mesi"}, &eng));
+    EXPECT_EQ(eng.sim.protocol, splash::sim::ProtocolKind::MESI);
+    ASSERT_TRUE(parse({"--protocol", "moesi"}, &eng));
+    EXPECT_EQ(eng.sim.protocol, splash::sim::ProtocolKind::MOESI);
+    ASSERT_TRUE(parse({"--protocol", "dragon"}, &eng));
+    EXPECT_EQ(eng.sim.protocol, splash::sim::ProtocolKind::Dragon);
+}
+
+TEST(EngineOpts, RejectsUnknownProtocols)
+{
+    EngineOpts eng;
+    EXPECT_FALSE(parse({"--protocol", "mosi"}, &eng));
+    EXPECT_FALSE(eng.listRequested) << "an error is not a listing";
+    // Names are exact and lowercase; no case folding, no prefixes.
+    EXPECT_FALSE(parse({"--protocol", "MESI"}, &eng));
+    EXPECT_FALSE(parse({"--protocol", "mes"}, &eng));
+    EXPECT_FALSE(parse({"--protocol", ""}, &eng));
+}
+
+// --protocol list is informational: the parse "fails" so the caller
+// stops, but listRequested distinguishes exit 0 from a usage error.
+TEST(EngineOpts, ProtocolListIsInformationalNotAnError)
+{
+    EngineOpts eng;
+    ::testing::internal::CaptureStdout();
+    EXPECT_FALSE(parse({"--protocol", "list"}, &eng));
+    std::string zoo = ::testing::internal::GetCapturedStdout();
+    EXPECT_TRUE(eng.listRequested);
+    for (int k = 0; k < splash::sim::kNumProtocols; ++k)
+        EXPECT_NE(zoo.find(splash::sim::protocolName(
+                      static_cast<splash::sim::ProtocolKind>(k))),
+                  std::string::npos)
+            << "zoo listing is missing protocol " << k;
+}
+
 // Non-numeric and partially-numeric values must terminate with an
 // error (exit 1) instead of truncating ("2x" -> 2) or throwing an
 // unhandled std::invalid_argument out of main().

@@ -54,12 +54,14 @@ warmUp(MemSystem& mem, int nprocs, std::uint64_t seed)
 }
 
 MachineConfig
-smallMachine(int nprocs, bool hints)
+smallMachine(int nprocs, bool hints,
+             ProtocolKind proto = ProtocolKind::MESI)
 {
     MachineConfig mc;
     mc.nprocs = nprocs;
     mc.cache.size = 16 << 10;  // small cache: forces replacements
     mc.replacementHints = hints;
+    mc.protocol = proto;
     return mc;
 }
 
@@ -70,12 +72,25 @@ expectedRule(FaultKind k)
     switch (k) {
       case FaultKind::DroppedInval:   return "sharer-missing";
       case FaultKind::StaleSharer:    return "sharer-stale";
-      case FaultKind::DoubleModified: return "mesi-multiple-modified";
+      case FaultKind::DoubleModified: return "multiple-modified";
       case FaultKind::LostHint:       return "sharer-stale";
       case FaultKind::DirtyDesync:    return "dirty-owner";
       case FaultKind::TrafficSkew:    return "traffic-conservation";
+      case FaultKind::IllegalState:   return "illegal-state";
       default:                        return "?";
     }
+}
+
+/** IllegalState has no target under protocols whose legal set is the
+ *  full state alphabet. */
+bool
+usesFullAlphabet(ProtocolKind k)
+{
+    const Protocol& p = protocol(k);
+    for (int s = 1; s < kNumLineStates; ++s)
+        if (!stateIn(p.legalStates, static_cast<LineState>(s)))
+            return false;
+    return true;
 }
 
 bool
@@ -90,47 +105,68 @@ hasRule(const std::vector<Violation>& v, const std::string& rule)
 } // namespace
 
 // A legitimately reached protocol state -- including replacements,
-// upgrades, and the lazy E->M fast path -- must be silent under the
-// full sweep, with hints on and off.
+// upgrades, update broadcasts, and the lazy E->M fast path -- must be
+// silent under the full sweep, for every registered protocol, with
+// hints on and off.
 TEST(CoherenceChecker, CleanStatesAreSilent)
 {
-    for (bool hints : {true, false}) {
-        for (std::uint64_t seed : {1u, 77u, 4096u}) {
-            MemSystem mem(smallMachine(8, hints));
-            warmUp(mem, 8, seed);
-            std::vector<Violation> v;
-            EXPECT_EQ(CoherenceChecker(mem).checkAll(&v), 0u)
-                << "hints=" << hints << " seed=" << seed << "\n"
-                << formatViolations(v);
+    for (int pi = 0; pi < kNumProtocols; ++pi) {
+        auto proto = static_cast<ProtocolKind>(pi);
+        for (bool hints : {true, false}) {
+            for (std::uint64_t seed : {1u, 77u, 4096u}) {
+                MemSystem mem(smallMachine(8, hints, proto));
+                warmUp(mem, 8, seed);
+                std::vector<Violation> v;
+                EXPECT_EQ(CoherenceChecker(mem).checkAll(&v), 0u)
+                    << protocolName(proto) << " hints=" << hints
+                    << " seed=" << seed << "\n" << formatViolations(v);
+            }
         }
     }
 }
 
-// Detection matrix: every fault kind, across several seeds (each seed
-// picks a different deterministic (line, proc) target), must trip the
-// checker -- and trip the rule that corresponds to the corruption.
+// Detection matrix: every fault kind, under every protocol, across
+// several seeds (each seed picks a different deterministic
+// (line, proc) target), must trip the checker -- and trip the rule
+// that corresponds to the corruption.  The only legal ineligibility
+// here is IllegalState under a full-alphabet protocol.
 TEST(CoherenceChecker, DetectsEverySeededFault)
 {
-    for (int ki = 0; ki < kNumFaultKinds; ++ki) {
-        auto kind = static_cast<FaultKind>(ki);
-        for (std::uint64_t seed : {0u, 1u, 13u, 1234u}) {
-            MemSystem mem(smallMachine(8, /*hints=*/true));
-            warmUp(mem, 8, 42);
-            ASSERT_EQ(CoherenceChecker(mem).checkAll(), 0u);
+    for (int pi = 0; pi < kNumProtocols; ++pi) {
+        auto proto = static_cast<ProtocolKind>(pi);
+        for (int ki = 0; ki < kNumFaultKinds; ++ki) {
+            auto kind = static_cast<FaultKind>(ki);
+            for (std::uint64_t seed : {0u, 1u, 13u, 1234u}) {
+                MemSystem mem(smallMachine(8, /*hints=*/true, proto));
+                warmUp(mem, 8, 42);
+                ASSERT_EQ(CoherenceChecker(mem).checkAll(), 0u)
+                    << protocolName(proto);
 
-            std::string what = FaultInjector(mem).inject(kind, seed);
-            ASSERT_FALSE(what.empty())
-                << faultKindName(kind) << " seed " << seed
-                << ": no eligible target in a warmed-up state";
+                std::string what = FaultInjector(mem).inject(kind, seed);
+                if (kind == FaultKind::IllegalState &&
+                    usesFullAlphabet(proto)) {
+                    EXPECT_TRUE(what.empty())
+                        << protocolName(proto)
+                        << ": full-alphabet protocol has no illegal "
+                           "state to seed";
+                    continue;
+                }
+                ASSERT_FALSE(what.empty())
+                    << protocolName(proto) << " " << faultKindName(kind)
+                    << " seed " << seed
+                    << ": no eligible target in a warmed-up state";
 
-            std::vector<Violation> v;
-            std::size_t n = CoherenceChecker(mem).checkAll(&v);
-            EXPECT_GT(n, 0u) << faultKindName(kind) << " seed " << seed
-                             << ": checker missed " << what;
-            EXPECT_TRUE(hasRule(v, expectedRule(kind)))
-                << faultKindName(kind) << " seed " << seed
-                << ": expected rule '" << expectedRule(kind)
-                << "' absent from:\n" << formatViolations(v);
+                std::vector<Violation> v;
+                std::size_t n = CoherenceChecker(mem).checkAll(&v);
+                EXPECT_GT(n, 0u)
+                    << protocolName(proto) << " " << faultKindName(kind)
+                    << " seed " << seed << ": checker missed " << what;
+                EXPECT_TRUE(hasRule(v, expectedRule(kind)))
+                    << protocolName(proto) << " " << faultKindName(kind)
+                    << " seed " << seed << ": expected rule '"
+                    << expectedRule(kind) << "' absent from:\n"
+                    << formatViolations(v);
+            }
         }
     }
 }
@@ -164,7 +200,7 @@ TEST(CoherenceChecker, CheckLineLocalizesTheFault)
     ASSERT_GT(CoherenceChecker(mem).checkAll(&v), 0u);
     Addr bad = 0;
     for (const auto& viol : v)
-        if (viol.rule == "mesi-multiple-modified")
+        if (viol.rule == "multiple-modified")
             bad = viol.line;
     ASSERT_NE(bad, 0u);
 
