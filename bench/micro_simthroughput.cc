@@ -119,10 +119,12 @@ inline void
 sweepStep(sim::RefSink& sink, std::uint64_t& x)
 {
     x = x * 6364136223846793005ull + 1442695040888963407ull;
-    sink.access(static_cast<ProcId>((x >> 62) & 3),
-                0x100000 + ((x >> 30) % 4096) * 64, 8,
-                ((x >> 11) & 3) == 0 ? AccessType::Write
-                                     : AccessType::Read);
+    sim::AccessRec r;
+    r.addr = 0x100000 + ((x >> 30) % 4096) * 64;
+    r.size = 8;
+    r.proc = static_cast<std::int16_t>((x >> 62) & 3);
+    r.type = ((x >> 11) & 3) == 0 ? AccessType::Write : AccessType::Read;
+    sink.access(r);
 }
 
 /** CacheSweep is not itself a RefSink; adapt it for sweepStep. */
@@ -130,9 +132,9 @@ struct SerialSweepSink final : sim::RefSink
 {
     explicit SerialSweepSink(sim::CacheSweep& s) : sweep(s) {}
     void
-    access(ProcId p, Addr a, int n, AccessType t) override
+    access(const sim::AccessRec& r) override
     {
-        sweep.access(p, a, n, t);
+        sweep.access(r.proc, r.addr, r.size, r.type);
     }
     void resetStats() override { sweep.resetStats(); }
     sim::CacheSweep& sweep;

@@ -261,7 +261,10 @@ Radiosity::segmentOccluded(rt::ProcCtx& c, const V3& a, const V3& b,
             int root = roots_[poly];
             if (root == skipRootA || root == skipRootB)
                 continue;
-            Patch p = patches_.ld(root);
+            // Intentional unsynchronized read: another processor may
+            // be subdividing this patch; only its (immutable) geometry
+            // matters here.  See SharedArray::ldRacy.
+            Patch p = patches_.ldRacy(root);
             c.flops(30);
             if (segTriangle(a, b, p.v[0], p.v[1], p.v[2]) ||
                 segTriangle(a, b, p.v[0], p.v[2], p.v[3]))
@@ -283,8 +286,10 @@ Radiosity::segmentOccluded(rt::ProcCtx& c, const V3& a, const V3& b,
 double
 Radiosity::visibility(rt::ProcCtx& c, int pa, int pb)
 {
-    Patch a = patches_.ld(pa);
-    Patch b = patches_.ld(pb);
+    // Unsynchronized by design (see ldRacy): visibility only needs
+    // the endpoint geometry, which subdivision never rewrites.
+    Patch a = patches_.ldRacy(pa);
+    Patch b = patches_.ldRacy(pb);
     int unblocked = 0;
     int rays = std::max(1, cfg_.visRays);
     for (int k = 0; k < rays; ++k) {
@@ -370,7 +375,9 @@ Radiosity::processPatch(rt::ProcCtx& c, int p)
         Interaction in = inter_.ld(node);
         freeNodes.push_back(node);
         node = in.next;
-        Patch q = patches_.ld(in.src);
+        // The source patch may be under concurrent refinement; stale
+        // area/radiosity values only defer refinement one iteration.
+        Patch q = patches_.ldRacy(in.src);
         bool can_refine = in.ff > cfg_.ffEps &&
                           std::max(pp.area, q.area) > cfg_.areaEps;
         if (!can_refine) {
@@ -382,10 +389,10 @@ Radiosity::processPatch(rt::ProcCtx& c, int p)
         if (q.area >= pp.area) {
             // Refine the source: interact with its four children.
             subdivide(c, in.src);
-            Patch qq = patches_.ld(in.src);
+            Patch qq = patches_.ldRacy(in.src);
             for (int k = 0; k < 4; ++k) {
                 int chId = qq.child[k];
-                Patch ch = patches_.ld(chId);
+                Patch ch = patches_.ldRacy(chId);
                 Interaction ni;
                 ni.src = chId;
                 ni.ff = formFactor(pp, ch);
@@ -399,7 +406,7 @@ Radiosity::processPatch(rt::ProcCtx& c, int p)
         } else {
             // Refine the receiver: push the interaction to children.
             subdivide(c, p);
-            Patch me = patches_.ld(p);
+            Patch me = patches_.ldRacy(p);
             pp.area = me.area;  // refresh refinement inputs
             for (int k = 0; k < 4; ++k) {
                 int chId = me.child[k];
@@ -476,7 +483,10 @@ Radiosity::body(rt::ProcCtx& c)
         for (int b = 0; b < nroots; ++b) {
             if (a == b)
                 continue;
-            Patch pb = patches_.ld(roots_[b]);
+            // Another processor may be storing its own root's
+            // interHead concurrently (geometry fields are setup-time
+            // constants); tolerated as in the original.
+            Patch pb = patches_.ldRacy(roots_[b]);
             Interaction in;
             in.src = roots_[b];
             in.ff = formFactor(pa, pb);

@@ -17,6 +17,10 @@
  *   --protocol NAME   coherence protocol of the simulated machine:
  *                     msi | mesi | moesi | dragon (default mesi), or
  *                     "list" to print the protocol zoo and exit
+ *   --race GRAN       happens-before race detection over the
+ *                     reference stream: off | word | line (default
+ *                     off).  Observation only: characterization
+ *                     output is byte-identical for any value.
  *
  * Every flag except --protocol changes wall clock only; results and
  * output bytes are identical for any combination (--jobs 1
@@ -113,6 +117,13 @@ parseEngineOpts(const Options& opt, EngineOpts* out)
                      "unknown --protocol '%s' (msi, mesi, moesi, "
                      "dragon, or list)\n",
                      protoName.c_str());
+        return false;
+    }
+    std::string race = opt.getS("race", "off");
+    if (!sim::parseRaceGranularity(race, &out->sim.race)) {
+        std::fprintf(stderr,
+                     "unknown --race '%s' (off, word, or line)\n",
+                     race.c_str());
         return false;
     }
     return true;

@@ -13,6 +13,7 @@
 #include "harness/app.h"
 #include "rt/env.h"
 #include "sim/memsys.h"
+#include "sim/racecheck.h"
 #include "sim/replay.h"
 #include "sim/sweep.h"
 
@@ -27,6 +28,9 @@ struct RunStats
     std::vector<sim::MemStats> memPerProc;
     Tick elapsed = 0;              ///< PRAM time of the measured window
     bool valid = true;
+    /** Race-detection verdict (SimOpts::race != Off only). */
+    bool raceChecked = false;
+    sim::RaceOutcome race;
 };
 
 /** How multi-configuration characterizations execute (bit-identical
@@ -88,16 +92,43 @@ struct SimOpts
      *  slow-path transactions (0 = off).  Observation only -- results
      *  are identical with any value; violations abort. */
     std::uint64_t checkPeriod = 0;
+    /** Happens-before race detection over the reference stream
+     *  (--race).  Observation only: every characterization statistic
+     *  is byte-identical with any value.  Word granularity verifies
+     *  the suite's synchronization; Line quantifies false sharing. */
+    sim::RaceGranularity race = sim::RaceGranularity::Off;
 };
 
+/** RaceChecker for one operating point: Word granules are fixed at 4
+ *  bytes; Line granules follow the experiment's line size. */
+inline sim::RaceConfig
+raceConfigFor(sim::RaceGranularity gran, int nprocs, int lineSize)
+{
+    sim::RaceConfig rc;
+    rc.gran = gran;
+    rc.nprocs = nprocs;
+    rc.lineSize = lineSize;
+    return rc;
+}
+
 /** Run @p app on @p nprocs with no memory system attached (PRAM-only;
- *  Figures 1 and 2, Table 1). */
+ *  Figures 1 and 2, Table 1).  An optional pre-built RaceChecker can
+ *  be attached (the injection harness arms drops on it beforehand);
+ *  otherwise SimOpts::race != Off attaches an internal one. */
 inline RunStats
 runPram(App& app, int nprocs, const AppConfig& cfg,
-        const SimOpts& sim = {})
+        const SimOpts& sim = {}, sim::RaceChecker* race = nullptr)
 {
     rt::Env env({rt::Mode::Sim, nprocs, sim.quantum, sim.backend,
                  sim.delivery});
+    std::unique_ptr<sim::RaceChecker> owned;
+    if (race == nullptr && sim.race != sim::RaceGranularity::Off) {
+        owned = std::make_unique<sim::RaceChecker>(
+            raceConfigFor(sim.race, nprocs, 64));
+        race = owned.get();
+    }
+    if (race != nullptr)
+        env.attachSink(race);
     RunStats out;
     out.valid = app.run(env, cfg).valid;
     for (int p = 0; p < nprocs; ++p) {
@@ -105,6 +136,10 @@ runPram(App& app, int nprocs, const AppConfig& cfg,
         out.exec += env.stats(p);
     }
     out.elapsed = env.elapsed();
+    if (race != nullptr) {
+        out.raceChecked = true;
+        out.race = race->outcome();
+    }
     return out;
 }
 
@@ -123,6 +158,12 @@ runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
     sim::MemSystem mem(mc, &env.heap());
     mem.setCheckPeriod(simOpts.checkPeriod);
     env.attachMemSystem(&mem);
+    std::unique_ptr<sim::RaceChecker> race;
+    if (simOpts.race != sim::RaceGranularity::Off) {
+        race = std::make_unique<sim::RaceChecker>(
+            raceConfigFor(simOpts.race, nprocs, cache.lineSize));
+        env.attachSink(race.get());
+    }
     RunStats out;
     out.valid = app.run(env, cfg).valid;
     for (int p = 0; p < nprocs; ++p) {
@@ -132,6 +173,10 @@ runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
     }
     out.mem = mem.total();
     out.elapsed = env.elapsed();
+    if (race) {
+        out.raceChecked = true;
+        out.race = race->outcome();
+    }
     return out;
 }
 
@@ -180,6 +225,12 @@ runCharacterizations(App& app, int nprocs,
             sim::MemSystem mem(mc, e.placed ? &env.heap() : nullptr);
             mem.setCheckPeriod(simOpts.checkPeriod);
             env.attachMemSystem(&mem);
+            std::unique_ptr<sim::RaceChecker> race;
+            if (simOpts.race != sim::RaceGranularity::Off) {
+                race = std::make_unique<sim::RaceChecker>(raceConfigFor(
+                    simOpts.race, nprocs, e.cache.lineSize));
+                env.attachSink(race.get());
+            }
             RunStats r;
             r.valid = app.run(env, cfg).valid;
             for (int p = 0; p < nprocs; ++p) {
@@ -189,6 +240,10 @@ runCharacterizations(App& app, int nprocs,
             }
             r.mem = mem.total();
             r.elapsed = env.elapsed();
+            if (race) {
+                r.raceChecked = true;
+                r.race = race->outcome();
+            }
             out.push_back(std::move(r));
         }
         return out;
@@ -208,6 +263,36 @@ runCharacterizations(App& app, int nprocs,
         s.checkPeriod = simOpts.checkPeriod;
         specs.push_back(s);
     }
+    // Race replicas ride the same broadcast, appended after the
+    // memory systems and deduplicated by granule size: Word granules
+    // are line-size independent (one replica serves every
+    // experiment), Line granules need one replica per distinct line
+    // size.
+    std::vector<int> raceReplicaOfExp(exps.size(), -1);
+    if (simOpts.race != sim::RaceGranularity::Off) {
+        for (std::size_t i = 0; i < exps.size(); ++i) {
+            const int granule =
+                simOpts.race == sim::RaceGranularity::Word
+                    ? 4
+                    : exps[i].cache.lineSize;
+            for (std::size_t j = 0; j < i; ++j) {
+                if (raceReplicaOfExp[j] >= 0 &&
+                    specs[raceReplicaOfExp[j]].machine.cache.lineSize ==
+                        granule) {
+                    raceReplicaOfExp[i] = raceReplicaOfExp[j];
+                    break;
+                }
+            }
+            if (raceReplicaOfExp[i] >= 0)
+                continue;
+            sim::ReplicaSpec s;
+            s.machine.nprocs = nprocs;
+            s.machine.cache.lineSize = granule;
+            s.race = simOpts.race;
+            raceReplicaOfExp[i] = static_cast<int>(specs.size());
+            specs.push_back(s);
+        }
+    }
     sim::BroadcastReplay replay(specs, mode == Replicas::Threaded);
     env.attachSink(&replay);
     RunStats base;
@@ -218,11 +303,17 @@ runCharacterizations(App& app, int nprocs,
         base.exec += env.stats(p);
     }
     base.elapsed = env.elapsed();
-    for (int i = 0; i < replay.replicas(); ++i) {
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+        const int ri = static_cast<int>(i);
         RunStats r = base;
         for (int p = 0; p < nprocs; ++p)
-            r.memPerProc.push_back(replay.replica(i).procStats(p));
-        r.mem = replay.replica(i).total();
+            r.memPerProc.push_back(replay.replica(ri).procStats(p));
+        r.mem = replay.replica(ri).total();
+        if (raceReplicaOfExp[i] >= 0) {
+            r.raceChecked = true;
+            r.race =
+                replay.raceReplica(raceReplicaOfExp[i]).outcome();
+        }
         out.push_back(std::move(r));
     }
     return out;

@@ -66,14 +66,14 @@ parseDelivery(const std::string& s, Delivery* out)
 }
 
 void
-Env::deliver(ProcId p, Addr a, int n, AccessType t)
+Env::deliver(const sim::AccessRec& r)
 {
     if (mem_)
-        mem_->access(p, a, n, t);
+        mem_->access(r.proc, r.addr, r.size, r.type);
     if (sweep_)
-        sweep_->access(p, a, n, t);
+        sweep_->access(r.proc, r.addr, r.size, r.type);
     for (sim::RefSink* s : sinks_)
-        s->access(p, a, n, t);
+        s->access(r);
 }
 
 void
@@ -99,9 +99,27 @@ Env::drainRefs()
     }
     for (sim::RefSink* s : sinks_) {
         for (std::size_t i = 0; i < n; ++i)
-            s->access(recs[i].proc, recs[i].addr, recs[i].size,
-                      recs[i].type);
+            s->access(recs[i]);
     }
+}
+
+void
+Env::syncEvent(ProcId p, std::uint32_t obj, sim::SyncOp op,
+               sim::SyncPrim prim)
+{
+    if (cfg_.mode != Mode::Sim || sinks_.empty())
+        return;
+    // References issued before this edge must reach the sinks first;
+    // the edge then lands at its exact stream position.
+    drainRefs();
+    sim::SyncRec r;
+    r.obj = obj;
+    r.ltime = sched_ ? sched_->time(p) : 0;
+    r.proc = static_cast<std::int16_t>(p);
+    r.op = op;
+    r.prim = prim;
+    for (sim::RefSink* s : sinks_)
+        s->sync(r);
 }
 
 Env::Env(const EnvConfig& cfg)

@@ -135,6 +135,12 @@ class ProcCtx
     void read(const void* a, std::size_t n);
     /** Instrumented shared-memory write of [a, a+n). */
     void write(const void* a, std::size_t n);
+    /** Instrumented *atomic* read/write: identical to read()/write()
+     *  for every statistic and for the memory system, but the record
+     *  carries AccessRec::kAtomic so happens-before analysis treats it
+     *  as an annotated lock-free access (rt/shared.h ldAtomic). */
+    void readAtomic(const void* a, std::size_t n);
+    void writeAtomic(const void* a, std::size_t n);
     /** Account @p n non-memory instructions. */
     void work(std::uint64_t n);
     /** Account @p n floating-point operations (each one instruction). */
@@ -190,6 +196,20 @@ class Env
      *  public so tests can force a boundary. */
     void drainRefs();
 
+    /** Allocate a stream-wide id for a synchronization object
+     *  (rt/sync.h Barrier/Lock/Flag).  Ids are dense, assigned in
+     *  construction order, and deterministic run to run. */
+    std::uint32_t registerSyncObj() { return nextSyncId_++; }
+
+    /** Forward one synchronization edge to the attached generic sinks
+     *  at its exact stream position (sim mode; no-op otherwise).
+     *  Pending batched references are drained first, so a sink's
+     *  sync() call lands between the same two access() calls as it
+     *  would under direct delivery.  MemSystem/CacheSweep never see
+     *  sync records -- their reference stream is unchanged. */
+    void syncEvent(ProcId p, std::uint32_t obj, sim::SyncOp op,
+                   sim::SyncPrim prim);
+
     /** Zero all statistics (Env + attached sinks) while keeping cache
      *  and clock state. Callable from inside a team when all other
      *  processors are at a barrier, or between runs. */
@@ -225,9 +245,10 @@ class Env
     static constexpr std::size_t kRingCap = 4096;
 
     /** Hot path of the instrumented read/write hooks (sim mode). */
-    void simAccess(ProcId p, Addr a, int n, AccessType t);
+    void simAccess(ProcId p, Addr a, int n, AccessType t,
+                   std::uint8_t flags = 0);
     /** Direct-delivery shape: call every sink for one reference. */
-    void deliver(ProcId p, Addr a, int n, AccessType t);
+    void deliver(const sim::AccessRec& r);
 
     EnvConfig cfg_;
     SharedHeap heap_;
@@ -243,6 +264,8 @@ class Env
      *  and the ring is drained before control transfers. */
     std::vector<sim::AccessRec> ring_;
     std::size_t ringN_ = 0;
+    /** Next sync-object id (registerSyncObj). */
+    std::uint32_t nextSyncId_ = 0;
 };
 
 // ----------------------------------------------------------------------
@@ -250,7 +273,7 @@ class Env
 // bump, then either a record append (batched) or sink calls (direct).
 
 inline void
-Env::simAccess(ProcId p, Addr a, int n, AccessType t)
+Env::simAccess(ProcId p, Addr a, int n, AccessType t, std::uint8_t flags)
 {
     Scheduler& s = *sched_;
     s.advance(p, 1);
@@ -265,10 +288,18 @@ Env::simAccess(ProcId p, Addr a, int n, AccessType t)
         r.size = n;
         r.proc = static_cast<std::int16_t>(p);
         r.type = t;
+        r.flags = flags;
         if (++ringN_ == kRingCap) [[unlikely]]
             drainRefs();
     } else {
-        deliver(p, a, n, t);
+        sim::AccessRec r;
+        r.addr = a;
+        r.ltime = s.time(p);
+        r.size = n;
+        r.proc = static_cast<std::int16_t>(p);
+        r.type = t;
+        r.flags = flags;
+        deliver(r);
     }
     s.event(p);
 }
@@ -289,6 +320,26 @@ ProcCtx::write(const void* a, std::size_t n)
     if (env_->cfg_.mode == Mode::Sim)
         env_->simAccess(id_, reinterpret_cast<Addr>(a),
                         static_cast<int>(n), AccessType::Write);
+}
+
+inline void
+ProcCtx::readAtomic(const void* a, std::size_t n)
+{
+    ++stats_->reads;
+    if (env_->cfg_.mode == Mode::Sim)
+        env_->simAccess(id_, reinterpret_cast<Addr>(a),
+                        static_cast<int>(n), AccessType::Read,
+                        sim::AccessRec::kAtomic);
+}
+
+inline void
+ProcCtx::writeAtomic(const void* a, std::size_t n)
+{
+    ++stats_->writes;
+    if (env_->cfg_.mode == Mode::Sim)
+        env_->simAccess(id_, reinterpret_cast<Addr>(a),
+                        static_cast<int>(n), AccessType::Write,
+                        sim::AccessRec::kAtomic);
 }
 
 inline void

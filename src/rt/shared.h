@@ -51,6 +51,23 @@ touchWrite(const void* p, std::size_t n)
         c->write(p, n);
 }
 
+/** Like touchRead/touchWrite, but the record carries the atomic flag:
+ *  identical for every memory-system statistic, excluded from
+ *  happens-before race checking (sim/racecheck.h). */
+inline void
+touchReadAtomic(const void* p, std::size_t n)
+{
+    if (ProcCtx* c = cur())
+        c->readAtomic(p, n);
+}
+
+inline void
+touchWriteAtomic(const void* p, std::size_t n)
+{
+    if (ProcCtx* c = cur())
+        c->writeAtomic(p, n);
+}
+
 /** A shared array of trivially-copyable elements. */
 template <typename T>
 class SharedArray
@@ -156,14 +173,17 @@ class SharedArray
      *  The *simulated* machine is coherent (the memory-system model
      *  provides that), but lock-free idioms like an unlocked emptiness
      *  peek are real data races on the host unless both sides use
-     *  atomic accesses.  Same touchRead as ld(), so the simulated
-     *  reference stream is unchanged. */
+     *  atomic accesses.  Same address/size/type instrumentation as
+     *  ld(), so the simulated reference stream is unchanged -- the
+     *  record just carries the atomic flag, which excludes it from
+     *  happens-before race checking exactly as the host-level atomic
+     *  excludes it from TSan. */
     template <typename U = T>
         requires std::is_integral_v<U>
     T
     ldAtomic(std::size_t i) const
     {
-        touchRead(&data_[i], sizeof(T));
+        touchReadAtomic(&data_[i], sizeof(T));
         return __atomic_load_n(&data_[i], __ATOMIC_RELAXED);
     }
 
@@ -173,8 +193,28 @@ class SharedArray
     void
     stAtomic(std::size_t i, const T& v)
     {
-        touchWrite(&data_[i], sizeof(T));
+        touchWriteAtomic(&data_[i], sizeof(T));
         __atomic_store_n(&data_[i], v, __ATOMIC_RELAXED);
+    }
+
+    /** Instrumented whole-element load annotated as an *intentional*
+     *  unsynchronized read.  Some SPLASH-2 codes read shared records
+     *  without holding the protecting lock by design -- Radiosity's
+     *  visibility and refinement stages read patch data that another
+     *  processor may be subdividing, tolerating stale values (the
+     *  original release documents these as acceptable data races).
+     *  The reference stream is identical to ld() -- same address,
+     *  size, and type, so every memory-system statistic is unchanged
+     *  -- but the record carries the atomic flag, which excludes it
+     *  from happens-before race checking the same way a TSan
+     *  suppression silences a known benign race.  Only the annotated
+     *  access is excluded: a second *unannotated* unsynchronized
+     *  access to the same data still reports. */
+    T
+    ldRacy(std::size_t i) const
+    {
+        touchReadAtomic(&data_[i], sizeof(T));
+        return data_[i];
     }
 
     /** Uninstrumented access for setup/verification and for annotated

@@ -11,7 +11,8 @@ namespace splash::rt {
 // --------------------------------------------------------------------
 
 Barrier::Barrier(Env& env, int n)
-    : env_(env), n_(n == 0 ? env.nprocs() : n)
+    : env_(env), n_(n == 0 ? env.nprocs() : n),
+      id_(env.registerSyncObj())
 {
     ensure(n_ >= 1, "barrier needs at least one participant");
 }
@@ -39,13 +40,20 @@ Barrier::arrive(ProcCtx& c)
     Scheduler& s = *env_.scheduler();
     ProcId p = c.id();
     Tick myLt = s.time(p);
+    // Publish everything done before the barrier.  Every arrival
+    // releases before any participant departs, so each departure's
+    // acquire joins all P arrivals' order (all-to-all rendezvous).
+    env_.syncEvent(p, id_, sim::SyncOp::Release, sim::SyncPrim::Barrier);
     if (count_ == 0)
         maxArrival_ = 0;
     maxArrival_ = std::max(maxArrival_, myLt);
     if (++count_ < n_) {
         waiters_.push_back(p);
         s.block(p, "barrier");
-        return;  // released by the last arriver, clock already advanced
+        // Released by the last arriver, clock already advanced.
+        env_.syncEvent(p, id_, sim::SyncOp::Acquire,
+                       sim::SyncPrim::Barrier);
+        return;
     }
     // Last arriver: release everyone at the max arrival clock.
     Tick target = maxArrival_;
@@ -58,13 +66,14 @@ Barrier::arrive(ProcCtx& c)
     count_ = 0;
     c.stats().barrierWait += target - myLt;
     s.advanceTo(p, target);
+    env_.syncEvent(p, id_, sim::SyncOp::Acquire, sim::SyncPrim::Barrier);
 }
 
 // --------------------------------------------------------------------
 // Lock
 // --------------------------------------------------------------------
 
-Lock::Lock(Env& env) : env_(env) {}
+Lock::Lock(Env& env) : env_(env), id_(env.registerSyncObj()) {}
 
 void
 Lock::acquire(ProcCtx& c)
@@ -85,12 +94,15 @@ Lock::acquire(ProcCtx& c)
             c.stats().lockWait += freeTime_ - myLt;
             s.advanceTo(p, freeTime_);
         }
+        env_.syncEvent(p, id_, sim::SyncOp::Acquire,
+                       sim::SyncPrim::Lock);
         return;
     }
     waiters_.push_back(p);
     s.block(p, "lock");
     // Ownership was transferred to us by the releaser, which also
     // advanced our clock and charged the wait.
+    env_.syncEvent(p, id_, sim::SyncOp::Acquire, sim::SyncPrim::Lock);
 }
 
 void
@@ -103,6 +115,9 @@ Lock::release(ProcCtx& c)
 
     Scheduler& s = *env_.scheduler();
     ensure(held_, "release of a lock that is not held");
+    // Publish the critical section before ownership transfers.
+    env_.syncEvent(c.id(), id_, sim::SyncOp::Release,
+                   sim::SyncPrim::Lock);
     Tick now = s.time(c.id());
     if (waiters_.empty()) {
         held_ = false;
@@ -122,7 +137,7 @@ Lock::release(ProcCtx& c)
 // Flag
 // --------------------------------------------------------------------
 
-Flag::Flag(Env& env) : env_(env) {}
+Flag::Flag(Env& env) : env_(env), id_(env.registerSyncObj()) {}
 
 void
 Flag::set(ProcCtx& c)
@@ -137,6 +152,10 @@ Flag::set(ProcCtx& c)
     Scheduler& s = *env_.scheduler();
     set_ = true;
     setTime_ = s.time(c.id());
+    // Publish everything done before the set; waiters acquire as they
+    // resume (or immediately, if the flag is already set on arrival).
+    env_.syncEvent(c.id(), id_, sim::SyncOp::Release,
+                   sim::SyncPrim::Flag);
     for (ProcId q : waiters_) {
         if (setTime_ > s.time(q)) {
             env_.mutableStats(q).pauseWait += setTime_ - s.time(q);
@@ -176,10 +195,13 @@ Flag::wait(ProcCtx& c)
             c.stats().pauseWait += setTime_ - s.time(p);
             s.advanceTo(p, setTime_);
         }
+        env_.syncEvent(p, id_, sim::SyncOp::Acquire,
+                       sim::SyncPrim::Flag);
         return;
     }
     waiters_.push_back(p);
     s.block(p, "flag");
+    env_.syncEvent(p, id_, sim::SyncOp::Acquire, sim::SyncPrim::Flag);
 }
 
 } // namespace splash::rt

@@ -21,6 +21,23 @@
  *
  * Figure 2 (synchronization time breakdown) is produced entirely from
  * the wait counters these primitives maintain.
+ *
+ * Each primitive also registers a sync-object id with its Env and, in
+ * sim mode, emits SyncRec acquire/release edges into the reference
+ * stream (Env::syncEvent) at the exact point the primitive takes
+ * effect.  Happens-before analysis (sim/racecheck.h) reconstructs the
+ * program's synchronization order from these edges alone:
+ *
+ *  - barrier: every arrival releases into the barrier object *before*
+ *    any participant departs, and every departure acquires from it,
+ *    so all pre-barrier work happens-before all post-barrier work;
+ *  - lock: acquire edges at acquisition, release edges at release --
+ *    critical sections on the same lock are totally ordered;
+ *  - flag: set releases, a completed wait acquires.  clear() emits
+ *    nothing; the object keeps its accumulated order, which is exact
+ *    for the suite's single-setter flags and conservative (extra
+ *    edges, never missing ones) if a re-cleared flag is set by a
+ *    different processor later.
  */
 #ifndef SPLASH2_RT_SYNC_H
 #define SPLASH2_RT_SYNC_H
@@ -46,9 +63,13 @@ class Barrier
     /** Arrive and wait for all participants. */
     void arrive(ProcCtx& c);
 
+    /** Stream-wide sync-object id (Env::registerSyncObj). */
+    std::uint32_t id() const { return id_; }
+
   private:
     Env& env_;
     int n_;
+    std::uint32_t id_;
 
     // Native mode.
     std::mutex mu_;
@@ -86,8 +107,12 @@ class Lock
         ProcCtx& c_;
     };
 
+    /** Stream-wide sync-object id (Env::registerSyncObj). */
+    std::uint32_t id() const { return id_; }
+
   private:
     Env& env_;
+    std::uint32_t id_;
 
     // Native mode.
     std::mutex mu_;
@@ -112,8 +137,12 @@ class Flag
     void wait(ProcCtx& c);
     bool isSet() const { return set_; }
 
+    /** Stream-wide sync-object id (Env::registerSyncObj). */
+    std::uint32_t id() const { return id_; }
+
   private:
     Env& env_;
+    std::uint32_t id_;
 
     // Native mode.
     std::mutex mu_;

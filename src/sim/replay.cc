@@ -17,9 +17,20 @@ BroadcastReplay::BroadcastReplay(const std::vector<ReplicaSpec>& specs,
     ensure(chunkRecords_ >= 1 && ringChunks >= 2,
            "broadcast replay ring too small");
     mems_.reserve(specs.size());
+    race_.reserve(specs.size());
     for (const ReplicaSpec& s : specs) {
+        if (s.race != RaceGranularity::Off) {
+            RaceConfig rc;
+            rc.gran = s.race;
+            rc.nprocs = s.machine.nprocs;
+            rc.lineSize = s.machine.cache.lineSize;
+            mems_.push_back(nullptr);
+            race_.push_back(std::make_unique<RaceChecker>(rc));
+            continue;
+        }
         mems_.push_back(std::make_unique<MemSystem>(s.machine, s.homes));
         mems_.back()->setCheckPeriod(s.checkPeriod);
+        race_.push_back(nullptr);
     }
 
     ring_.resize(ringChunks);
@@ -97,21 +108,32 @@ BroadcastReplay::acquireSlot()
     }
     slot.seq = nextSeq_;
     slot.recs.clear();
+    slot.syncs.clear();
     slot.reset = false;
     return slot;
 }
 
 void
-BroadcastReplay::access(ProcId p, Addr addr, int size, AccessType type)
+BroadcastReplay::access(const AccessRec& r)
 {
     if (aborted_.load(std::memory_order_relaxed)) [[unlikely]]
         return;  // stream is dead; drop the reference
     if (cur_ == nullptr)
         cur_ = &acquireSlot();
-    cur_->recs.push_back(
-        {addr, 0, size, static_cast<std::int16_t>(p), type});
+    cur_->recs.push_back(r);
     if (cur_->recs.size() == chunkRecords_)
         publish(false);
+}
+
+void
+BroadcastReplay::sync(const SyncRec& r)
+{
+    if (aborted_.load(std::memory_order_relaxed)) [[unlikely]]
+        return;
+    if (cur_ == nullptr)
+        cur_ = &acquireSlot();
+    cur_->syncs.push_back(
+        {static_cast<std::uint32_t>(cur_->recs.size()), r});
 }
 
 void
@@ -123,8 +145,8 @@ BroadcastReplay::publish(bool resetMark)
     ++nextSeq_;
     if (consumers_.empty()) {
         // Inline mode: replay the chunk into every replica here.
-        for (auto& m : mems_)
-            replayChunk(*m, *cur_);
+        for (int i = 0; i < static_cast<int>(mems_.size()); ++i)
+            replayChunk(i, *cur_);
         cur_ = nullptr;
         return;
     }
@@ -137,8 +159,24 @@ BroadcastReplay::publish(bool resetMark)
 }
 
 void
-BroadcastReplay::replayChunk(MemSystem& mem, const Chunk& c)
+BroadcastReplay::replayChunk(int replica, const Chunk& c)
 {
+    if (RaceChecker* rc = race_[replica].get()) {
+        // Merge-walk records and sync edges by stream position, so
+        // the detector sees exactly the order the runtime emitted.
+        std::size_t si = 0;
+        for (std::size_t i = 0; i < c.recs.size(); ++i) {
+            while (si < c.syncs.size() && c.syncs[si].pos <= i)
+                rc->sync(c.syncs[si++].rec);
+            rc->access(c.recs[i]);
+        }
+        while (si < c.syncs.size())
+            rc->sync(c.syncs[si++].rec);
+        if (c.reset)
+            rc->resetStats();
+        return;
+    }
+    MemSystem& mem = *mems_[replica];
     for (const AccessRec& r : c.recs)
         mem.access(r.proc, r.addr, r.size, r.type);
     if (c.reset)
@@ -148,7 +186,6 @@ BroadcastReplay::replayChunk(MemSystem& mem, const Chunk& c)
 void
 BroadcastReplay::consumerLoop(Consumer& me)
 {
-    MemSystem& mem = *mems_[me.replica];
     for (;;) {
         std::uint64_t seq = me.done;
         {
@@ -164,7 +201,7 @@ BroadcastReplay::consumerLoop(Consumer& me)
         // included) advances past it, so this read needs no lock.
         const Chunk& c = ring_[seq % ring_.size()];
         ensure(c.seq == seq, "broadcast ring overwrote a live chunk");
-        replayChunk(mem, c);
+        replayChunk(me.replica, c);
         {
             std::lock_guard<std::mutex> lk(mu_);
             me.done = seq + 1;
@@ -184,7 +221,7 @@ BroadcastReplay::streamBarrier()
 {
     if (aborted_.load())
         return;  // nothing left to quiesce; the tail was discarded
-    if (cur_ != nullptr && !cur_->recs.empty())
+    if (cur_ != nullptr && (!cur_->recs.empty() || !cur_->syncs.empty()))
         publish(false);
     if (consumers_.empty())
         return;

@@ -45,11 +45,16 @@
 #include <vector>
 
 #include "sim/memsys.h"
+#include "sim/racecheck.h"
 #include "sim/trace.h"
 
 namespace splash::sim {
 
-/** One operating point replayed by a BroadcastReplay. */
+/** One operating point replayed by a BroadcastReplay.  A replica is
+ *  either a MemSystem (race == Off, the default) or a RaceChecker
+ *  (race != Off) -- the detector is a third replica kind fed by the
+ *  same chunks, so one execution yields characterizations *and* the
+ *  race verdict. */
 struct ReplicaSpec
 {
     MachineConfig machine;
@@ -60,6 +65,10 @@ struct ReplicaSpec
     /** Invariant-checker sampling period for this replica's MemSystem
      *  (0 = off); see MemSystem::setCheckPeriod. */
     std::uint64_t checkPeriod = 0;
+    /** Non-Off makes this replica a RaceChecker instead of a
+     *  MemSystem; machine.nprocs and machine.cache.lineSize
+     *  parameterize it. */
+    RaceGranularity race = RaceGranularity::Off;
 };
 
 class BroadcastReplay final : public RefSink
@@ -79,7 +88,11 @@ class BroadcastReplay final : public RefSink
     BroadcastReplay(const BroadcastReplay&) = delete;
     BroadcastReplay& operator=(const BroadcastReplay&) = delete;
 
-    void access(ProcId p, Addr addr, int size, AccessType type) override;
+    void access(const AccessRec& r) override;
+
+    /** Stage a synchronization edge at its exact stream position;
+     *  race replicas consume it, MemSystem replicas never see it. */
+    void sync(const SyncRec& r) override;
 
     /** Stream-ordered statistics reset: every replica resets at this
      *  exact position of the reference stream (measurement boundary). */
@@ -105,16 +118,31 @@ class BroadcastReplay final : public RefSink
     bool aborted() const { return aborted_.load(); }
 
     int replicas() const { return static_cast<int>(mems_.size()); }
-    /** Replica @p i's memory system; flush() first for exact stats. */
+    /** Replica @p i's memory system (spec'd race == Off); flush()
+     *  first for exact stats. */
     MemSystem& replica(int i) { return *mems_[i]; }
     const MemSystem& replica(int i) const { return *mems_[i]; }
+    /** True if replica @p i is a race checker. */
+    bool isRaceReplica(int i) const { return race_[i] != nullptr; }
+    /** Replica @p i's race checker (spec'd race != Off). */
+    RaceChecker& raceReplica(int i) { return *race_[i]; }
+    const RaceChecker& raceReplica(int i) const { return *race_[i]; }
     int threads() const { return static_cast<int>(consumers_.size()); }
 
   private:
+    /** A sync edge between record [pos-1] and record [pos] of its
+     *  chunk. */
+    struct SyncAt
+    {
+        std::uint32_t pos = 0;
+        SyncRec rec;
+    };
+
     struct Chunk
     {
         std::uint64_t seq = 0;
         std::vector<AccessRec> recs;
+        std::vector<SyncAt> syncs;
         bool reset = false;  ///< apply resetStats after the records
     };
 
@@ -125,7 +153,7 @@ class BroadcastReplay final : public RefSink
         std::thread th;
     };
 
-    void replayChunk(MemSystem& mem, const Chunk& c);
+    void replayChunk(int replica, const Chunk& c);
     /** Producer: wait for slot of @p seq to be recycled, stage into it. */
     Chunk& acquireSlot();
     void publish(bool resetMark);
@@ -135,7 +163,9 @@ class BroadcastReplay final : public RefSink
     void shutdown(bool abort);
 
     std::size_t chunkRecords_;
+    /** Parallel arrays, exactly one non-null per replica index. */
     std::vector<std::unique_ptr<MemSystem>> mems_;
+    std::vector<std::unique_ptr<RaceChecker>> race_;
 
     std::vector<Chunk> ring_;
     Chunk* cur_ = nullptr;        ///< staging slot (producer-owned)

@@ -365,14 +365,14 @@ ParallelSweep::captureLine(ProcId p, Addr lineAddr, bool isWrite)
 }
 
 void
-ParallelSweep::access(ProcId p, Addr addr, int size, AccessType type)
+ParallelSweep::access(const AccessRec& r)
 {
     const int ls = sweep_.cfg_.lineSize;
-    Addr first = alignDown(addr, ls);
-    Addr last = alignDown(addr + size - 1, ls);
-    bool isWrite = type == AccessType::Write;
+    Addr first = alignDown(r.addr, ls);
+    Addr last = alignDown(r.addr + r.size - 1, ls);
+    bool isWrite = r.type == AccessType::Write;
     for (Addr line = first; line <= last; line += ls)
-        captureLine(p, line, isWrite);
+        captureLine(r.proc, line, isWrite);
 }
 
 void

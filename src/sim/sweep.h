@@ -201,7 +201,7 @@ class ParallelSweep final : public RefSink
     ParallelSweep(const ParallelSweep&) = delete;
     ParallelSweep& operator=(const ParallelSweep&) = delete;
 
-    void access(ProcId p, Addr addr, int size, AccessType type) override;
+    void access(const AccessRec& r) override;
     void resetStats() override;
 
     /** Replay all buffered records; the sweep is up to date after. */

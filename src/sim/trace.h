@@ -9,9 +9,19 @@
  * drained at every context switch, the drained order equals the
  * execution order, so both shapes deliver the identical stream.
  *
+ * Besides data references the stream carries *synchronization edges*
+ * (SyncRec): every PARMACS primitive (rt/sync.h Barrier/Lock/Flag)
+ * emits acquire/release records at its exact stream position, so a
+ * consumer can reconstruct the happens-before order of the execution
+ * (sim/racecheck.h) rather than just the reference sequence.  Sync
+ * records are rare compared to references; the batched delivery drains
+ * pending references before forwarding one, which preserves order
+ * without widening the hot record ring.
+ *
  * RefSink is the consumer interface for components beyond the two
  * built-in sinks (MemSystem, CacheSweep) -- e.g. the parallel sweep
- * replayer or a trace capture buffer.
+ * replayer, the broadcast replay, the race detector, or a trace
+ * capture buffer.
  */
 #ifndef SPLASH2_SIM_TRACE_H
 #define SPLASH2_SIM_TRACE_H
@@ -26,11 +36,46 @@ namespace splash::sim {
 /** One captured shared-memory reference. */
 struct AccessRec
 {
+    /** Flag: the access is a host-level atomic (SharedArray::ldAtomic /
+     *  stAtomic).  Identical to a plain access for every memory-system
+     *  statistic; the race detector treats it as a annotated lock-free
+     *  access that never participates in a data race. */
+    static constexpr std::uint8_t kAtomic = 1u << 0;
+
     Addr addr = 0;
-    Tick ltime = 0;  ///< issuing processor's logical clock
+    Tick ltime = 0;  ///< issuing processor's logical clock at the access
     std::int32_t size = 0;
     std::int16_t proc = -1;
     AccessType type = AccessType::Read;
+    std::uint8_t flags = 0;  ///< kAtomic
+
+    bool atomic() const { return (flags & kAtomic) != 0; }
+};
+
+/** Direction of a happens-before edge through a sync object. */
+enum class SyncOp : std::uint8_t {
+    Acquire,  ///< the processor *joins* the object's accumulated order
+    Release   ///< the processor *publishes* its order into the object
+};
+
+/** Primitive that emitted a SyncRec (sync-census accounting). */
+enum class SyncPrim : std::uint8_t { Barrier, Lock, Flag };
+
+/** One synchronization edge, ordered within the reference stream.
+ *
+ *  The three PARMACS primitives map onto acquire/release pairs:
+ *  a barrier arrival releases into the barrier object and every
+ *  departure acquires from it (all-to-all rendezvous); a lock acquire
+ *  acquires from / a lock release releases into the lock object; a
+ *  flag set releases into / a completed flag wait acquires from the
+ *  flag object. */
+struct SyncRec
+{
+    std::uint32_t obj = 0;  ///< per-Env registration id (rt::Env)
+    Tick ltime = 0;         ///< processor's logical clock at the edge
+    std::int16_t proc = -1;
+    SyncOp op = SyncOp::Acquire;
+    SyncPrim prim = SyncPrim::Barrier;
 };
 
 /** Consumer of a reference stream (beyond the built-in sinks). */
@@ -39,9 +84,15 @@ class RefSink
   public:
     virtual ~RefSink() = default;
 
-    /** Deliver one reference from processor @p p. */
-    virtual void access(ProcId p, Addr addr, int size,
-                        AccessType type) = 0;
+    /** Deliver one reference.  The record carries the issuing
+     *  processor, its logical clock at the access, and the atomic
+     *  flag; consumers that only care about (proc, addr, size, type)
+     *  read just those fields. */
+    virtual void access(const AccessRec& r) = 0;
+
+    /** Deliver one synchronization edge at its stream position.
+     *  Default: ignore (most sinks only consume references). */
+    virtual void sync(const SyncRec&) {}
 
     /** Zero statistics while keeping simulation state (measurement
      *  windows); buffering sinks must deliver pending records first. */
@@ -55,22 +106,33 @@ class RefSink
 };
 
 /** In-memory reference trace, stored in fixed-size chunks so capture
- *  never reallocates a giant contiguous buffer. */
+ *  never reallocates a giant contiguous buffer.  Synchronization
+ *  edges are kept alongside, tagged with their stream position. */
 class Trace final : public RefSink
 {
   public:
     static constexpr std::size_t kChunkRecords = std::size_t(1) << 16;
 
+    /** A sync edge pinned at the reference-stream position it was
+     *  observed at: it happened after record [pos-1] and before
+     *  record [pos]. */
+    struct SyncAt
+    {
+        std::uint64_t pos = 0;
+        SyncRec rec;
+    };
+
     void
-    access(ProcId p, Addr addr, int size, AccessType type) override
+    access(const AccessRec& r) override
     {
         if (chunks_.empty() || chunks_.back().size() == kChunkRecords) {
             chunks_.emplace_back();
             chunks_.back().reserve(kChunkRecords);
         }
-        chunks_.back().push_back(
-            {addr, 0, size, static_cast<std::int16_t>(p), type});
+        chunks_.back().push_back(r);
     }
+
+    void sync(const SyncRec& r) override { syncs_.push_back({size(), r}); }
 
     std::uint64_t
     size() const
@@ -80,6 +142,8 @@ class Trace final : public RefSink
             n += c.size();
         return n;
     }
+
+    const std::vector<SyncAt>& syncs() const { return syncs_; }
 
     /** Visit every record in capture order. */
     template <typename F>
@@ -91,10 +155,16 @@ class Trace final : public RefSink
                 f(r);
     }
 
-    void resetStats() override { chunks_.clear(); }
+    void
+    resetStats() override
+    {
+        chunks_.clear();
+        syncs_.clear();
+    }
 
   private:
     std::vector<std::vector<AccessRec>> chunks_;
+    std::vector<SyncAt> syncs_;
 };
 
 } // namespace splash::sim

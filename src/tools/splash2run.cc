@@ -12,12 +12,25 @@
  *              [--protocol msi|mesi|moesi|dragon]
  *              [--backend fiber|thread] [--quantum 250]
  *              [--delivery batched|direct] [--jobs N]
+ *              [--race off|word|line] [--csv FILE]
  *
  *   splash2run --app all       # whole suite, one job per program
  *   splash2run --list          # enumerate programs
  *   splash2run --app fft --inject all [--seed N]
  *                              # fault-injection harness: seed protocol
  *                              # corruptions, prove the checker fires
+ *   splash2run --app fft --race-inject all [--seed N]
+ *                              # race-injection harness: drop one sync
+ *                              # edge, prove the race detector fires
+ *
+ * --race runs the FastTrack happens-before detector over the
+ * reference stream alongside the characterization.  Word granularity
+ * is the verification mode: any report is a true data race and the
+ * exit status is 1 (CI runs the whole suite this way).  Line
+ * granularity is the false-sharing census of the paper's Figs. 8-9
+ * discussion: conflicts are informational (exit 0) and --csv writes
+ * the per-app census rows (results/races.csv).  Either way the
+ * characterization statistics are byte-identical to --race off.
  *
  * --protocol selects the coherence protocol of the simulated machine
  * (the one engine flag that changes results: it changes the machine);
@@ -31,6 +44,7 @@
  * simulation speed only -- output bytes are bit-identical across
  * backends, quanta, delivery shapes, and job counts.
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -39,6 +53,7 @@
 #include "harness/runner.h"
 #include "sim/check.h"
 #include "sim/faultinject.h"
+#include "sim/racecheck.h"
 
 using namespace splash;
 using namespace splash::harness;
@@ -140,6 +155,176 @@ report(const App& app, const RunStats& r, bool with_mem,
                     r.mem.trueSharedData / den,
                     app.isFloatingPoint() ? "FLOP" : "instr");
     }
+
+    if (r.raceChecked) {
+        std::printf("\n-- race detection --\n");
+        std::fputs(sim::raceSummary(r.race).c_str(), stdout);
+    }
+}
+
+/** One --csv row per app: the race/false-sharing census behind
+ *  results/races.csv (EXPERIMENTS.md). */
+void
+raceCsvRow(std::FILE* f, const App& app, int procs,
+           const RunStats& r)
+{
+    const sim::RaceOutcome& o = r.race;
+    std::fprintf(
+        f,
+        "%s,%d,%s,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%llu\n",
+        app.name().c_str(), procs, sim::raceGranularityName(o.gran),
+        o.granuleBytes, static_cast<unsigned long long>(o.races),
+        static_cast<unsigned long long>(o.racyGranules),
+        static_cast<unsigned long long>(o.dynamicRaces),
+        static_cast<unsigned long long>(o.granulesTracked),
+        static_cast<unsigned long long>(o.census.barrierArrivals),
+        static_cast<unsigned long long>(o.census.barrierDepartures),
+        static_cast<unsigned long long>(o.census.lockAcquires),
+        static_cast<unsigned long long>(o.census.lockReleases),
+        static_cast<unsigned long long>(o.census.flagSets),
+        static_cast<unsigned long long>(o.census.flagWaits));
+}
+
+/** Race-injection harness (--race-inject): for each requested edge
+ *  kind, run @p app under the word-granularity detector to prove the
+ *  baseline is race-free and count the eligible acquire edges, then
+ *  re-run with one seeded edge dropped and require the detector to
+ *  report a race involving the processor whose edge was elided.
+ *  Mirrors the --inject protocol-corruption harness.  Returns 0 when
+ *  every eligible drop was detected and attributed. */
+int
+runRaceInjection(App& app, int procs, const AppConfig& cfg,
+                 const SimOpts& simOpts, const std::string& which,
+                 std::uint64_t seed)
+{
+    std::vector<sim::RaceFault> todo;
+    if (which == "all") {
+        for (int k = 0; k < sim::kNumRaceFaults; ++k)
+            todo.push_back(static_cast<sim::RaceFault>(k));
+    } else {
+        sim::RaceFault k;
+        if (!sim::parseRaceFault(which, &k)) {
+            std::fprintf(stderr, "unknown --race-inject '%s' (all",
+                         which.c_str());
+            for (int i = 0; i < sim::kNumRaceFaults; ++i)
+                std::fprintf(stderr, ", %s",
+                             sim::raceFaultName(
+                                 static_cast<sim::RaceFault>(i)));
+            std::fprintf(stderr, ")\n");
+            return 2;
+        }
+        todo.push_back(k);
+    }
+
+    std::printf("race injection: %s on %d processors, seed %llu\n\n",
+                app.name().c_str(), procs,
+                static_cast<unsigned long long>(seed));
+
+    // Baseline run: must be race-free, and sizes the eligible-edge
+    // occurrence space for every kind at once.
+    sim::RaceConfig rcfg =
+        raceConfigFor(sim::RaceGranularity::Word, procs, 64);
+    std::uint64_t edges[sim::kNumRaceFaults] = {};
+    {
+        sim::RaceChecker base(rcfg);
+        RunStats r = runPram(app, procs, cfg, simOpts, &base);
+        if (!r.valid) {
+            std::fprintf(stderr, "%s: run failed validation\n",
+                         app.name().c_str());
+            return 1;
+        }
+        if (!base.outcome().clean()) {
+            std::fprintf(stderr,
+                         "baseline already reports races (detector "
+                         "bug?):\n%s",
+                         base.summary().c_str());
+            return 1;
+        }
+        for (int k = 0; k < sim::kNumRaceFaults; ++k)
+            edges[k] = base.edgeCount(static_cast<sim::RaceFault>(k));
+    }
+
+    // Not every occurrence of an edge is load-bearing: a lock's
+    // first acquire after the phase barrier is ordered by that
+    // barrier anyway, and a final barrier departure orders no later
+    // access.  Benign occurrences cluster (e.g. the whole first
+    // force-merge sweep), so the attempts stride across the entire
+    // occurrence space from a seeded origin rather than scanning
+    // consecutively, bounded to keep the harness finite.
+    constexpr std::uint64_t kMaxAttempts = 64;
+    int missed = 0;
+    for (sim::RaceFault k : todo) {
+        const std::uint64_t n = edges[static_cast<int>(k)];
+        if (n == 0) {
+            std::printf("%-18s SKIP    no eligible edge in this "
+                        "program\n",
+                        sim::raceFaultName(k));
+            continue;
+        }
+        const std::uint64_t tries = std::min(kMaxAttempts, n);
+        const std::uint64_t stride = std::max<std::uint64_t>(1, n / tries);
+        bool caught = false;
+        bool fireFailed = false;
+        std::uint64_t benign = 0;
+        for (std::uint64_t t = 0; t < tries && !caught; ++t) {
+            const std::uint64_t occ = (seed + t * stride) % n;
+            sim::RaceChecker chk(rcfg);
+            chk.dropEdge(k, occ);
+            RunStats r = runPram(app, procs, cfg, simOpts, &chk);
+            (void)r;  // validation may legitimately fail without sync
+            if (!chk.dropFired()) {
+                std::printf("%-18s MISSED  edge %llu/%llu never "
+                            "reached\n",
+                            sim::raceFaultName(k),
+                            static_cast<unsigned long long>(occ),
+                            static_cast<unsigned long long>(n));
+                ++missed;
+                fireFailed = true;
+                break;
+            }
+            sim::RaceOutcome o = chk.outcome();
+            const int victim = chk.droppedProc();
+            const sim::RaceReport* hit = nullptr;
+            for (const sim::RaceReport& rep : o.reports)
+                if (rep.prev.proc == victim || rep.cur.proc == victim) {
+                    hit = &rep;
+                    break;
+                }
+            if (o.clean() || hit == nullptr) {
+                ++benign;  // drop changed no outcome; next occurrence
+                continue;
+            }
+            caught = true;
+            std::printf("%-18s detected (%llu race pair%s, %llu "
+                        "benign drop%s skipped)\n"
+                        "    injected: dropped P%d's acquire edge "
+                        "%llu of %llu\n"
+                        "    caught:   %#llx (%dB granule) P%d vs "
+                        "P%d\n",
+                        sim::raceFaultName(k),
+                        static_cast<unsigned long long>(o.races),
+                        o.races == 1 ? "" : "s",
+                        static_cast<unsigned long long>(benign),
+                        benign == 1 ? "" : "s", victim,
+                        static_cast<unsigned long long>(occ),
+                        static_cast<unsigned long long>(n),
+                        static_cast<unsigned long long>(hit->granule),
+                        hit->bytes, hit->prev.proc, hit->cur.proc);
+        }
+        if (!caught && !fireFailed) {
+            std::printf("%-18s MISSED  %llu dropped occurrences from "
+                        "%llu, none exposed an attributed race\n",
+                        sim::raceFaultName(k),
+                        static_cast<unsigned long long>(tries),
+                        static_cast<unsigned long long>(seed % n));
+            ++missed;
+        }
+    }
+    std::printf("\n%s\n", missed
+                              ? "FAIL: detector missed dropped edges"
+                              : "all dropped edges detected");
+    return missed ? 1 : 0;
 }
 
 /** Fault-injection harness (--inject): for each requested fault kind,
@@ -286,7 +471,17 @@ main(int argc, char** argv)
             "             observation only, violations abort)\n"
             "         --inject all|<kind>  fault-injection harness:\n"
             "             run, seed a protocol corruption, and verify\n"
-            "             the checker detects it (see --inject help)\n");
+            "             the checker detects it (see --inject help)\n"
+            "         --race off|word|line  happens-before race\n"
+            "             detection over the reference stream (default\n"
+            "             off).  word: any report is a true data race\n"
+            "             and the exit status is 1.  line: conflicts\n"
+            "             quantify false sharing (informational)\n"
+            "         --csv FILE  write per-app race census rows\n"
+            "             (requires --race word|line)\n"
+            "         --race-inject all|<kind>  race-injection\n"
+            "             harness: drop one seeded sync edge and\n"
+            "             verify the detector reports the race\n");
         return name.empty() ? 2 : 1;
     }
 
@@ -321,6 +516,17 @@ main(int argc, char** argv)
         return rc;
     }
 
+    if (opt.has("race-inject")) {
+        int rc = 0;
+        for (App* app : apps)
+            rc = std::max(rc,
+                          runRaceInjection(*app, procs, cfg, eng.sim,
+                                           opt.getS("race-inject",
+                                                    "all"),
+                                           cfg.seed));
+        return rc;
+    }
+
     std::vector<RunStats> results(apps.size());
     Runner runner(eng.jobs);
     for (std::size_t i = 0; i < apps.size(); ++i) {
@@ -340,12 +546,49 @@ main(int argc, char** argv)
     runner.run();
 
     bool all_valid = true;
+    bool word_races = false;
     for (std::size_t i = 0; i < apps.size(); ++i) {
         if (i)
             std::printf("\n================\n\n");
         report(*apps[i], results[i], with_mem, cache, hints, procs,
                cfg, eng.sim);
         all_valid = all_valid && results[i].valid;
+        // Word-granularity conflicts are true data races: fail the
+        // run (CI leans on this).  Line-granularity conflicts are the
+        // false-sharing census -- informational by design.
+        if (results[i].raceChecked &&
+            results[i].race.gran == sim::RaceGranularity::Word &&
+            !results[i].race.clean())
+            word_races = true;
+    }
+
+    if (opt.has("csv")) {
+        std::string path = opt.getS("csv", "");
+        if (eng.sim.race == sim::RaceGranularity::Off || path.empty()) {
+            std::fprintf(stderr,
+                         "--csv FILE needs --race word|line\n");
+            return 2;
+        }
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+            return 2;
+        }
+        std::fprintf(f,
+                     "app,procs,granularity,granule_bytes,race_pairs,"
+                     "racy_granules,dynamic_conflicts,granules_tracked,"
+                     "barrier_arrivals,barrier_departures,lock_acquires,"
+                     "lock_releases,flag_sets,flag_waits\n");
+        for (std::size_t i = 0; i < apps.size(); ++i)
+            raceCsvRow(f, *apps[i], procs, results[i]);
+        std::fclose(f);
+    }
+
+    if (word_races) {
+        std::fprintf(stderr,
+                     "\nFAIL: data race(s) at word granularity -- the "
+                     "suite must be race-free\n");
+        return 1;
     }
     return all_valid ? 0 : 1;
 }

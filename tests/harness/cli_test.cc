@@ -113,6 +113,30 @@ TEST(EngineOpts, RejectsUnknownProtocols)
     EXPECT_FALSE(parse({"--protocol", ""}, &eng));
 }
 
+TEST(EngineOpts, RaceGranularitiesLand)
+{
+    EngineOpts eng;
+    ASSERT_TRUE(parse({}, &eng));
+    EXPECT_EQ(eng.sim.race, splash::sim::RaceGranularity::Off);
+    ASSERT_TRUE(parse({"--race", "off"}, &eng));
+    EXPECT_EQ(eng.sim.race, splash::sim::RaceGranularity::Off);
+    ASSERT_TRUE(parse({"--race", "word"}, &eng));
+    EXPECT_EQ(eng.sim.race, splash::sim::RaceGranularity::Word);
+    ASSERT_TRUE(parse({"--race", "line"}, &eng));
+    EXPECT_EQ(eng.sim.race, splash::sim::RaceGranularity::Line);
+}
+
+TEST(EngineOpts, RejectsUnknownRaceGranularities)
+{
+    EngineOpts eng;
+    EXPECT_FALSE(parse({"--race", "byte"}, &eng));
+    EXPECT_FALSE(parse({"--race", "on"}, &eng));
+    // Names are exact and lowercase, like --protocol.
+    EXPECT_FALSE(parse({"--race", "Word"}, &eng));
+    EXPECT_FALSE(parse({"--race", "wordline"}, &eng));
+    EXPECT_FALSE(parse({"--race", ""}, &eng));
+}
+
 // --protocol list is informational: the parse "fails" so the caller
 // stops, but listRequested distinguishes exit 0 from a usage error.
 TEST(EngineOpts, ProtocolListIsInformationalNotAnError)

@@ -297,10 +297,15 @@ TEST_P(ReferenceFuzz, ParallelSweepStatExact)
         CacheSweep sweep(sc);
         {
             ParallelSweep ps(sweep, threads, /*chunkRecords=*/512);
-            for (std::size_t i = 0; i < steps.size(); ++i)
-                ps.access(procs[i], steps[i].addr, 8,
-                          steps[i].write ? AccessType::Write
-                                         : AccessType::Read);
+            for (std::size_t i = 0; i < steps.size(); ++i) {
+                AccessRec r;
+                r.addr = steps[i].addr;
+                r.size = 8;
+                r.proc = static_cast<std::int16_t>(procs[i]);
+                r.type = steps[i].write ? AccessType::Write
+                                        : AccessType::Read;
+                ps.access(r);
+            }
         }  // destructor flushes
         EXPECT_EQ(serial.accesses(), sweep.accesses()) << threads;
         for (std::uint64_t size : sc.sizes)

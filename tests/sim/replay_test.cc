@@ -63,6 +63,18 @@ struct Access
     AccessType t;
 };
 
+/** Build a sink record (sinks now take the full AccessRec). */
+AccessRec
+rec(ProcId p, Addr a, int size, AccessType t)
+{
+    AccessRec r;
+    r.addr = a;
+    r.size = size;
+    r.proc = static_cast<std::int16_t>(p);
+    r.type = t;
+    return r;
+}
+
 std::vector<Access>
 randomStream(int nprocs, int n, std::uint64_t lines, std::uint64_t seed)
 {
@@ -119,7 +131,7 @@ TEST(BroadcastReplay, FuzzedGeometriesMatchSerial)
         BroadcastReplay replay(specs, g.threaded, g.chunkRecords,
                                g.ringChunks);
         for (const auto& acc : stream)
-            replay.access(acc.p, acc.a, 8, acc.t);
+            replay.access(rec(acc.p, acc.a, 8, acc.t));
         replay.flush();
         for (int i = 0; i < replay.replicas(); ++i)
             expectSameStats(
@@ -160,7 +172,7 @@ TEST(BroadcastReplay, MidStreamResetMatchesSerial)
             for (std::size_t r : resetAt)
                 if (i == r)
                     replay.resetStats();
-            replay.access(stream[i].p, stream[i].a, 8, stream[i].t);
+            replay.access(rec(stream[i].p, stream[i].a, 8, stream[i].t));
         }
         replay.flush();
         for (int i = 0; i < replay.replicas(); ++i)
@@ -193,7 +205,7 @@ TEST(BroadcastReplay, StreamBarriersAreStatisticallyInvisible)
     replay.streamBarrier();  // before any reference
     replay.streamBarrier();  // back-to-back
     for (std::size_t i = 0; i < stream.size(); ++i) {
-        replay.access(stream[i].p, stream[i].a, 8, stream[i].t);
+        replay.access(rec(stream[i].p, stream[i].a, 8, stream[i].t));
         if (i % 3001 == 0)
             replay.streamBarrier();
     }
@@ -225,7 +237,7 @@ TEST(BroadcastReplay, ProducerExceptionWakesIdleConsumers)
                                    /*chunkRecords=*/1 << 12,
                                    /*ringChunks=*/2);
             for (const auto& acc : stream)
-                replay.access(acc.p, acc.a, 8, acc.t);
+                replay.access(rec(acc.p, acc.a, 8, acc.t));
             throw std::runtime_error("producer failed mid-stream");
         },
         std::runtime_error);
@@ -247,7 +259,7 @@ TEST(BroadcastReplay, ProducerExceptionWakesBusyConsumers)
             for (std::size_t i = 0; i < stream.size(); ++i) {
                 if (i == stream.size() / 2)
                     throw std::runtime_error("producer failed");
-                replay.access(stream[i].p, stream[i].a, 8, stream[i].t);
+                replay.access(rec(stream[i].p, stream[i].a, 8, stream[i].t));
             }
         },
         std::runtime_error);
@@ -276,12 +288,12 @@ TEST(BroadcastReplay, AbortStreamQuiescesAndCleanRunStillMatches)
         BroadcastReplay replay(specs, /*threaded=*/true,
                                /*chunkRecords=*/128, /*ringChunks=*/2);
         for (std::size_t i = 0; i < stream.size() / 2; ++i)
-            replay.access(stream[i].p, stream[i].a, 8, stream[i].t);
+            replay.access(rec(stream[i].p, stream[i].a, 8, stream[i].t));
         replay.abortStream();
         EXPECT_TRUE(replay.aborted());
         // Dead stream: further traffic is dropped, quiesce and flush
         // are no-ops, and a second abort is harmless.
-        replay.access(0, 0x200000, 8, AccessType::Write);
+        replay.access(rec(0, 0x200000, 8, AccessType::Write));
         replay.streamBarrier();
         replay.flush();
         replay.abortStream();
@@ -291,7 +303,7 @@ TEST(BroadcastReplay, AbortStreamQuiescesAndCleanRunStillMatches)
     BroadcastReplay clean(specs, /*threaded=*/true,
                           /*chunkRecords=*/128, /*ringChunks=*/2);
     for (const auto& acc : stream)
-        clean.access(acc.p, acc.a, 8, acc.t);
+        clean.access(rec(acc.p, acc.a, 8, acc.t));
     clean.flush();
     for (int i = 0; i < clean.replicas(); ++i)
         expectSameStats(serial[std::size_t(i)], clean.replica(i).total(),

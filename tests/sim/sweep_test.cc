@@ -37,6 +37,18 @@ struct Access
     AccessType t;
 };
 
+/** Build a sink record (generic sinks take the full AccessRec). */
+AccessRec
+rec(ProcId p, Addr a, int size, AccessType t)
+{
+    AccessRec r;
+    r.addr = a;
+    r.size = size;
+    r.proc = static_cast<std::int16_t>(p);
+    r.type = t;
+    return r;
+}
+
 std::vector<Access>
 randomStream(int nprocs, int n, std::uint64_t lines, std::uint64_t seed)
 {
@@ -235,7 +247,7 @@ TEST(ParallelSweep, MatchesSerialForAnyWorkerCount)
             // Tiny chunks force many flush barriers mid-stream.
             ParallelSweep ps(sw, threads, /*chunkRecords=*/256);
             for (const auto& acc : stream)
-                ps.access(acc.p, acc.a, 8, acc.t);
+                ps.access(rec(acc.p, acc.a, 8, acc.t));
         }
         EXPECT_EQ(serial.accesses(), sw.accesses()) << threads;
         for (std::uint64_t size : sc.sizes)
@@ -268,7 +280,7 @@ TEST(ParallelSweep, ResetStatsMidStreamMatchesSerial)
         for (std::size_t i = 0; i < stream.size(); ++i) {
             if (i == stream.size() / 2)
                 ps.resetStats();
-            ps.access(stream[i].p, stream[i].a, 8, stream[i].t);
+            ps.access(rec(stream[i].p, stream[i].a, 8, stream[i].t));
         }
     }
     EXPECT_EQ(serial.accesses(), sw.accesses());
@@ -287,7 +299,7 @@ TEST(ParallelSweep, LineSpanningAccessCountsOncePerLine)
         ParallelSweep ps(sw, 2);
         // 16 bytes straddling a 64 B line boundary: two line touches.
         serial.access(0, 0x1038, 16, AccessType::Read);
-        ps.access(0, 0x1038, 16, AccessType::Read);
+        ps.access(rec(0, 0x1038, 16, AccessType::Read));
     }
     EXPECT_EQ(serial.accesses(), 2u);
     EXPECT_EQ(sw.accesses(), 2u);
