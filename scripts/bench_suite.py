@@ -10,6 +10,11 @@ parallel suite should be >= 3x faster; on any host the broadcast still
 removes the (N-1) redundant executions behind Figures 6/7 and the
 protocol ablation.
 
+Each target is additionally run through the record-once trace store
+(--record into a per-target store, then --replay from it, output
+byte-compared against the serial oracle), reporting the replay time
+and the store's compactness in bits per recorded reference.
+
 Usage: scripts/bench_suite.py [--build build] [--jobs 0] [--full]
                               [--targets fig7,...] [--reps 1]
 Writes BENCH_suite.json in the repository root.
@@ -22,6 +27,7 @@ import sys
 import tempfile
 
 import benchlib
+from bench_trace import trace_stats
 
 # (target, extra args): every figure/table bench in the suite.
 TARGETS = [
@@ -69,35 +75,57 @@ def main():
         with tempfile.TemporaryDirectory() as td:
             s_out = os.path.join(td, "serial.txt")
             p_out = os.path.join(td, "parallel.txt")
+            r_out = os.path.join(td, "replay.txt")
+            store = os.path.join(td, "store")
             serial_s = benchlib.time_cmd(
                 base + ["--jobs", "1", "--replicas", "off"],
                 args.reps, capture_to=s_out)
             parallel_s = benchlib.time_cmd(
                 base + ["--jobs", str(args.jobs)],
                 args.reps, capture_to=p_out)
+            record_s = benchlib.time_cmd(
+                base + ["--jobs", str(args.jobs), "--record", store], 1)
+            replay_s = benchlib.time_cmd(
+                base + ["--jobs", str(args.jobs), "--replay", store],
+                args.reps, capture_to=r_out)
+            trace_bytes, trace_records, _ = trace_stats(store)
             with open(s_out, "rb") as f:
                 serial_bytes = f.read()
             with open(p_out, "rb") as f:
                 parallel_bytes = f.read()
+            with open(r_out, "rb") as f:
+                replay_bytes = f.read()
         identical = serial_bytes == parallel_bytes
-        if not identical:
+        replay_identical = serial_bytes == replay_bytes
+        if not identical or not replay_identical:
             mismatches.append(target)
         suite[target] = {
             "serial_seconds": serial_s,
             "parallel_seconds": parallel_s,
             "speedup": serial_s / parallel_s if parallel_s else 0.0,
             "output_identical": identical,
+            "record_seconds": record_s,
+            "replay_seconds": replay_s,
+            "replay_speedup": (serial_s / replay_s if replay_s
+                               else 0.0),
+            "trace_bytes": trace_bytes,
+            "trace_bits_per_reference": (8.0 * trace_bytes /
+                                         trace_records
+                                         if trace_records else 0.0),
+            "replay_identical": replay_identical,
         }
         serial_total += serial_s
         parallel_total += parallel_s
         print(f"{target}: {serial_s:.2f}s -> {parallel_s:.2f}s "
-              f"({'ok' if identical else 'OUTPUT MISMATCH'})")
+              f"parallel, {replay_s:.2f}s replay "
+              f"({'ok' if identical and replay_identical else 'OUTPUT MISMATCH'})")
 
     report = {
         "description": "Full figure/table suite through the parallel "
                        "experiment runner + broadcast replay vs the "
-                       "serial oracle (--jobs 1 --replicas off); "
-                       "outputs byte-compared",
+                       "serial oracle (--jobs 1 --replicas off), plus "
+                       "record-once trace store record/replay timings "
+                       "and trace compactness; outputs byte-compared",
         "host_cpus": os.cpu_count(),
         "jobs": args.jobs,
         "scale": "full" if args.full else "quick",

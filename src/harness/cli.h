@@ -21,6 +21,12 @@
  *                     reference stream: off | word | line (default
  *                     off).  Observation only: characterization
  *                     output is byte-identical for any value.
+ *   --record DIR      record each executed (app, P) reference stream
+ *                     into trace store DIR (created if missing); an
+ *                     already-recorded identity is skipped
+ *   --replay DIR      replay reference streams from trace store DIR
+ *                     (or a single .s2t file) instead of executing;
+ *                     mutually exclusive with --record
  *
  * Every flag except --protocol changes wall clock only; results and
  * output bytes are identical for any combination (--jobs 1
@@ -31,6 +37,9 @@
  */
 #ifndef SPLASH2_HARNESS_CLI_H
 #define SPLASH2_HARNESS_CLI_H
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <string>
@@ -125,6 +134,44 @@ parseEngineOpts(const Options& opt, EngineOpts* out)
                      "unknown --race '%s' (off, word, or line)\n",
                      race.c_str());
         return false;
+    }
+    out->sim.record = opt.getS("record", "");
+    out->sim.replay = opt.getS("replay", "");
+    if (!out->sim.record.empty() && !out->sim.replay.empty()) {
+        std::fprintf(stderr,
+                     "--record and --replay are mutually exclusive\n");
+        return false;
+    }
+    if (!out->sim.replay.empty()) {
+        struct stat st{};
+        if (::stat(out->sim.replay.c_str(), &st) != 0) {
+            std::fprintf(stderr,
+                         "--replay path '%s' does not exist\n",
+                         out->sim.replay.c_str());
+            return false;
+        }
+    }
+    if (!out->sim.record.empty()) {
+        // The store is a directory of one file per recorded identity;
+        // create it up front so a non-writable destination fails here
+        // rather than mid-run (a path naming an existing regular file
+        // is allowed: single-file recording).
+        struct stat st{};
+        if (::stat(out->sim.record.c_str(), &st) != 0) {
+            if (::mkdir(out->sim.record.c_str(), 0777) != 0) {
+                std::fprintf(
+                    stderr,
+                    "--record path '%s' cannot be created\n",
+                    out->sim.record.c_str());
+                return false;
+            }
+        } else if (S_ISDIR(st.st_mode) &&
+                   ::access(out->sim.record.c_str(), W_OK) != 0) {
+            std::fprintf(stderr,
+                         "--record path '%s' is not writable\n",
+                         out->sim.record.c_str());
+            return false;
+        }
     }
     return true;
 }

@@ -10,12 +10,14 @@
 #include <memory>
 #include <thread>
 
+#include "base/log.h"
 #include "harness/app.h"
 #include "rt/env.h"
 #include "sim/memsys.h"
 #include "sim/racecheck.h"
 #include "sim/replay.h"
 #include "sim/sweep.h"
+#include "sim/tracestore.h"
 
 namespace splash::harness {
 
@@ -97,6 +99,18 @@ struct SimOpts
      *  is byte-identical with any value.  Word granularity verifies
      *  the suite's synchronization; Line quantifies false sharing. */
     sim::RaceGranularity race = sim::RaceGranularity::Off;
+    /** Trace-store directory (or single .s2t file) to record this
+     *  run's reference stream into (--record; empty = off).  Records
+     *  ride alongside the live sinks, so recording never changes
+     *  results; an already-recorded (app, P, problem, quantum) is
+     *  skipped (record once). */
+    std::string record;
+    /** Trace-store directory (or single .s2t file) to replay from
+     *  (--replay; empty = off).  The application never executes:
+     *  every sink is fed the recorded stream, and execution counters
+     *  come from the trace footer -- statistics are byte-identical to
+     *  a live run. */
+    std::string replay;
 };
 
 /** RaceChecker for one operating point: Word granules are fixed at 4
@@ -111,6 +125,112 @@ raceConfigFor(sim::RaceGranularity gran, int nprocs, int lineSize)
     return rc;
 }
 
+// ----------------------------------------------------------------------
+// Trace-store glue (sim/tracestore.h): identity of a recording, the
+// execution-profile <-> ProcStats conversions, and the record/replay
+// entry points shared by every driver below.
+
+/** Identity a trace is recorded under: everything the reference
+ *  stream of (app, P) depends on.  The quantum is pinned because
+ *  batched delivery drains at quantum boundaries, making the stream
+ *  *order* (not its statistics) quantum-dependent. */
+inline sim::TraceMeta
+traceMetaFor(const App& app, int nprocs, const AppConfig& cfg,
+             const SimOpts& simOpts)
+{
+    sim::TraceMeta m;
+    m.app = app.name();
+    m.nprocs = nprocs;
+    m.scale = cfg.scale;
+    m.n = cfg.n;
+    m.iters = cfg.iters;
+    m.aux = cfg.aux;
+    m.seed = cfg.seed;
+    m.quantum = simOpts.quantum;
+    return m;
+}
+
+/** Pack per-processor execution counters into the footer image. */
+inline sim::ExecProfile
+execProfileFrom(const std::vector<rt::ProcStats>& perProc, Tick elapsed,
+                bool valid)
+{
+    sim::ExecProfile e;
+    e.valid = valid;
+    e.elapsed = elapsed;
+    for (const rt::ProcStats& s : perProc)
+        e.procs.push_back({s.reads, s.writes, s.flops, s.work,
+                           s.barriers, s.locks, s.pauses, s.barrierWait,
+                           s.lockWait, s.pauseWait, s.startTime,
+                           s.finishTime});
+    return e;
+}
+
+/** Rebuild the execution half of a RunStats from a trace footer. */
+inline RunStats
+statsFromProfile(const sim::ExecProfile& e)
+{
+    RunStats r;
+    r.valid = e.valid;
+    r.elapsed = e.elapsed;
+    for (const sim::ExecProfile::Row& row : e.procs) {
+        rt::ProcStats s;
+        s.reads = row[0];
+        s.writes = row[1];
+        s.flops = row[2];
+        s.work = row[3];
+        s.barriers = row[4];
+        s.locks = row[5];
+        s.pauses = row[6];
+        s.barrierWait = row[7];
+        s.lockWait = row[8];
+        s.pauseWait = row[9];
+        s.startTime = row[10];
+        s.finishTime = row[11];
+        r.perProc.push_back(s);
+        r.exec += s;
+    }
+    return r;
+}
+
+/** Recorder for this run, or null when recording is off or a
+ *  finalized trace for this identity already exists (record once). */
+inline std::unique_ptr<sim::TraceWriter>
+makeRecorder(const App& app, int nprocs, const AppConfig& cfg,
+             const SimOpts& simOpts)
+{
+    if (simOpts.record.empty())
+        return nullptr;
+    const sim::TraceMeta m = traceMetaFor(app, nprocs, cfg, simOpts);
+    if (sim::tracestore::haveTrace(simOpts.record, m))
+        return nullptr;
+    return std::make_unique<sim::TraceWriter>(
+        sim::tracestore::pathFor(simOpts.record, m), m);
+}
+
+/** Finalize a recording with the run's execution profile. */
+inline void
+finalizeRecording(sim::TraceWriter& rec, const RunStats& r)
+{
+    std::string err;
+    if (!rec.finalize(execProfileFrom(r.perProc, r.elapsed, r.valid),
+                      &err))
+        fatal(err);
+}
+
+/** Open (and identity-check) the trace this run replays from. */
+inline std::unique_ptr<sim::TraceReader>
+openReplay(const App& app, int nprocs, const AppConfig& cfg,
+           const SimOpts& simOpts)
+{
+    std::string err;
+    auto rd = sim::tracestore::openFor(
+        simOpts.replay, traceMetaFor(app, nprocs, cfg, simOpts), &err);
+    if (rd == nullptr)
+        fatal(err);
+    return rd;
+}
+
 /** Run @p app on @p nprocs with no memory system attached (PRAM-only;
  *  Figures 1 and 2, Table 1).  An optional pre-built RaceChecker can
  *  be attached (the injection harness arms drops on it beforehand);
@@ -119,16 +239,33 @@ inline RunStats
 runPram(App& app, int nprocs, const AppConfig& cfg,
         const SimOpts& sim = {}, sim::RaceChecker* race = nullptr)
 {
-    rt::Env env({rt::Mode::Sim, nprocs, sim.quantum, sim.backend,
-                 sim.delivery});
     std::unique_ptr<sim::RaceChecker> owned;
     if (race == nullptr && sim.race != sim::RaceGranularity::Off) {
         owned = std::make_unique<sim::RaceChecker>(
             raceConfigFor(sim.race, nprocs, 64));
         race = owned.get();
     }
+    if (!sim.replay.empty()) {
+        auto rd = openReplay(app, nprocs, cfg, sim);
+        if (race != nullptr) {
+            std::string err;
+            if (!rd->replay(race, &err))
+                fatal(err);
+        }
+        RunStats out = statsFromProfile(rd->exec());
+        if (race != nullptr) {
+            out.raceChecked = true;
+            out.race = race->outcome();
+        }
+        return out;
+    }
+    rt::Env env({rt::Mode::Sim, nprocs, sim.quantum, sim.backend,
+                 sim.delivery});
     if (race != nullptr)
         env.attachSink(race);
+    auto rec = makeRecorder(app, nprocs, cfg, sim);
+    if (rec)
+        env.attachSink(rec.get());
     RunStats out;
     out.valid = app.run(env, cfg).valid;
     for (int p = 0; p < nprocs; ++p) {
@@ -136,9 +273,207 @@ runPram(App& app, int nprocs, const AppConfig& cfg,
         out.exec += env.stats(p);
     }
     out.elapsed = env.elapsed();
+    if (rec)
+        finalizeRecording(*rec, out);
     if (race != nullptr) {
         out.raceChecked = true;
         out.race = race->outcome();
+    }
+    return out;
+}
+
+/** One memory-system operating point of a multi-configuration
+ *  characterization. */
+struct MemExperiment
+{
+    sim::CacheConfig cache;
+    bool hints = true;   ///< replacement hints (protocol ablation)
+    bool placed = true;  ///< placement-aware homes vs pure interleave
+    /** Coherence protocol of this replica; benches forward the
+     *  --protocol flag here (one broadcast replay can feed replicas
+     *  running different protocols side by side). */
+    sim::ProtocolKind protocol = sim::ProtocolKind::MESI;
+};
+
+/** Characterize @p app on @p nprocs under every configuration in
+ *  @p exps from ONE reference stream.
+ *
+ *  The PRAM reference stream of a given (app, P) does not depend on
+ *  the memory system, so with broadcast replay enabled (the default)
+ *  the application executes once and a BroadcastReplay feeds one
+ *  MemSystem replica per experiment; with Replicas::Off each
+ *  experiment re-executes serially in its own Env.  Statistics are
+ *  bit-identical across all modes (tests/sim/replay_test.cc). */
+/** Broadcast replica set for @p exps: one MemSystem replica per
+ *  experiment (placed ones resolve homes through @p homes), then --
+ *  when race detection is on -- race replicas appended after the
+ *  memory systems and deduplicated by granule size: Word granules are
+ *  line-size independent (one replica serves every experiment), Line
+ *  granules need one replica per distinct line size.
+ *  @p raceReplicaOfExp maps each experiment to its race replica's
+ *  spec index (-1 when race detection is off). */
+inline std::vector<sim::ReplicaSpec>
+broadcastSpecs(const std::vector<MemExperiment>& exps, int nprocs,
+               const SimOpts& simOpts, const sim::HomeResolver* homes,
+               std::vector<int>* raceReplicaOfExp)
+{
+    std::vector<sim::ReplicaSpec> specs;
+    specs.reserve(exps.size());
+    for (const MemExperiment& e : exps) {
+        sim::ReplicaSpec s;
+        s.machine.nprocs = nprocs;
+        s.machine.cache = e.cache;
+        s.machine.replacementHints = e.hints;
+        s.machine.protocol = e.protocol;
+        s.homes = e.placed ? homes : nullptr;
+        s.checkPeriod = simOpts.checkPeriod;
+        specs.push_back(s);
+    }
+    raceReplicaOfExp->assign(exps.size(), -1);
+    if (simOpts.race != sim::RaceGranularity::Off) {
+        for (std::size_t i = 0; i < exps.size(); ++i) {
+            const int granule =
+                simOpts.race == sim::RaceGranularity::Word
+                    ? 4
+                    : exps[i].cache.lineSize;
+            for (std::size_t j = 0; j < i; ++j) {
+                if ((*raceReplicaOfExp)[j] >= 0 &&
+                    specs[(*raceReplicaOfExp)[j]]
+                            .machine.cache.lineSize == granule) {
+                    (*raceReplicaOfExp)[i] = (*raceReplicaOfExp)[j];
+                    break;
+                }
+            }
+            if ((*raceReplicaOfExp)[i] >= 0)
+                continue;
+            sim::ReplicaSpec s;
+            s.machine.nprocs = nprocs;
+            s.machine.cache.lineSize = granule;
+            s.race = simOpts.race;
+            (*raceReplicaOfExp)[i] = static_cast<int>(specs.size());
+            specs.push_back(s);
+        }
+    }
+    return specs;
+}
+
+inline std::vector<RunStats>
+runCharacterizations(App& app, int nprocs,
+                     const std::vector<MemExperiment>& exps,
+                     const AppConfig& cfg, const SimOpts& simOpts = {})
+{
+    std::vector<RunStats> out;
+    Replicas mode = simOpts.replicas;
+    if (mode == Replicas::Auto)
+        mode = std::thread::hardware_concurrency() > 1
+                   ? Replicas::Threaded
+                   : Replicas::Inline;
+    if (!simOpts.replay.empty()) {
+        // Replay from disk: the recorded stream feeds the broadcast
+        // replicas directly -- zero fiber execution, execution
+        // counters from the trace footer, statistics byte-identical
+        // to any live mode (broadcast == serial is proven by
+        // tests/sim/replay_test.cc; disk == live by
+        // tests/sim/tracestore_test.cc).
+        auto rd = openReplay(app, nprocs, cfg, simOpts);
+        std::vector<int> raceReplicaOfExp;
+        std::vector<sim::ReplicaSpec> specs = broadcastSpecs(
+            exps, nprocs, simOpts, rd->placement(), &raceReplicaOfExp);
+        sim::BroadcastReplay replay(specs, mode == Replicas::Threaded);
+        std::string err;
+        if (!rd->replay(&replay, &err))
+            fatal(err);
+        replay.flush();
+        const RunStats base = statsFromProfile(rd->exec());
+        for (std::size_t i = 0; i < exps.size(); ++i) {
+            const int ri = static_cast<int>(i);
+            RunStats r = base;
+            for (int p = 0; p < nprocs; ++p)
+                r.memPerProc.push_back(replay.replica(ri).procStats(p));
+            r.mem = replay.replica(ri).total();
+            if (raceReplicaOfExp[i] >= 0) {
+                r.raceChecked = true;
+                r.race =
+                    replay.raceReplica(raceReplicaOfExp[i]).outcome();
+            }
+            out.push_back(std::move(r));
+        }
+        return out;
+    }
+    auto rec = makeRecorder(app, nprocs, cfg, simOpts);
+    if (mode == Replicas::Off || exps.size() <= 1) {
+        for (const MemExperiment& e : exps) {
+            rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
+                         simOpts.backend, simOpts.delivery});
+            sim::MachineConfig mc;
+            mc.nprocs = nprocs;
+            mc.cache = e.cache;
+            mc.replacementHints = e.hints;
+            mc.protocol = e.protocol;
+            sim::MemSystem mem(mc, e.placed ? &env.heap() : nullptr);
+            mem.setCheckPeriod(simOpts.checkPeriod);
+            env.attachMemSystem(&mem);
+            std::unique_ptr<sim::RaceChecker> race;
+            if (simOpts.race != sim::RaceGranularity::Off) {
+                race = std::make_unique<sim::RaceChecker>(raceConfigFor(
+                    simOpts.race, nprocs, e.cache.lineSize));
+                env.attachSink(race.get());
+            }
+            if (rec)  // record rides the first serial execution
+                env.attachSink(rec.get());
+            RunStats r;
+            r.valid = app.run(env, cfg).valid;
+            for (int p = 0; p < nprocs; ++p) {
+                r.perProc.push_back(env.stats(p));
+                r.exec += env.stats(p);
+                r.memPerProc.push_back(mem.procStats(p));
+            }
+            r.mem = mem.total();
+            r.elapsed = env.elapsed();
+            if (rec) {
+                finalizeRecording(*rec, r);
+                rec.reset();
+            }
+            if (race) {
+                r.raceChecked = true;
+                r.race = race->outcome();
+            }
+            out.push_back(std::move(r));
+        }
+        return out;
+    }
+
+    rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
+                 simOpts.backend, simOpts.delivery});
+    std::vector<int> raceReplicaOfExp;
+    std::vector<sim::ReplicaSpec> specs = broadcastSpecs(
+        exps, nprocs, simOpts, &env.heap(), &raceReplicaOfExp);
+    sim::BroadcastReplay replay(specs, mode == Replicas::Threaded);
+    env.attachSink(&replay);
+    if (rec)
+        env.attachSink(rec.get());
+    RunStats base;
+    base.valid = app.run(env, cfg).valid;
+    replay.flush();
+    for (int p = 0; p < nprocs; ++p) {
+        base.perProc.push_back(env.stats(p));
+        base.exec += env.stats(p);
+    }
+    base.elapsed = env.elapsed();
+    if (rec)
+        finalizeRecording(*rec, base);
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+        const int ri = static_cast<int>(i);
+        RunStats r = base;
+        for (int p = 0; p < nprocs; ++p)
+            r.memPerProc.push_back(replay.replica(ri).procStats(p));
+        r.mem = replay.replica(ri).total();
+        if (raceReplicaOfExp[i] >= 0) {
+            r.raceChecked = true;
+            r.race =
+                replay.raceReplica(raceReplicaOfExp[i]).outcome();
+        }
+        out.push_back(std::move(r));
     }
     return out;
 }
@@ -149,6 +484,16 @@ inline RunStats
 runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
                  const AppConfig& cfg, const SimOpts& simOpts = {})
 {
+    if (!simOpts.replay.empty() || !simOpts.record.empty()) {
+        // One operating point of the general driver (identical
+        // statistics; tests/sim/replay_test.cc), which owns the
+        // record-once / replay-from-disk logic.
+        MemExperiment e;
+        e.cache = cache;
+        e.protocol = simOpts.protocol;
+        return runCharacterizations(app, nprocs, {e}, cfg,
+                                    simOpts)[0];
+    }
     rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
                  simOpts.backend, simOpts.delivery});
     sim::MachineConfig mc;
@@ -180,154 +525,52 @@ runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
     return out;
 }
 
-/** One memory-system operating point of a multi-configuration
- *  characterization. */
-struct MemExperiment
-{
-    sim::CacheConfig cache;
-    bool hints = true;   ///< replacement hints (protocol ablation)
-    bool placed = true;  ///< placement-aware homes vs pure interleave
-    /** Coherence protocol of this replica; benches forward the
-     *  --protocol flag here (one broadcast replay can feed replicas
-     *  running different protocols side by side). */
-    sim::ProtocolKind protocol = sim::ProtocolKind::MESI;
-};
-
-/** Characterize @p app on @p nprocs under every configuration in
- *  @p exps from ONE reference stream.
- *
- *  The PRAM reference stream of a given (app, P) does not depend on
- *  the memory system, so with broadcast replay enabled (the default)
- *  the application executes once and a BroadcastReplay feeds one
- *  MemSystem replica per experiment; with Replicas::Off each
- *  experiment re-executes serially in its own Env.  Statistics are
- *  bit-identical across all modes (tests/sim/replay_test.cc). */
-inline std::vector<RunStats>
-runCharacterizations(App& app, int nprocs,
-                     const std::vector<MemExperiment>& exps,
-                     const AppConfig& cfg, const SimOpts& simOpts = {})
-{
-    std::vector<RunStats> out;
-    Replicas mode = simOpts.replicas;
-    if (mode == Replicas::Auto)
-        mode = std::thread::hardware_concurrency() > 1
-                   ? Replicas::Threaded
-                   : Replicas::Inline;
-    if (mode == Replicas::Off || exps.size() <= 1) {
-        for (const MemExperiment& e : exps) {
-            rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
-                         simOpts.backend, simOpts.delivery});
-            sim::MachineConfig mc;
-            mc.nprocs = nprocs;
-            mc.cache = e.cache;
-            mc.replacementHints = e.hints;
-            mc.protocol = e.protocol;
-            sim::MemSystem mem(mc, e.placed ? &env.heap() : nullptr);
-            mem.setCheckPeriod(simOpts.checkPeriod);
-            env.attachMemSystem(&mem);
-            std::unique_ptr<sim::RaceChecker> race;
-            if (simOpts.race != sim::RaceGranularity::Off) {
-                race = std::make_unique<sim::RaceChecker>(raceConfigFor(
-                    simOpts.race, nprocs, e.cache.lineSize));
-                env.attachSink(race.get());
-            }
-            RunStats r;
-            r.valid = app.run(env, cfg).valid;
-            for (int p = 0; p < nprocs; ++p) {
-                r.perProc.push_back(env.stats(p));
-                r.exec += env.stats(p);
-                r.memPerProc.push_back(mem.procStats(p));
-            }
-            r.mem = mem.total();
-            r.elapsed = env.elapsed();
-            if (race) {
-                r.raceChecked = true;
-                r.race = race->outcome();
-            }
-            out.push_back(std::move(r));
-        }
-        return out;
-    }
-
-    rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
-                 simOpts.backend, simOpts.delivery});
-    std::vector<sim::ReplicaSpec> specs;
-    specs.reserve(exps.size());
-    for (const MemExperiment& e : exps) {
-        sim::ReplicaSpec s;
-        s.machine.nprocs = nprocs;
-        s.machine.cache = e.cache;
-        s.machine.replacementHints = e.hints;
-        s.machine.protocol = e.protocol;
-        s.homes = e.placed ? &env.heap() : nullptr;
-        s.checkPeriod = simOpts.checkPeriod;
-        specs.push_back(s);
-    }
-    // Race replicas ride the same broadcast, appended after the
-    // memory systems and deduplicated by granule size: Word granules
-    // are line-size independent (one replica serves every
-    // experiment), Line granules need one replica per distinct line
-    // size.
-    std::vector<int> raceReplicaOfExp(exps.size(), -1);
-    if (simOpts.race != sim::RaceGranularity::Off) {
-        for (std::size_t i = 0; i < exps.size(); ++i) {
-            const int granule =
-                simOpts.race == sim::RaceGranularity::Word
-                    ? 4
-                    : exps[i].cache.lineSize;
-            for (std::size_t j = 0; j < i; ++j) {
-                if (raceReplicaOfExp[j] >= 0 &&
-                    specs[raceReplicaOfExp[j]].machine.cache.lineSize ==
-                        granule) {
-                    raceReplicaOfExp[i] = raceReplicaOfExp[j];
-                    break;
-                }
-            }
-            if (raceReplicaOfExp[i] >= 0)
-                continue;
-            sim::ReplicaSpec s;
-            s.machine.nprocs = nprocs;
-            s.machine.cache.lineSize = granule;
-            s.race = simOpts.race;
-            raceReplicaOfExp[i] = static_cast<int>(specs.size());
-            specs.push_back(s);
-        }
-    }
-    sim::BroadcastReplay replay(specs, mode == Replicas::Threaded);
-    env.attachSink(&replay);
-    RunStats base;
-    base.valid = app.run(env, cfg).valid;
-    replay.flush();
-    for (int p = 0; p < nprocs; ++p) {
-        base.perProc.push_back(env.stats(p));
-        base.exec += env.stats(p);
-    }
-    base.elapsed = env.elapsed();
-    for (std::size_t i = 0; i < exps.size(); ++i) {
-        const int ri = static_cast<int>(i);
-        RunStats r = base;
-        for (int p = 0; p < nprocs; ++p)
-            r.memPerProc.push_back(replay.replica(ri).procStats(p));
-        r.mem = replay.replica(ri).total();
-        if (raceReplicaOfExp[i] >= 0) {
-            r.raceChecked = true;
-            r.race =
-                replay.raceReplica(raceReplicaOfExp[i]).outcome();
-        }
-        out.push_back(std::move(r));
-    }
-    return out;
-}
-
 /** Run @p app feeding the multi-configuration cache sweep; the caller
  *  owns the sweep so it can query arbitrary operating points.  With
  *  simOpts.sweepThreads != 1 the sweep is driven through a
  *  ParallelSweep capture/replay pipeline (bit-identical results); the
  *  sweep is fully up to date when this returns. */
+/** RefSink shim driving a serial CacheSweep from a replayed stream
+ *  (the sweep is not itself a RefSink; ParallelSweep is). */
+class SweepRefSink final : public sim::RefSink
+{
+  public:
+    explicit SweepRefSink(sim::CacheSweep& s) : sweep_(s) {}
+    void
+    access(const sim::AccessRec& r) override
+    {
+        sweep_.access(r.proc, r.addr, r.size, r.type);
+    }
+    void resetStats() override { sweep_.resetStats(); }
+
+  private:
+    sim::CacheSweep& sweep_;
+};
+
 inline RunStats
 runWithSweep(App& app, int nprocs, sim::CacheSweep& sweep,
              const AppConfig& cfg, const SimOpts& simOpts = {})
 {
+    if (!simOpts.replay.empty()) {
+        auto rd = openReplay(app, nprocs, cfg, simOpts);
+        std::unique_ptr<sim::ParallelSweep> ps;
+        std::unique_ptr<SweepRefSink> serial;
+        sim::RefSink* sink;
+        if (simOpts.sweepThreads != 1) {
+            ps = std::make_unique<sim::ParallelSweep>(
+                sweep, simOpts.sweepThreads);
+            sink = ps.get();
+        } else {
+            serial = std::make_unique<SweepRefSink>(sweep);
+            sink = serial.get();
+        }
+        std::string err;
+        if (!rd->replay(sink, &err))
+            fatal(err);
+        if (ps)
+            ps->flush();
+        return statsFromProfile(rd->exec());
+    }
     rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
                  simOpts.backend, simOpts.delivery});
     std::unique_ptr<sim::ParallelSweep> ps;
@@ -338,6 +581,9 @@ runWithSweep(App& app, int nprocs, sim::CacheSweep& sweep,
     } else {
         env.attachSweep(&sweep);
     }
+    auto rec = makeRecorder(app, nprocs, cfg, simOpts);
+    if (rec)
+        env.attachSink(rec.get());
     RunStats out;
     out.valid = app.run(env, cfg).valid;
     if (ps)
@@ -347,6 +593,8 @@ runWithSweep(App& app, int nprocs, sim::CacheSweep& sweep,
         out.exec += env.stats(p);
     }
     out.elapsed = env.elapsed();
+    if (rec)
+        finalizeRecording(*rec, out);
     return out;
 }
 

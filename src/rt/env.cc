@@ -133,11 +133,14 @@ Env::Env(const EnvConfig& cfg)
         // Home placement must stay stream-ordered for buffering sinks:
         // deliver (and fully replay) everything issued under the old
         // placement before the span map changes.
-        heap_.setPlacementObserver([this] {
-            drainRefs();
-            for (sim::RefSink* s : sinks_)
-                s->streamBarrier();
-        });
+        heap_.setPlacementObserver(
+            [this](Addr start, std::size_t bytes, ProcId home) {
+                drainRefs();
+                for (sim::RefSink* s : sinks_) {
+                    s->streamBarrier();
+                    s->place({start, bytes, home});
+                }
+            });
         if (cfg_.delivery == Delivery::Batched) {
             ring_.resize(kRingCap);
             // Drain before every control transfer so the delivered

@@ -74,9 +74,9 @@ SharedHeap::setHome(const void* p, std::size_t bytes, ProcId home)
     ensure(home >= 0 && home < nprocs_, "home node out of range");
     if (bytes == 0)
         return;
-    if (preMutate_)
-        preMutate_();
     Addr start = toSim(reinterpret_cast<Addr>(p));
+    if (preMutate_)
+        preMutate_(start, bytes, home);
     homes_[start] = Span{start + bytes, home};
 }
 

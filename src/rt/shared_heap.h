@@ -79,11 +79,14 @@ class SharedHeap : public sim::HomeResolver
                    : hostAddr;
     }
 
-    /** Install a hook fired before any placement mutation (setHome);
-     *  the Env uses it to quiesce buffering reference sinks so home
-     *  resolution stays stream-ordered. */
+    /** Install a hook fired before any placement mutation (setHome),
+     *  carrying the span about to change (simulated start, length,
+     *  new home); the Env uses it to quiesce buffering reference
+     *  sinks so home resolution stays stream-ordered and to forward
+     *  the span to recording sinks. */
     void
-    setPlacementObserver(std::function<void()> f)
+    setPlacementObserver(
+        std::function<void(Addr, std::size_t, ProcId)> f)
     {
         preMutate_ = std::move(f);
     }
@@ -102,7 +105,7 @@ class SharedHeap : public sim::HomeResolver
     std::size_t allocated_ = 0;
     Addr base_ = 0;           ///< host base of the mmap reservation
     std::size_t cursor_ = 0;  ///< next free arena offset
-    std::function<void()> preMutate_;
+    std::function<void(Addr, std::size_t, ProcId)> preMutate_;
     std::map<Addr, Span> homes_;  // key: simulated span start address
 };
 

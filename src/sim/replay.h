@@ -81,8 +81,8 @@ class BroadcastReplay final : public RefSink
     explicit BroadcastReplay(const std::vector<ReplicaSpec>& specs,
                              bool threaded = true,
                              std::size_t chunkRecords = std::size_t(1)
-                                                        << 15,
-                             int ringChunks = 8);
+                                                        << 20,
+                             int ringChunks = 4);
     ~BroadcastReplay() override;
 
     BroadcastReplay(const BroadcastReplay&) = delete;

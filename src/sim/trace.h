@@ -78,6 +78,17 @@ struct SyncRec
     SyncPrim prim = SyncPrim::Barrier;
 };
 
+/** One home-placement change (rt::SharedHeap::setHome), ordered
+ *  within the reference stream.  Live sinks resolve homes through the
+ *  heap itself and may ignore these; recording sinks persist them so
+ *  replay-from-disk can rebuild placement without the runtime. */
+struct PlaceRec
+{
+    Addr addr = 0;            ///< simulated span start
+    std::uint64_t bytes = 0;  ///< span length
+    ProcId home = 0;          ///< owning node
+};
+
 /** Consumer of a reference stream (beyond the built-in sinks). */
 class RefSink
 {
@@ -93,6 +104,12 @@ class RefSink
     /** Deliver one synchronization edge at its stream position.
      *  Default: ignore (most sinks only consume references). */
     virtual void sync(const SyncRec&) {}
+
+    /** Deliver one placement change at its stream position, after the
+     *  preceding streamBarrier() quiesce.  Default: ignore (live
+     *  sinks resolve homes through the heap; only recording sinks
+     *  need the span data). */
+    virtual void place(const PlaceRec&) {}
 
     /** Zero statistics while keeping simulation state (measurement
      *  windows); buffering sinks must deliver pending records first. */

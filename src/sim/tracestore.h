@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Record-once trace store: compact on-disk reference traces.
+ *
+ * Every characterization of a given (application, P, problem size)
+ * replays exactly the same deterministic reference stream; the
+ * broadcast engine (sim/replay.h) amortizes the producing execution
+ * *within* one process, and this component makes it durable: a
+ * TraceWriter records the stream once into a compact chunked file, and
+ * a TraceReader replays it -- on any machine, in any later process --
+ * with zero fiber execution.  Characterization becomes a cache lookup
+ * instead of a simulation.
+ *
+ * What a trace carries (everything a BroadcastReplay consumer needs):
+ *
+ *  - every AccessRec (addr, ltime, size, proc, type, atomic flag),
+ *  - every SyncRec at its exact stream position (race-detector edges),
+ *  - statistics-reset events (measurement boundaries),
+ *  - placement events (SharedHeap::setHome spans) so home resolution
+ *    can be rebuilt without the runtime (ReplayPlacement),
+ *  - the execution profile (per-processor ProcStats image + PRAM
+ *    elapsed + validation verdict) in a footer, so PRAM-only figures
+ *    replay too.
+ *
+ * On-disk layout (all integers little-endian, packed):
+ *
+ *   [Header 128 B]  magic "S2TRACE1", format version, (app, P,
+ *                   problem size, seed, quantum) identity, record /
+ *                   sync / chunk totals, finalized flag, header CRC.
+ *   [Chunk]*        24 B frame (magic, records, events, encoded
+ *                   bytes, stored bytes, CRC32 over the frame fields
+ *                   and the payload) + payload.
+ *   [Footer]        execution profile + CRC.
+ *
+ * Chunk payload: column-oriented delta encoding, then an LZ77 block
+ * compressor whose window spans the whole chunk (reference streams
+ * repeat with the period of an application iteration, so one
+ * iteration matches against the previous one).  Columns: processor
+ * run lengths; type/atomic bitmaps; a per-chunk size dictionary plus
+ * index bit-planes; address deltas against the better of two
+ * replayable predictors (previous address, or a page-keyed table
+ * that untangles interleaved streams), chosen per chunk by trial
+ * compression; a logical-time delta dictionary plus index bit-planes
+ * with varint escapes; and a stream-position-ordered event list
+ * (sync / reset / placement).  The delta columns are laid out in
+ * processor-grouped order and their prediction state persists across
+ * chunks.  The suite amortizes to ~2 bits per reference
+ * (BENCH_trace.json pins the measured sizes).
+ *
+ * Robustness: the reader mmaps the file and bounds-checks every parse
+ * against the mapping; the header CRC, per-chunk CRC, footer CRC, and
+ * the pinned identity reject truncated, corrupted, or stale files
+ * with a diagnostic instead of crashing or replaying garbage
+ * (tests/sim/tracestore_test.cc byte-flip fuzz).
+ */
+#ifndef SPLASH2_SIM_TRACESTORE_H
+#define SPLASH2_SIM_TRACESTORE_H
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/directory.h"
+#include "sim/trace.h"
+
+namespace splash::sim {
+
+/** Low-level codec primitives, exposed for unit/fuzz tests. */
+namespace tracecodec {
+
+/** LEB128 unsigned varint. */
+void putVarint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/** Decode one varint; advances @p p.  False on overrun or a varint
+ *  longer than 10 bytes (corrupt input). */
+bool getVarint(const std::uint8_t** p, const std::uint8_t* end,
+               std::uint64_t* v);
+
+constexpr std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected). */
+std::uint32_t crc32(const void* data, std::size_t n,
+                    std::uint32_t seed = 0);
+
+/** LZ77 block compressor (LZ4-style token format: literal runs +
+ *  [varint offset, length] back-references reaching the whole
+ *  block).  Appends to @p out; always produces a stream lzDecompress
+ *  can invert. */
+void lzCompress(const std::uint8_t* in, std::size_t n,
+                std::vector<std::uint8_t>& out);
+
+/** Decompress exactly @p outN bytes; false on malformed input (every
+ *  read and write is bounds-checked -- corrupt data cannot crash). */
+bool lzDecompress(const std::uint8_t* in, std::size_t n,
+                  std::uint8_t* out, std::size_t outN);
+
+} // namespace tracecodec
+
+/** Identity of a recorded execution.  A trace is replayable only for
+ *  the exact (app, P, problem size, seed, quantum) it was recorded
+ *  from; the reader rejects any mismatch. */
+struct TraceMeta
+{
+    std::string app;  ///< App::name(), <= 15 chars
+    int nprocs = 0;
+    double scale = 1.0;
+    long n = 0;
+    long iters = 0;
+    long aux = 0;
+    unsigned seed = 1234;
+    std::uint64_t quantum = 250;
+
+    bool operator==(const TraceMeta& o) const;
+    bool operator!=(const TraceMeta& o) const { return !(*this == o); }
+
+    /** "fft P=8 scale=0.25 n=0 iters=0 aux=0 seed=1234 quantum=250" */
+    std::string describe() const;
+
+    /** Canonical store filename: <app>_p<P>_<16-hex cfg hash>.s2t */
+    std::string fileName() const;
+};
+
+/** Execution profile pinned in the trace footer: one row of raw
+ *  counters per processor, in rt::ProcStats field order. */
+struct ExecProfile
+{
+    static constexpr int kFields = 12;
+    /** {reads, writes, flops, work, barriers, locks, pauses,
+     *   barrierWait, lockWait, pauseWait, startTime, finishTime} */
+    using Row = std::array<std::uint64_t, kFields>;
+
+    bool valid = true;  ///< application self-check outcome
+    Tick elapsed = 0;   ///< PRAM time of the measured window
+    std::vector<Row> procs;
+};
+
+/** Stream-ordered replica of SharedHeap's home placement, rebuilt
+ *  from recorded placement events so replayed MemSystem replicas
+ *  resolve homes without the runtime (same span-map semantics and
+ *  line-interleaved fallback as rt::SharedHeap). */
+class ReplayPlacement final : public HomeResolver
+{
+  public:
+    void reset(int nprocs, int lineSize = 64);
+    void apply(Addr start, std::uint64_t bytes, ProcId home);
+    ProcId homeOf(Addr lineAddr) const override;
+
+  private:
+    struct Span
+    {
+        Addr end;
+        ProcId home;
+    };
+    int nprocs_ = 1;
+    int lineShift_ = 6;
+    std::map<Addr, Span> homes_;
+};
+
+/** Record path: a RefSink that writes the stream to disk.  Attach via
+ *  rt::Env::attachSink alongside any live sinks (recording never
+ *  perturbs the run), then finalize() with the execution profile.
+ *
+ *  The writer stages into <path>.tmp.<pid> and atomically renames at
+ *  finalize(), so a crashed or aborted recording never leaves a
+ *  half-written file under the canonical name; destruction without
+ *  finalize() removes the temporary. */
+class TraceWriter final : public RefSink
+{
+  public:
+    /** Default records per chunk.  Large chunks are what make the
+     *  LZ stage bite: a processor's reference stream repeats with
+     *  the period of an application iteration (hundreds of thousands
+     *  of records), and a match can only reach the previous
+     *  iteration if both land in the same chunk's per-processor
+     *  group.  4 M records costs ~100 MB of encode/decode scratch,
+     *  well worth a 2-3x smaller trace on the iterative apps. */
+    static constexpr std::size_t kChunkRecords = std::size_t(1) << 22;
+
+    /** Opens <path>.tmp.<pid> for writing; fatal() on I/O failure
+     *  (callers validate the directory up front in the CLI). */
+    TraceWriter(std::string path, const TraceMeta& meta,
+                std::size_t chunkRecords = kChunkRecords);
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter&) = delete;
+    TraceWriter& operator=(const TraceWriter&) = delete;
+
+    void access(const AccessRec& r) override;
+    void sync(const SyncRec& r) override;
+    /** Records a statistics-reset *event* at the current stream
+     *  position (a measurement boundary to reproduce at replay);
+     *  recorded data is never discarded. */
+    void resetStats() override;
+    void place(const PlaceRec& r) override;
+
+    /** Flush the tail chunk, write the footer, rewrite the header
+     *  with final totals, and atomically publish the file.  False
+     *  (with @p err set) on I/O failure. */
+    bool finalize(const ExecProfile& exec, std::string* err);
+
+    std::uint64_t records() const { return totalRecords_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+
+  private:
+    struct Event
+    {
+        std::uint32_t pos;  ///< record index the event precedes
+        std::uint8_t kind;  ///< 0 sync, 1 reset, 2 place
+        SyncRec sync;
+        PlaceRec place;
+    };
+
+    void flushChunk();
+
+    std::string path_;
+    std::string tmpPath_;
+    TraceMeta meta_;
+    std::size_t chunkRecords_;
+    std::FILE* f_ = nullptr;
+    bool finalized_ = false;
+
+    std::vector<AccessRec> recs_;
+    std::vector<Event> events_;
+    std::vector<std::uint8_t> enc_;   // encode scratch
+    std::vector<std::uint8_t> comp_;  // compress scratch
+    std::vector<std::uint8_t> ltex_;  // ltime-exception scratch
+    std::vector<std::int64_t> ltd_;   // grouped ltime-delta scratch
+    /** Per-processor (start, length) runs of the chunk being encoded:
+     *  the iteration order of the processor-grouped delta columns. */
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        runsByProc_;
+    /** Per-processor page-keyed next-address tables: the address
+     *  column's second predictor (mirrored by the reader). */
+    std::vector<std::vector<Addr>> addrTbl_;
+    std::vector<Addr> lastAddr_;
+    std::vector<Tick> lastLtime_;
+
+    std::uint64_t totalRecords_ = 0;
+    std::uint64_t totalSyncs_ = 0;
+    std::uint64_t totalChunks_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+};
+
+/** Replay path: mmaps a trace file, validates it, and feeds any
+ *  RefSink the exact stream the runtime produced -- references, sync
+ *  edges, resets, and placement changes in stream order, with a
+ *  streamBarrier() quiesce before every placement mutation (mirroring
+ *  the live Env), so a BroadcastReplay fed from disk is
+ *  indistinguishable from one fed by a live execution. */
+class TraceReader
+{
+  public:
+    /** Open + validate header and file structure; null with @p err
+     *  set on any defect (bad magic, stale version, CRC mismatch,
+     *  truncation, unfinalized file, bad footer). */
+    static std::unique_ptr<TraceReader>
+    open(const std::string& path, std::string* err);
+
+    ~TraceReader();
+
+    TraceReader(const TraceReader&) = delete;
+    TraceReader& operator=(const TraceReader&) = delete;
+
+    const TraceMeta& meta() const { return meta_; }
+    const ExecProfile& exec() const { return exec_; }
+    std::uint64_t records() const { return totalRecords_; }
+    std::uint64_t syncs() const { return totalSyncs_; }
+    std::uint64_t fileBytes() const { return size_; }
+
+    /** Home resolver rebuilt from the recorded placement events;
+     *  valid for replicas during and after replay(). */
+    const HomeResolver* placement() const { return &placement_; }
+
+    /** Decode every chunk and deliver the stream to @p sink (null =
+     *  verify-only: CRC + structure walk with no delivery).  False
+     *  with @p err on any corruption.  Placement events mutate
+     *  placement() between a streamBarrier() and the next record,
+     *  exactly like the live runtime. */
+    bool replay(RefSink* sink, std::string* err);
+
+  private:
+    TraceReader() = default;
+    bool parseHeaderAndIndex(std::string* err);
+
+    const std::uint8_t* data_ = nullptr;
+    std::size_t size_ = 0;
+    int fd_ = -1;
+
+    TraceMeta meta_;
+    ExecProfile exec_;
+    std::uint64_t totalRecords_ = 0;
+    std::uint64_t totalSyncs_ = 0;
+    std::uint64_t totalChunks_ = 0;
+    std::size_t chunkOffset_ = 0;  ///< first chunk frame
+    ReplayPlacement placement_;
+};
+
+/** Directory-of-traces helpers: one canonical file per recorded
+ *  (app, P, problem size, seed, quantum). */
+namespace tracestore {
+
+/** Canonical path of @p m inside store directory @p dir; if @p dir
+ *  names an existing regular file it is returned unchanged (direct
+ *  single-file replay). */
+std::string pathFor(const std::string& dir, const TraceMeta& m);
+
+/** Open the trace for @p m from @p dirOrFile and require its recorded
+ *  identity to equal @p m; null with a diagnostic in @p err on a
+ *  missing file, any validation failure, or an identity mismatch. */
+std::unique_ptr<TraceReader> openFor(const std::string& dirOrFile,
+                                     const TraceMeta& m,
+                                     std::string* err);
+
+/** True when a finalized, identity-matching trace for @p m already
+ *  exists in @p dir (the record-once skip). */
+bool haveTrace(const std::string& dir, const TraceMeta& m);
+
+} // namespace tracestore
+
+} // namespace splash::sim
+
+#endif // SPLASH2_SIM_TRACESTORE_H

@@ -13,6 +13,7 @@
  *              [--backend fiber|thread] [--quantum 250]
  *              [--delivery batched|direct] [--jobs N]
  *              [--race off|word|line] [--csv FILE]
+ *              [--record DIR | --replay DIR]
  *
  *   splash2run --app all       # whole suite, one job per program
  *   splash2run --list          # enumerate programs
@@ -22,6 +23,13 @@
  *   splash2run --app fft --race-inject all [--seed N]
  *                              # race-injection harness: drop one sync
  *                              # edge, prove the race detector fires
+ *
+ * --record writes each executed (app, P, problem, quantum) reference
+ * stream into a compact trace store (sim/tracestore.h) alongside the
+ * live characterization; --replay re-runs any later characterization
+ * of the same identity from that store with zero fiber execution,
+ * byte-identical output (an already-recorded identity is skipped, so
+ * recording is idempotent).
  *
  * --race runs the FastTrack happens-before detector over the
  * reference stream alongside the characterization.  Word granularity
@@ -481,7 +489,14 @@ main(int argc, char** argv)
             "             (requires --race word|line)\n"
             "         --race-inject all|<kind>  race-injection\n"
             "             harness: drop one seeded sync edge and\n"
-            "             verify the detector reports the race\n");
+            "             verify the detector reports the race\n"
+            "         --record DIR  record the reference stream of\n"
+            "             each executed (app, P) into trace store DIR\n"
+            "             (created if missing; recorded identities\n"
+            "             are skipped -- record once)\n"
+            "         --replay DIR  replay from trace store DIR (or a\n"
+            "             single .s2t file) instead of executing --\n"
+            "             byte-identical output, no fiber execution\n");
         return name.empty() ? 2 : 1;
     }
 

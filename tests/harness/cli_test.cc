@@ -137,6 +137,53 @@ TEST(EngineOpts, RejectsUnknownRaceGranularities)
     EXPECT_FALSE(parse({"--race", ""}, &eng));
 }
 
+TEST(EngineOpts, RecordAndReplayLand)
+{
+    EngineOpts eng;
+    ASSERT_TRUE(parse({}, &eng));
+    EXPECT_TRUE(eng.sim.record.empty());
+    EXPECT_TRUE(eng.sim.replay.empty());
+
+    // --record creates a missing store directory up front.
+    const std::string dir =
+        ::testing::TempDir() + "cli_record_" + std::to_string(::getpid());
+    ASSERT_TRUE(parse({"--record", dir}, &eng));
+    EXPECT_EQ(eng.sim.record, dir);
+    struct stat st{};
+    ASSERT_EQ(::stat(dir.c_str(), &st), 0);
+    EXPECT_TRUE(S_ISDIR(st.st_mode));
+
+    // --replay accepts any existing path (directory store or file).
+    eng = EngineOpts{};
+    ASSERT_TRUE(parse({"--replay", dir}, &eng));
+    EXPECT_EQ(eng.sim.replay, dir);
+    EXPECT_TRUE(eng.sim.record.empty());
+}
+
+TEST(EngineOpts, RecordReplayMutuallyExclusive)
+{
+    EngineOpts eng;
+    EXPECT_FALSE(parse({"--record", ::testing::TempDir(), "--replay",
+                        ::testing::TempDir()},
+                       &eng));
+}
+
+TEST(EngineOpts, ReplayRejectsNonexistentPath)
+{
+    EngineOpts eng;
+    EXPECT_FALSE(
+        parse({"--replay", "/nonexistent/trace/store"}, &eng));
+}
+
+TEST(EngineOpts, RecordRejectsUncreatablePath)
+{
+    // A path under a regular file can never become a directory, so
+    // this fails even when running as root (where plain W_OK checks
+    // always pass).
+    EngineOpts eng;
+    EXPECT_FALSE(parse({"--record", "/dev/null/store"}, &eng));
+}
+
 // --protocol list is informational: the parse "fails" so the caller
 // stops, but listRequested distinguishes exit 0 from a usage error.
 TEST(EngineOpts, ProtocolListIsInformationalNotAnError)
