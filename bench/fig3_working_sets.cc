@@ -16,10 +16,14 @@
  * worker pool replaying the sweep within a job (0 = hardware
  * concurrency, 1 = serial online); --delivery selects the
  * runtime->simulator reference delivery shape.  All change wall clock
- * only -- output bytes are identical.
+ * only -- output bytes are identical.  --sweep selects the engine:
+ * exact (default; the output above), model (reuse-distance analytical
+ * predictions, same schema), or both (each point reported from both
+ * engines plus the absolute error -- the model-validation artifact).
  *
  * Usage: fig3_working_sets [--procs 32] [--scale 1.0] [--app <name>]
- *                          [--n N] [--sweep-threads N] [--jobs N]
+ *                          [--n N] [--sweep exact|model|both]
+ *                          [--sweep-threads N] [--jobs N]
  *                          [--delivery batched|direct] [--csv]
  */
 #include <cstdio>
@@ -28,6 +32,8 @@
 
 #include "harness/cli.h"
 #include "harness/runner.h"
+#include "harness/workingset.h"
+#include "sim/grid.h"
 
 using namespace splash;
 using namespace splash::harness;
@@ -46,55 +52,82 @@ main(int argc, char** argv)
     cfg.scale = opt.getD("scale", opt.has("quick") ? 0.25 : 1.0);
     cfg.n = opt.getI("n", 0);
     std::string only = opt.getS("app", "");
+    const sim::SweepMode mode = eng.sim.sweep;
+    // Which engine the single-value outputs quote (Both's CSV quotes
+    // the two side by side; its table shows the exact curves).
+    const bool model = mode == sim::SweepMode::Model;
 
     std::vector<App*> apps;
     for (App* app : suite())
         if (only.empty() || findApp(only) == app)
             apps.push_back(app);
 
-    std::vector<std::unique_ptr<sim::CacheSweep>> sweeps(apps.size());
+    std::vector<WorkingSetRun> runs(apps.size());
     Runner runner(eng.jobs);
     for (std::size_t i = 0; i < apps.size(); ++i) {
         runner.add(apps[i]->name(), appCostHint(*apps[i]), [&, i] {
             sim::SweepConfig sc;
             sc.nprocs = procs;
             sc.lineSize = line;
-            sweeps[i] = std::make_unique<sim::CacheSweep>(sc);
-            runWithSweep(*apps[i], procs, *sweeps[i], cfg, eng.sim);
+            runs[i] = runWorkingSets(*apps[i], procs, sc, cfg, eng.sim);
         });
     }
     runner.run();
 
-    if (csv)
-        std::printf("app,size_bytes,assoc,miss_rate\n");
-    else
+    if (csv) {
+        std::printf(mode == sim::SweepMode::Both
+                        ? "app,size_bytes,assoc,miss_rate_exact,"
+                          "miss_rate_model,abs_error\n"
+                        : "app,size_bytes,assoc,miss_rate\n");
+    } else if (mode == sim::SweepMode::Exact) {
+        // Byte-identical to the historical exact-only output
+        // (results/fig3_working_sets.txt).
         std::printf("Figure 3: miss rate (%%) vs cache size and "
                     "associativity; %d procs, %d B lines, scale %.3g\n",
                     procs, line, cfg.scale);
-    sim::SweepConfig sc;  // default operating-point list
+    } else {
+        std::printf("Figure 3 (%s): miss rate (%%) vs cache size and "
+                    "associativity; %d procs, %d B lines, scale %.3g\n",
+                    sim::sweepModeName(mode), procs, line, cfg.scale);
+    }
     for (std::size_t i = 0; i < apps.size(); ++i) {
-        sim::CacheSweep& sweep = *sweeps[i];
+        const WorkingSetRun& run = runs[i];
         if (csv) {
-            for (std::uint64_t size : sc.sizes)
-                for (int assoc : {1, 2, 4, 0})
-                    std::printf("%s,%llu,%d,%.6f\n",
-                                apps[i]->name().c_str(),
-                                static_cast<unsigned long long>(size),
-                                assoc, sweep.missRate(size, assoc));
+            for (std::uint64_t size : sim::fig3Sizes())
+                for (int assoc : sim::fig3ReportAssocs()) {
+                    if (mode == sim::SweepMode::Both) {
+                        double ex = wsMissRate(run, size, assoc, false);
+                        double md = wsMissRate(run, size, assoc, true);
+                        std::printf(
+                            "%s,%llu,%d,%.6f,%.6f,%.6f\n",
+                            apps[i]->name().c_str(),
+                            static_cast<unsigned long long>(size),
+                            assoc, ex, md,
+                            ex > md ? ex - md : md - ex);
+                    } else {
+                        std::printf(
+                            "%s,%llu,%d,%.6f\n",
+                            apps[i]->name().c_str(),
+                            static_cast<unsigned long long>(size),
+                            assoc, wsMissRate(run, size, assoc, model));
+                    }
+                }
             continue;
         }
-        std::printf("\n%s\n", apps[i]->name().c_str());
+        std::printf("\n%s%s\n", apps[i]->name().c_str(),
+                    run.modelFromProfile ? " (from saved profile)" : "");
         Table t({"Size", "1-way", "2-way", "4-way", "full"});
-        for (std::uint64_t size : sc.sizes) {
+        for (std::uint64_t size : sim::fig3Sizes()) {
             std::string label =
                 size >= (1u << 20)
                     ? std::to_string(size >> 20) + "MB"
                     : std::to_string(size >> 10) + "KB";
             t.row({label,
-                   fmt("%.3f", 100.0 * sweep.missRate(size, 1)),
-                   fmt("%.3f", 100.0 * sweep.missRate(size, 2)),
-                   fmt("%.3f", 100.0 * sweep.missRate(size, 4)),
-                   fmt("%.3f", 100.0 * sweep.missRate(size, 0))});
+                   fmt("%.3f", 100.0 * wsMissRate(run, size, 1, model)),
+                   fmt("%.3f", 100.0 * wsMissRate(run, size, 2, model)),
+                   fmt("%.3f", 100.0 * wsMissRate(run, size, 4, model)),
+                   fmt("%.3f",
+                       100.0 * wsMissRate(run, size, 0, model))});
         }
         t.print();
     }

@@ -88,6 +88,17 @@ def main():
             replay_s = benchlib.time_cmd(
                 base + ["--jobs", str(args.jobs), "--replay", store],
                 args.reps, capture_to=r_out)
+            model_s = None
+            if target == "fig3_working_sets":
+                # Analytical fast path: the first model pass replays
+                # the trace once and saves the profile sidecar next to
+                # it; the timed passes load the sidecar and evaluate
+                # the grid with neither execution nor replay.
+                model_cmd = base + ["--jobs", str(args.jobs),
+                                    "--sweep", "model", "--replay",
+                                    store]
+                benchlib.time_cmd(model_cmd, 1)
+                model_s = benchlib.time_cmd(model_cmd, args.reps)
             trace_bytes, trace_records, _ = trace_stats(store)
             with open(s_out, "rb") as f:
                 serial_bytes = f.read()
@@ -114,6 +125,10 @@ def main():
                                          if trace_records else 0.0),
             "replay_identical": replay_identical,
         }
+        if model_s is not None:
+            suite[target]["model_seconds"] = model_s
+            suite[target]["model_speedup"] = (serial_s / model_s
+                                              if model_s else 0.0)
         serial_total += serial_s
         parallel_total += parallel_s
         print(f"{target}: {serial_s:.2f}s -> {parallel_s:.2f}s "

@@ -10,7 +10,13 @@
  *   --backend KIND    interleaver execution mechanism: fiber | thread
  *   --quantum N       instrumentation events per scheduling slice
  *   --delivery SHAPE  reference delivery: batched | direct
- *   --sweep-threads N working-set sweep replay pool
+ *   --sweep MODE      working-set sweep engine: exact | model | both
+ *                     (default exact).  model predicts the Figure-3
+ *                     curves from a reuse-distance profile instead of
+ *                     simulating 34 tag arrays; both runs the two and
+ *                     reports model-vs-exact error
+ *   --sweep-threads N working-set sweep replay pool (exact sweep
+ *                     only; rejected with --sweep model)
  *   --check N         coherence invariant checker sampling period: a
  *                     full directory/cache cross-validation every N
  *                     slow-path transactions (0 = off, the default)
@@ -57,6 +63,10 @@ struct EngineOpts
      *  (--protocol list) and printed it: the caller should exit 0
      *  instead of treating the false return as a usage error. */
     bool listRequested = false;
+    /** True when --sweep was given explicitly (splash2run switches
+     *  from the memory-system characterization to the working-set
+     *  sweep on it; the sweep benches always sweep). */
+    bool sweepRequested = false;
 };
 
 /** Parse the shared engine flags; prints to stderr and returns false
@@ -86,6 +96,24 @@ parseEngineOpts(const Options& opt, EngineOpts* out)
         return false;
     }
     out->sim.sweepThreads = static_cast<int>(sweepThreads);
+    std::string sweepMode = opt.getS("sweep", "exact");
+    out->sweepRequested = opt.has("sweep");
+    if (!sim::parseSweepMode(sweepMode, &out->sim.sweep)) {
+        std::fprintf(stderr,
+                     "unknown --sweep '%s' (exact, model, or both)\n",
+                     sweepMode.c_str());
+        return false;
+    }
+    if (out->sim.sweep == sim::SweepMode::Model &&
+        opt.has("sweep-threads")) {
+        // The replay pool parallelizes the exact engine's tag arrays;
+        // a model-only sweep has none, so an explicit thread count is
+        // a contradiction rather than a silent no-op.
+        std::fprintf(stderr,
+                     "--sweep-threads configures the exact sweep "
+                     "engine and is meaningless with --sweep model\n");
+        return false;
+    }
     long check = opt.getI("check", 0);
     if (check < 0) {
         std::fprintf(stderr,

@@ -88,6 +88,10 @@ struct SimOpts
      *  serial online sweep, 0 = hardware concurrency, N>1 = worker
      *  pool of that size.  Results are identical for any value. */
     int sweepThreads = 1;
+    /** Working-set sweep engine (--sweep): the exact Mattson +
+     *  tag-array simulation, the reuse-distance analytical model, or
+     *  both side by side (sim/reusedist.h). */
+    sim::SweepMode sweep = sim::SweepMode::Exact;
     /** Broadcast-replay mode for multi-configuration experiments. */
     Replicas replicas = Replicas::Auto;
     /** Coherence invariant checker: run the full sweep every N

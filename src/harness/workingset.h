@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Working-set sweep driver shared by the Figure-3 benches and
+ * splash2run's --sweep mode: run one application and produce the
+ * exact multi-configuration cache sweep (sim/sweep.h), the
+ * reuse-distance analytical model (sim/reusedist.h), or both, under
+ * every execution substrate the other drivers support -- live fiber
+ * execution, trace replay from disk, and (for the model) loading a
+ * recorded ".rdp" profile sidecar with no execution or replay at all.
+ *
+ * Sidecar life cycle mirrors the trace store's record-once rule: a
+ * live or replayed model pass saves its profile next to the trace
+ * (--record store, or best effort into the --replay store) unless one
+ * already exists; a later `--sweep model --replay STORE` run loads it
+ * and evaluates the predicted curves in microseconds.
+ */
+#ifndef SPLASH2_HARNESS_WORKINGSET_H
+#define SPLASH2_HARNESS_WORKINGSET_H
+
+#include <sys/stat.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "sim/reusedist.h"
+
+namespace splash::harness {
+
+/** One replayed stream fanned out to several sinks in order (the
+ *  trace reader takes a single sink). */
+class TeeRefSink final : public sim::RefSink
+{
+  public:
+    explicit TeeRefSink(std::vector<sim::RefSink*> sinks)
+        : sinks_(std::move(sinks))
+    {
+    }
+    void
+    access(const sim::AccessRec& r) override
+    {
+        for (sim::RefSink* s : sinks_)
+            s->access(r);
+    }
+    void
+    sync(const sim::SyncRec& r) override
+    {
+        for (sim::RefSink* s : sinks_)
+            s->sync(r);
+    }
+    void
+    place(const sim::PlaceRec& r) override
+    {
+        for (sim::RefSink* s : sinks_)
+            s->place(r);
+    }
+    void
+    resetStats() override
+    {
+        for (sim::RefSink* s : sinks_)
+            s->resetStats();
+    }
+    void
+    streamBarrier() override
+    {
+        for (sim::RefSink* s : sinks_)
+            s->streamBarrier();
+    }
+
+  private:
+    std::vector<sim::RefSink*> sinks_;
+};
+
+/** Results of one working-set sweep of one application. */
+struct WorkingSetRun
+{
+    RunStats stats;
+    /** The exact engine's sweep (sweep mode != Model). */
+    std::unique_ptr<sim::CacheSweep> exact;
+    /** The analytical profile (sweep mode != Exact). */
+    sim::ReuseDistProfile model;
+    bool haveModel = false;
+    /** The model came straight from a saved sidecar: neither fiber
+     *  execution nor trace replay happened. */
+    bool modelFromProfile = false;
+};
+
+/** Miss rate of @p run at one Figure-3 operating point from the
+ *  requested engine (@p useModel selects the analytical curve). */
+inline double
+wsMissRate(const WorkingSetRun& run, std::uint64_t size, int assoc,
+           bool useModel)
+{
+    return useModel ? run.model.missRate(size, assoc)
+                    : run.exact->missRate(size, assoc);
+}
+
+/** Run @p app once and produce the sweep(s) requested by
+ *  @p simOpts.sweep over @p sc's operating points.  @p sc.nprocs must
+ *  equal @p nprocs. */
+inline WorkingSetRun
+runWorkingSets(App& app, int nprocs, const sim::SweepConfig& sc,
+               const AppConfig& cfg, const SimOpts& simOpts = {})
+{
+    ensure(sc.nprocs == nprocs,
+           "sweep config and run disagree on the processor count");
+    const bool needExact = simOpts.sweep != sim::SweepMode::Model;
+    const bool needModel = simOpts.sweep != sim::SweepMode::Exact;
+    const sim::TraceMeta meta = traceMetaFor(app, nprocs, cfg, simOpts);
+
+    WorkingSetRun out;
+    // Fastest path: a model-bearing sweep with a saved sidecar in the
+    // replay store skips straight to post-processing.
+    if (needModel && !simOpts.replay.empty()) {
+        std::string err;
+        sim::ReuseDistProfile pr;
+        if (sim::ReuseDistProfile::load(
+                sim::profilePathFor(simOpts.replay, meta), meta,
+                sc.lineSize, &pr, &err) &&
+            pr.nprocs == sc.nprocs) {
+            out.model = std::move(pr);
+            out.haveModel = true;
+            out.modelFromProfile = true;
+            if (!needExact) {
+                out.stats = statsFromProfile(out.model.exec);
+                return out;
+            }
+        }
+    }
+    const bool profileLive = needModel && !out.haveModel;
+    if (needExact)
+        out.exact = std::make_unique<sim::CacheSweep>(sc);
+
+    std::unique_ptr<sim::ReuseDistProfiler> prof;
+    std::unique_ptr<sim::BroadcastReplay> rdcast;
+    if (!simOpts.replay.empty()) {
+        // Replay the recorded stream into every needed sink at once.
+        auto rd = openReplay(app, nprocs, cfg, simOpts);
+        std::unique_ptr<sim::ParallelSweep> ps;
+        std::unique_ptr<SweepRefSink> serial;
+        std::vector<sim::RefSink*> sinks;
+        if (needExact) {
+            if (simOpts.sweepThreads != 1) {
+                ps = std::make_unique<sim::ParallelSweep>(
+                    *out.exact, simOpts.sweepThreads);
+                sinks.push_back(ps.get());
+            } else {
+                serial = std::make_unique<SweepRefSink>(*out.exact);
+                sinks.push_back(serial.get());
+            }
+        }
+        if (profileLive) {
+            prof = std::make_unique<sim::ReuseDistProfiler>(
+                sc.nprocs, sc.lineSize);
+            sinks.push_back(prof.get());
+        }
+        TeeRefSink tee(std::move(sinks));
+        std::string err;
+        if (!rd->replay(&tee, &err))
+            fatal(err);
+        if (ps)
+            ps->flush();
+        out.stats = statsFromProfile(rd->exec());
+    } else {
+        rt::Env env({rt::Mode::Sim, nprocs, simOpts.quantum,
+                     simOpts.backend, simOpts.delivery});
+        std::unique_ptr<sim::ParallelSweep> ps;
+        if (needExact) {
+            if (simOpts.sweepThreads != 1) {
+                ps = std::make_unique<sim::ParallelSweep>(
+                    *out.exact, simOpts.sweepThreads);
+                env.attachSink(ps.get());
+            } else {
+                env.attachSweep(out.exact.get());
+            }
+        }
+        if (profileLive) {
+            Replicas rmode = simOpts.replicas;
+            if (rmode == Replicas::Auto)
+                rmode = std::thread::hardware_concurrency() > 1
+                            ? Replicas::Threaded
+                            : Replicas::Inline;
+            if (rmode == Replicas::Threaded) {
+                // The profiler is the broadcast engine's third
+                // replica kind: its consumer thread overlaps the
+                // exact sweep's worker pool.
+                sim::ReplicaSpec spec;
+                spec.machine.nprocs = sc.nprocs;
+                spec.machine.cache.lineSize = sc.lineSize;
+                spec.rdProfile = true;
+                rdcast = std::make_unique<sim::BroadcastReplay>(
+                    std::vector<sim::ReplicaSpec>{spec}, true);
+                env.attachSink(rdcast.get());
+            } else {
+                prof = std::make_unique<sim::ReuseDistProfiler>(
+                    sc.nprocs, sc.lineSize);
+                env.attachSink(prof.get());
+            }
+        }
+        auto rec = makeRecorder(app, nprocs, cfg, simOpts);
+        if (rec)
+            env.attachSink(rec.get());
+        out.stats.valid = app.run(env, cfg).valid;
+        if (ps)
+            ps->flush();
+        if (rdcast)
+            rdcast->flush();
+        for (int p = 0; p < nprocs; ++p) {
+            out.stats.perProc.push_back(env.stats(p));
+            out.stats.exec += env.stats(p);
+        }
+        out.stats.elapsed = env.elapsed();
+        if (rec)
+            finalizeRecording(*rec, out.stats);
+    }
+
+    if (profileLive) {
+        out.model =
+            (rdcast ? rdcast->rdReplica(0) : *prof).profile();
+        out.model.exec = execProfileFrom(
+            out.stats.perProc, out.stats.elapsed, out.stats.valid);
+        out.haveModel = true;
+        // Save the sidecar next to the trace (record once): into the
+        // --record store, or -- best effort -- back into the --replay
+        // store so later model sweeps skip the replay too.
+        const std::string& store =
+            !simOpts.record.empty() ? simOpts.record : simOpts.replay;
+        if (!store.empty()) {
+            const std::string path =
+                sim::profilePathFor(store, meta);
+            struct stat st{};
+            if (::stat(path.c_str(), &st) != 0) {
+                std::string err;
+                if (!out.model.save(path, meta, &err) &&
+                    !simOpts.record.empty())
+                    fatal(err);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace splash::harness
+
+#endif // SPLASH2_HARNESS_WORKINGSET_H

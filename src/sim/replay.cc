@@ -18,6 +18,7 @@ BroadcastReplay::BroadcastReplay(const std::vector<ReplicaSpec>& specs,
            "broadcast replay ring too small");
     mems_.reserve(specs.size());
     race_.reserve(specs.size());
+    rd_.reserve(specs.size());
     for (const ReplicaSpec& s : specs) {
         if (s.race != RaceGranularity::Off) {
             RaceConfig rc;
@@ -26,11 +27,20 @@ BroadcastReplay::BroadcastReplay(const std::vector<ReplicaSpec>& specs,
             rc.lineSize = s.machine.cache.lineSize;
             mems_.push_back(nullptr);
             race_.push_back(std::make_unique<RaceChecker>(rc));
+            rd_.push_back(nullptr);
+            continue;
+        }
+        if (s.rdProfile) {
+            mems_.push_back(nullptr);
+            race_.push_back(nullptr);
+            rd_.push_back(std::make_unique<ReuseDistProfiler>(
+                s.machine.nprocs, s.machine.cache.lineSize));
             continue;
         }
         mems_.push_back(std::make_unique<MemSystem>(s.machine, s.homes));
         mems_.back()->setCheckPeriod(s.checkPeriod);
         race_.push_back(nullptr);
+        rd_.push_back(nullptr);
     }
 
     ring_.resize(ringChunks);
@@ -174,6 +184,13 @@ BroadcastReplay::replayChunk(int replica, const Chunk& c)
             rc->sync(c.syncs[si++].rec);
         if (c.reset)
             rc->resetStats();
+        return;
+    }
+    if (ReuseDistProfiler* rd = rd_[replica].get()) {
+        for (const AccessRec& r : c.recs)
+            rd->access(r);
+        if (c.reset)
+            rd->resetStats();
         return;
     }
     MemSystem& mem = *mems_[replica];

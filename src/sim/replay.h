@@ -46,15 +46,17 @@
 
 #include "sim/memsys.h"
 #include "sim/racecheck.h"
+#include "sim/reusedist.h"
 #include "sim/trace.h"
 
 namespace splash::sim {
 
-/** One operating point replayed by a BroadcastReplay.  A replica is
- *  either a MemSystem (race == Off, the default) or a RaceChecker
- *  (race != Off) -- the detector is a third replica kind fed by the
- *  same chunks, so one execution yields characterizations *and* the
- *  race verdict. */
+/** One operating point replayed by a BroadcastReplay.  A replica is a
+ *  MemSystem (the default), a RaceChecker (race != Off), or a
+ *  reuse-distance profiler (rdProfile) -- the latter two are extra
+ *  replica kinds fed by the same chunks, so one execution yields
+ *  characterizations, the race verdict, *and* the analytical
+ *  working-set profile. */
 struct ReplicaSpec
 {
     MachineConfig machine;
@@ -69,6 +71,9 @@ struct ReplicaSpec
      *  MemSystem; machine.nprocs and machine.cache.lineSize
      *  parameterize it. */
     RaceGranularity race = RaceGranularity::Off;
+    /** True makes this replica a ReuseDistProfiler (sim/reusedist.h);
+     *  machine.nprocs and machine.cache.lineSize parameterize it. */
+    bool rdProfile = false;
 };
 
 class BroadcastReplay final : public RefSink
@@ -127,6 +132,11 @@ class BroadcastReplay final : public RefSink
     /** Replica @p i's race checker (spec'd race != Off). */
     RaceChecker& raceReplica(int i) { return *race_[i]; }
     const RaceChecker& raceReplica(int i) const { return *race_[i]; }
+    /** True if replica @p i is a reuse-distance profiler. */
+    bool isRdReplica(int i) const { return rd_[i] != nullptr; }
+    /** Replica @p i's reuse-distance profiler (spec'd rdProfile). */
+    ReuseDistProfiler& rdReplica(int i) { return *rd_[i]; }
+    const ReuseDistProfiler& rdReplica(int i) const { return *rd_[i]; }
     int threads() const { return static_cast<int>(consumers_.size()); }
 
   private:
@@ -166,6 +176,7 @@ class BroadcastReplay final : public RefSink
     /** Parallel arrays, exactly one non-null per replica index. */
     std::vector<std::unique_ptr<MemSystem>> mems_;
     std::vector<std::unique_ptr<RaceChecker>> race_;
+    std::vector<std::unique_ptr<ReuseDistProfiler>> rd_;
 
     std::vector<Chunk> ring_;
     Chunk* cur_ = nullptr;        ///< staging slot (producer-owned)

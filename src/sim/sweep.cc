@@ -41,93 +41,107 @@ CacheSweep::CacheSweep(const SweepConfig& cfg)
     }
 }
 
-void
-CacheSweep::StackProfiler::init(std::uint64_t max_lines)
+StackDistance::StackDistance()
 {
-    maxLines = max_lines;
-    timeCap = kTimeCapMin;
-    bit.assign(timeCap + 1, 0);
-    hist.assign(max_lines + 2, 0);
+    timeCap_ = kTimeCapMin;
+    bit_.assign(timeCap_ + 1, 0);
 }
 
 void
-CacheSweep::StackProfiler::bitAdd(std::uint64_t i, int delta)
+StackDistance::bitAdd(std::uint64_t i, int delta)
 {
-    for (; i <= timeCap; i += i & (~i + 1))
-        bit[i] += delta;
+    for (; i <= timeCap_; i += i & (~i + 1))
+        bit_[i] += delta;
 }
 
 std::uint64_t
-CacheSweep::StackProfiler::bitSum(std::uint64_t i) const
+StackDistance::bitSum(std::uint64_t i) const
 {
     std::uint64_t s = 0;
     for (; i > 0; i -= i & (~i + 1))
-        s += bit[i];
+        s += bit_[i];
     return s;
 }
 
 void
-CacheSweep::StackProfiler::compact()
+StackDistance::compact()
 {
     // Renumber live lines 1..k in lastTime order and rebuild the tree,
     // sized to ~4x the live set so timestamps have headroom before the
     // next compaction.  Relative order is preserved, so every stack
     // distance computed afterwards is unchanged.
     std::vector<std::pair<std::uint64_t, Addr>> live;
-    live.reserve(lines.size());
-    for (const auto& [addr, info] : lines)
+    live.reserve(lines_.size());
+    for (const auto& [addr, info] : lines_)
         live.emplace_back(info.lastTime, addr);
     std::sort(live.begin(), live.end());
     std::uint64_t want = kTimeCapMin;
     while (want < 4 * (live.size() + 1))
         want <<= 1;
-    timeCap = want;
-    bit.assign(timeCap + 1, 0);
+    timeCap_ = want;
+    bit_.assign(timeCap_ + 1, 0);
     std::uint64_t t = 0;
     for (auto& [time, addr] : live) {
         (void)time;
-        lines[addr].lastTime = ++t;
+        lines_[addr].lastTime = ++t;
         bitAdd(t, 1);
     }
-    now = t;
+    now_ = t;
+}
+
+std::uint64_t
+StackDistance::touch(Addr line, std::uint64_t oldVer,
+                     std::uint64_t newVer, bool isWrite)
+{
+    if (now_ + 1 > timeCap_)
+        compact();
+    ++now_;
+    auto it = lines_.find(line);
+    if (it == lines_.end()) {
+        bitAdd(now_, 1);
+        lines_[line] = {now_, isWrite ? newVer : oldVer};
+        return kCold;
+    }
+    LineInfo& info = it->second;
+    std::uint64_t out;
+    if (info.version != oldVer) {
+        // Coherence-invalidated at every capacity.
+        out = kStale;
+    } else {
+        // Distance d lines were touched in between; the line hits at
+        // capacity >= d + 1 lines.
+        out = bitSum(now_ - 1) - bitSum(info.lastTime);
+    }
+    bitAdd(info.lastTime, -1);
+    bitAdd(now_, 1);
+    info.lastTime = now_;
+    info.version = isWrite ? newVer : oldVer;
+    return out;
+}
+
+void
+CacheSweep::StackProfiler::init(std::uint64_t max_lines)
+{
+    maxLines = max_lines;
+    hist.assign(max_lines + 2, 0);
 }
 
 void
 CacheSweep::StackProfiler::touch(Addr line, std::uint64_t oldVer,
                                  std::uint64_t newVer, bool isWrite)
 {
-    if (now + 1 > timeCap)
-        compact();
-    ++now;
-    auto it = lines.find(line);
-    if (it == lines.end()) {
+    std::uint64_t d = core.touch(line, oldVer, newVer, isWrite);
+    if (d == StackDistance::kCold || d == StackDistance::kStale)
         ++coldOrStale;
-        bitAdd(now, 1);
-        lines[line] = {now, isWrite ? newVer : oldVer};
-        return;
-    }
-    LineInfo& info = it->second;
-    if (info.version != oldVer) {
-        // Coherence-invalidated at every capacity.
-        ++coldOrStale;
-    } else {
-        std::uint64_t d = bitSum(now - 1) - bitSum(info.lastTime);
-        // Distance d lines were touched in between; the line hits at
-        // capacity >= d + 1 lines.
-        std::uint64_t bucket = std::min(d + 1, maxLines + 1);
-        ++hist[bucket];
-    }
-    bitAdd(info.lastTime, -1);
-    bitAdd(now, 1);
-    info.lastTime = now;
-    info.version = isWrite ? newVer : oldVer;
+    else
+        ++hist[std::min(d + 1, maxLines + 1)];
 }
 
 void
-CacheSweep::cohAdvance(Addr lineAddr, ProcId p, bool isWrite,
-                       std::uint64_t* oldVer, std::uint64_t* newVer)
+VersionCoherence::advance(Addr lineAddr, ProcId p, bool isWrite,
+                          std::uint64_t* oldVer, std::uint64_t* newVer)
 {
-    Coh& c = coh_[lineAddr];
+    Line& c = map_[lineAddr];
     *oldVer = c.version;
     if (isWrite) {
         if (c.lastWriter != p || c.readSince) {
@@ -205,12 +219,11 @@ CacheSweep::accessLine(ProcId p, Addr lineAddr, AccessType type)
 
     bool is_write = type == AccessType::Write;
     std::uint64_t old_ver, new_ver;
-    cohAdvance(lineAddr, p, is_write, &old_ver, &new_ver);
+    coh_.advance(lineAddr, p, is_write, &old_ver, &new_ver);
 
     std::uint64_t line_id = lineAddr >> lineShift_;
     auto stale = [this](Addr tag, std::uint64_t ver) {
-        auto it = coh_.find(tag);
-        return it != coh_.end() && it->second.version != ver;
+        return coh_.stale(tag, ver);
     };
     for (auto& ta : arrays_[p])
         applyTagArray(ta, lineAddr, line_id, old_ver, new_ver, is_write,
@@ -356,7 +369,7 @@ ParallelSweep::captureLine(ProcId p, Addr lineAddr, bool isWrite)
 {
     ++sweep_.accesses_[p];
     std::uint64_t oldVer, newVer;
-    sweep_.cohAdvance(lineAddr, p, isWrite, &oldVer, &newVer);
+    sweep_.coh_.advance(lineAddr, p, isWrite, &oldVer, &newVer);
     buf_.push_back({lineAddr, oldVer, newVer,
                     static_cast<std::int16_t>(p),
                     static_cast<std::uint8_t>(isWrite)});

@@ -45,21 +45,107 @@
 #include <vector>
 
 #include "base/types.h"
+#include "sim/grid.h"
 #include "sim/trace.h"
 
 namespace splash::sim {
 
-/** Parameters of a sweep. */
+/** Parameters of a sweep; the defaults are the Figure-3 grid
+ *  (sim/grid.h). */
 struct SweepConfig
 {
     int nprocs = 32;
     int lineSize = 64;
     /** Cache capacities in bytes (powers of two). */
-    std::vector<std::uint64_t> sizes = {
-        1u << 10, 1u << 11, 1u << 12, 1u << 13, 1u << 14, 1u << 15,
-        1u << 16, 1u << 17, 1u << 18, 1u << 19, 1u << 20};
+    std::vector<std::uint64_t> sizes = fig3Sizes();
     /** Finite associativities to simulate (full is always included). */
-    std::vector<int> assocs = {1, 2, 4};
+    std::vector<int> assocs = fig3Assocs();
+};
+
+/** Version-stamp lazy coherence: a per-line global version is bumped
+ *  whenever a write must invalidate other copies (writer changed, or
+ *  somebody else read since the last write).  A copy stored at a now
+ *  stale version has been coherence-invalidated -- at *every* cache
+ *  geometry, because invalidations are independent of capacity and
+ *  associativity.  The single piece of cross-configuration state of a
+ *  sweep; shared by the serial CacheSweep, ParallelSweep's capture,
+ *  and the reuse-distance profiler (sim/reusedist.h) so the three can
+ *  never drift. */
+class VersionCoherence
+{
+  public:
+    /** Advance the state of @p lineAddr for one access by @p p and
+     *  report the (before, after) versions. */
+    void advance(Addr lineAddr, ProcId p, bool isWrite,
+                 std::uint64_t* oldVer, std::uint64_t* newVer);
+
+    /** Current version of @p lineAddr (0 until the first bump). */
+    std::uint64_t
+    version(Addr lineAddr) const
+    {
+        auto it = map_.find(lineAddr);
+        return it == map_.end() ? 0 : it->second.version;
+    }
+
+    /** True when a copy of @p lineAddr stored at @p ver has been
+     *  invalidated by a later conflicting write. */
+    bool
+    stale(Addr lineAddr, std::uint64_t ver) const
+    {
+        return version(lineAddr) != ver;
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t version = 0;
+        ProcId lastWriter = -1;
+        bool readSince = false;
+    };
+    std::unordered_map<Addr, Line> map_;
+};
+
+/** Mattson LRU stack-distance core for one processor's line stream
+ *  (Fenwick-tree implementation with periodic timestamp compaction;
+ *  the tree's capacity adapts to the live line count so it stays
+ *  cache resident).  Consumers decide what to do with the distance:
+ *  the exact sweep buckets it into a per-line histogram, the
+ *  reuse-distance profiler into log2 bins. */
+class StackDistance
+{
+  public:
+    /** touch() outcomes that are not distances: kCold is a first
+     *  touch, kStale a copy whose stored version was invalidated by
+     *  coherence -- both miss at every capacity. */
+    static constexpr std::uint64_t kCold = ~std::uint64_t{0};
+    static constexpr std::uint64_t kStale = ~std::uint64_t{0} - 1;
+
+    StackDistance();
+
+    /** Reference @p line at the version transition (@p oldVer ->
+     *  @p newVer) reported by VersionCoherence::advance.  Returns
+     *  kCold, kStale, or the LRU stack distance d in lines: d
+     *  distinct lines were touched since the previous reference, so
+     *  the line hits in a fully associative LRU cache of capacity
+     *  >= d + 1 lines. */
+    std::uint64_t touch(Addr line, std::uint64_t oldVer,
+                        std::uint64_t newVer, bool isWrite);
+
+  private:
+    struct LineInfo
+    {
+        std::uint64_t lastTime = 0;
+        std::uint64_t version = 0;
+    };
+
+    void bitAdd(std::uint64_t i, int delta);
+    std::uint64_t bitSum(std::uint64_t i) const;
+    void compact();
+
+    std::unordered_map<Addr, LineInfo> lines_;
+    std::vector<std::uint32_t> bit_;  // Fenwick tree over timestamps
+    std::uint64_t timeCap_ = 0;       // current tree capacity
+    std::uint64_t now_ = 0;
 };
 
 class CacheSweep
@@ -92,13 +178,6 @@ class CacheSweep
 
     /** Version stamps and LRU clocks are 64-bit: they advance with the
      *  reference count, which exceeds 2^32 at large problem scales. */
-    struct Coh
-    {
-        std::uint64_t version = 0;
-        ProcId lastWriter = -1;
-        bool readSince = false;
-    };
-
     struct TagEntry
     {
         Addr tag = 0;
@@ -117,36 +196,19 @@ class CacheSweep
         std::uint64_t misses = 0;
     };
 
-    /** Mattson stack-distance profiler for one processor. */
+    /** Per-processor stack profile: the shared StackDistance core
+     *  plus the exact sweep's per-line distance histogram. */
     struct StackProfiler
     {
-        struct LineInfo
-        {
-            std::uint64_t lastTime = 0;
-            std::uint64_t version = 0;
-        };
-        std::unordered_map<Addr, LineInfo> lines;
-        std::vector<std::uint32_t> bit;   // Fenwick tree over timestamps
-        std::uint64_t timeCap = 0;        // current tree capacity
-        std::uint64_t now = 0;
+        StackDistance core;
         std::vector<std::uint64_t> hist;  // distance histogram (in lines)
         std::uint64_t coldOrStale = 0;
         std::uint64_t maxLines = 0;
 
         void init(std::uint64_t max_lines);
-        void bitAdd(std::uint64_t i, int delta);
-        std::uint64_t bitSum(std::uint64_t i) const;
-        void compact();
         void touch(Addr line, std::uint64_t oldVer, std::uint64_t newVer,
                    bool isWrite);
     };
-
-    /** Advance the version-stamp coherence state of @p lineAddr for one
-     *  access and report the (before, after) versions.  The single
-     *  piece of cross-configuration state; shared by the serial path
-     *  and trace capture so the two cannot drift. */
-    void cohAdvance(Addr lineAddr, ProcId p, bool isWrite,
-                    std::uint64_t* oldVer, std::uint64_t* newVer);
 
     /** Replay one annotated line reference into one tag array.
      *  @p stale decides whether a resident victim candidate has been
@@ -161,7 +223,7 @@ class CacheSweep
 
     SweepConfig cfg_;
     int lineShift_;
-    std::unordered_map<Addr, Coh> coh_;
+    VersionCoherence coh_;
     /** arrays_[p][configIndex] */
     std::vector<std::vector<TagArray>> arrays_;
     std::vector<StackProfiler> stacks_;

@@ -13,6 +13,7 @@
  *              [--backend fiber|thread] [--quantum 250]
  *              [--delivery batched|direct] [--jobs N]
  *              [--race off|word|line] [--csv FILE]
+ *              [--sweep exact|model|both]
  *              [--record DIR | --replay DIR]
  *
  *   splash2run --app all       # whole suite, one job per program
@@ -55,12 +56,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "harness/cli.h"
 #include "harness/runner.h"
+#include "harness/workingset.h"
 #include "sim/check.h"
 #include "sim/faultinject.h"
+#include "sim/grid.h"
 #include "sim/racecheck.h"
 
 using namespace splash;
@@ -192,6 +196,57 @@ raceCsvRow(std::FILE* f, const App& app, int procs,
         static_cast<unsigned long long>(o.census.lockReleases),
         static_cast<unsigned long long>(o.census.flagSets),
         static_cast<unsigned long long>(o.census.flagWaits));
+}
+
+/** One --sweep report: the Figure-3 working-set curves of @p app from
+ *  the engine(s) selected by --sweep.  In Both mode each row also
+ *  carries the largest model-vs-exact absolute error across the row's
+ *  operating points. */
+void
+reportSweep(const App& app, const WorkingSetRun& run,
+            sim::SweepMode mode, int procs, int line,
+            const AppConfig& cfg)
+{
+    const bool both = mode == sim::SweepMode::Both;
+    const bool model = mode == sim::SweepMode::Model;
+    std::printf("%s on %d processors (scale %.3g)\n",
+                app.name().c_str(), procs, cfg.scale);
+    std::printf("working-set sweep: %s engine, %d B lines%s\n",
+                sim::sweepModeName(mode), line,
+                run.modelFromProfile ? ", model from saved profile"
+                                     : "");
+    if (run.haveModel)
+        std::printf("profile: %.3f M line references, %.2f%% of "
+                    "all-capacity misses coherence-invalidated\n",
+                    run.model.accesses() / 1e6,
+                    100.0 * run.model.staleFraction());
+    std::printf("\nmiss rate (%%) vs cache size and associativity%s\n",
+                both ? " (exact; max |exact-model| per row)" : "");
+    std::vector<std::string> cols = {"Size", "1-way", "2-way", "4-way",
+                                     "full"};
+    if (both)
+        cols.push_back("max|err|");
+    Table t(std::move(cols));
+    for (std::uint64_t size : sim::fig3Sizes()) {
+        std::string label = size >= (1u << 20)
+                                ? std::to_string(size >> 20) + "MB"
+                                : std::to_string(size >> 10) + "KB";
+        std::vector<std::string> row = {label};
+        double maxErr = 0.0;
+        for (int assoc : sim::fig3ReportAssocs()) {
+            row.push_back(fmt(
+                "%.3f", 100.0 * wsMissRate(run, size, assoc, model)));
+            if (both) {
+                double e = wsMissRate(run, size, assoc, false) -
+                           wsMissRate(run, size, assoc, true);
+                maxErr = std::max(maxErr, e < 0 ? -e : e);
+            }
+        }
+        if (both)
+            row.push_back(fmt("%.4f", maxErr));
+        t.row(row);
+    }
+    t.print();
 }
 
 /** Race-injection harness (--race-inject): for each requested edge
@@ -490,6 +545,11 @@ main(int argc, char** argv)
             "         --race-inject all|<kind>  race-injection\n"
             "             harness: drop one seeded sync edge and\n"
             "             verify the detector reports the race\n"
+            "         --sweep exact|model|both  run the working-set\n"
+            "             sweep (Figure 3 curves) instead of the\n"
+            "             single-point characterization: exact Mattson\n"
+            "             engine, reuse-distance analytical model, or\n"
+            "             both side by side with per-row error\n"
             "         --record DIR  record the reference stream of\n"
             "             each executed (app, P) into trace store DIR\n"
             "             (created if missing; recorded identities\n"
@@ -514,6 +574,14 @@ main(int argc, char** argv)
     cache.size = std::uint64_t(opt.getI("cachekb", 1024)) << 10;
     cache.assoc = static_cast<int>(opt.getI("assoc", 4));
     cache.lineSize = static_cast<int>(opt.getI("line", 64));
+
+    if (eng.sweepRequested &&
+        (opt.has("inject") || opt.has("race-inject"))) {
+        std::fprintf(stderr,
+                     "--sweep runs the working-set sweep and cannot "
+                     "be combined with an injection harness\n");
+        return 2;
+    }
 
     if (opt.has("inject")) {
         if (!with_mem) {
@@ -540,6 +608,34 @@ main(int argc, char** argv)
                                                     "all"),
                                            cfg.seed));
         return rc;
+    }
+
+    if (eng.sweepRequested) {
+        // Working-set sweep mode: the Figure-3 engine instead of the
+        // single-point memory-system characterization.  The line size
+        // is the one cache parameter the sweep honors; --cachekb and
+        // --assoc are the grid's axes and are ignored.
+        std::vector<WorkingSetRun> runs(apps.size());
+        Runner runner(eng.jobs);
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            runner.add(apps[i]->name(), appCostHint(*apps[i]), [&, i] {
+                sim::SweepConfig sc;
+                sc.nprocs = procs;
+                sc.lineSize = cache.lineSize;
+                runs[i] =
+                    runWorkingSets(*apps[i], procs, sc, cfg, eng.sim);
+            });
+        }
+        runner.run();
+        bool all_valid = true;
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            if (i)
+                std::printf("\n================\n\n");
+            reportSweep(*apps[i], runs[i], eng.sim.sweep, procs,
+                        cache.lineSize, cfg);
+            all_valid = all_valid && runs[i].stats.valid;
+        }
+        return all_valid ? 0 : 1;
     }
 
     std::vector<RunStats> results(apps.size());

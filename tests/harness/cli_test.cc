@@ -137,6 +137,52 @@ TEST(EngineOpts, RejectsUnknownRaceGranularities)
     EXPECT_FALSE(parse({"--race", ""}, &eng));
 }
 
+TEST(EngineOpts, SweepModesLand)
+{
+    EngineOpts eng;
+    ASSERT_TRUE(parse({}, &eng));
+    EXPECT_EQ(eng.sim.sweep, splash::sim::SweepMode::Exact);
+    EXPECT_FALSE(eng.sweepRequested)
+        << "only an explicit --sweep turns splash2run into a sweep";
+    ASSERT_TRUE(parse({"--sweep", "exact"}, &eng));
+    EXPECT_EQ(eng.sim.sweep, splash::sim::SweepMode::Exact);
+    EXPECT_TRUE(eng.sweepRequested);
+    ASSERT_TRUE(parse({"--sweep", "model"}, &eng));
+    EXPECT_EQ(eng.sim.sweep, splash::sim::SweepMode::Model);
+    ASSERT_TRUE(parse({"--sweep", "both"}, &eng));
+    EXPECT_EQ(eng.sim.sweep, splash::sim::SweepMode::Both);
+}
+
+TEST(EngineOpts, RejectsUnknownSweepModes)
+{
+    EngineOpts eng;
+    EXPECT_FALSE(parse({"--sweep", "analytic"}, &eng));
+    EXPECT_FALSE(eng.listRequested) << "an error is not a listing";
+    // Names are exact and lowercase, like --protocol and --race.
+    EXPECT_FALSE(parse({"--sweep", "Model"}, &eng));
+    EXPECT_FALSE(parse({"--sweep", "exactmodel"}, &eng));
+    EXPECT_FALSE(parse({"--sweep", ""}, &eng));
+}
+
+TEST(EngineOpts, RejectsSweepThreadsWithModelOnlySweep)
+{
+    // --sweep-threads sizes the exact engine's replay pool; with
+    // --sweep model there is no exact engine, so an explicit value is
+    // a contradiction, not a silent no-op.
+    EngineOpts eng;
+    EXPECT_FALSE(
+        parse({"--sweep", "model", "--sweep-threads", "4"}, &eng));
+    EXPECT_FALSE(
+        parse({"--sweep-threads", "0", "--sweep", "model"}, &eng));
+    // The exact engine rides along in Both mode, so the pool knob is
+    // meaningful there -- and with the default (exact) engine.
+    EXPECT_TRUE(
+        parse({"--sweep", "both", "--sweep-threads", "4"}, &eng));
+    EXPECT_TRUE(
+        parse({"--sweep", "exact", "--sweep-threads", "4"}, &eng));
+    EXPECT_TRUE(parse({"--sweep", "model"}, &eng));
+}
+
 TEST(EngineOpts, RecordAndReplayLand)
 {
     EngineOpts eng;
