@@ -17,6 +17,16 @@ def repo_root():
     return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
+def host_cpus():
+    """Usable CPU count of this host.  Prefers the scheduling affinity
+    mask (containers and cgroup-limited CI runners often expose fewer
+    usable cores than os.cpu_count() reports)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 def run_micro(build, benchmark_filter, unit):
     """Run bench/micro_simthroughput with a --benchmark_filter and
     return {name: {"<unit>s_per_sec", "ns_per_<unit>"}} keyed by the

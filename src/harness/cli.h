@@ -23,6 +23,11 @@
  *   --protocol NAME   coherence protocol of the simulated machine:
  *                     msi | mesi | moesi | dragon (default mesi), or
  *                     "list" to print the protocol zoo and exit
+ *   --interconnect K  interconnect organization of the simulated
+ *                     machine: directory | bus (default directory).
+ *                     Bus mode snoops the tag arrays instead of
+ *                     consulting a directory and accounts address/data
+ *                     bus occupancy instead of packet bytes
  *   --race GRAN       happens-before race detection over the
  *                     reference stream: off | word | line (default
  *                     off).  Observation only: characterization
@@ -34,12 +39,14 @@
  *                     (or a single .s2t file) instead of executing;
  *                     mutually exclusive with --record
  *
- * Every flag except --protocol changes wall clock only; results and
- * output bytes are identical for any combination (--jobs 1
- * --replicas off is the serial differential oracle).  --protocol
- * selects the machine being measured, so it changes results by
- * design.  Invalid values are rejected with an error rather than
- * silently falling back.
+ * Every flag except --protocol and --interconnect changes wall clock
+ * only; results and output bytes are identical for any combination
+ * (--jobs 1 --replicas off is the serial differential oracle).
+ * --protocol and --interconnect select the machine being measured, so
+ * they change results by design.  Invalid values are rejected with an
+ * error rather than silently falling back, and contradictory flag
+ * combinations are rejected up front with one uniform message shape
+ * ("conflicting flags: ...") via checkModeConflicts().
  */
 #ifndef SPLASH2_HARNESS_CLI_H
 #define SPLASH2_HARNESS_CLI_H
@@ -52,6 +59,7 @@
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "sim/faultinject.h"
 
 namespace splash::harness {
 
@@ -67,7 +75,25 @@ struct EngineOpts
      *  from the memory-system characterization to the working-set
      *  sweep on it; the sweep benches always sweep). */
     bool sweepRequested = false;
+    /** True when --interconnect was given explicitly (used to reject
+     *  contradictory combinations only when the user actually asked
+     *  for the non-default organization). */
+    bool interconnectRequested = false;
 };
+
+/** Print the one uniform diagnostic shape for a contradictory flag
+ *  combination and return false, so callers can
+ *  `return conflictingFlags(...)` from a parse path. */
+inline bool
+conflictingFlags(const std::string& a, const std::string& b,
+                 const std::string& why)
+{
+    std::fprintf(stderr,
+                 "conflicting flags: %s and %s cannot be combined "
+                 "(%s)\n",
+                 a.c_str(), b.c_str(), why.c_str());
+    return false;
+}
 
 /** Parse the shared engine flags; prints to stderr and returns false
  *  on an unrecognized value. */
@@ -109,10 +135,10 @@ parseEngineOpts(const Options& opt, EngineOpts* out)
         // The replay pool parallelizes the exact engine's tag arrays;
         // a model-only sweep has none, so an explicit thread count is
         // a contradiction rather than a silent no-op.
-        std::fprintf(stderr,
-                     "--sweep-threads configures the exact sweep "
-                     "engine and is meaningless with --sweep model\n");
-        return false;
+        return conflictingFlags("--sweep-threads", "--sweep model",
+                                "the replay pool parallelizes the "
+                                "exact engine's tag arrays and a "
+                                "model-only sweep has none");
     }
     long check = opt.getI("check", 0);
     if (check < 0) {
@@ -156,6 +182,15 @@ parseEngineOpts(const Options& opt, EngineOpts* out)
                      protoName.c_str());
         return false;
     }
+    std::string icName = opt.getS("interconnect", "directory");
+    out->interconnectRequested = opt.has("interconnect");
+    if (!sim::parseInterconnect(icName, &out->sim.interconnect)) {
+        std::fprintf(stderr,
+                     "unknown --interconnect '%s' (directory or "
+                     "bus)\n",
+                     icName.c_str());
+        return false;
+    }
     std::string race = opt.getS("race", "off");
     if (!sim::parseRaceGranularity(race, &out->sim.race)) {
         std::fprintf(stderr,
@@ -165,11 +200,10 @@ parseEngineOpts(const Options& opt, EngineOpts* out)
     }
     out->sim.record = opt.getS("record", "");
     out->sim.replay = opt.getS("replay", "");
-    if (!out->sim.record.empty() && !out->sim.replay.empty()) {
-        std::fprintf(stderr,
-                     "--record and --replay are mutually exclusive\n");
-        return false;
-    }
+    if (!out->sim.record.empty() && !out->sim.replay.empty())
+        return conflictingFlags("--record", "--replay",
+                                "a run either writes the trace store "
+                                "or reads from it");
     if (!out->sim.replay.empty()) {
         struct stat st{};
         if (::stat(out->sim.replay.c_str(), &st) != 0) {
@@ -200,6 +234,71 @@ parseEngineOpts(const Options& opt, EngineOpts* out)
                          out->sim.record.c_str());
             return false;
         }
+    }
+    return true;
+}
+
+/** Reject contradictory mode-flag combinations with the uniform
+ *  "conflicting flags" diagnostic.  splash2run calls this once after
+ *  parseEngineOpts; it covers the run-mode matrix the engine flags
+ *  cannot see on their own (--inject and --race-inject are splash2run
+ *  flags, not engine flags).  Each harness or mode owns the whole
+ *  run, so combining two of them would silently ignore one -- reject
+ *  instead of no-op.  Returns true when the combination is runnable.
+ */
+inline bool
+checkModeConflicts(const Options& opt, const EngineOpts& eng)
+{
+    const bool inject = opt.has("inject");
+    const bool raceInject = opt.has("race-inject");
+    const bool record = !eng.sim.record.empty();
+    const bool replay = !eng.sim.replay.empty();
+    const bool race = eng.sim.race != sim::RaceGranularity::Off;
+    const bool bus = eng.sim.interconnect == sim::Interconnect::Bus;
+
+    if (inject && raceInject)
+        return conflictingFlags("--inject", "--race-inject",
+                                "each injection harness owns the "
+                                "whole run");
+    if (inject || raceInject) {
+        const std::string flag = inject ? "--inject" : "--race-inject";
+        if (eng.sweepRequested)
+            return conflictingFlags(flag, "--sweep",
+                                    "the working-set sweep has no "
+                                    "protocol state to corrupt");
+        if (record)
+            return conflictingFlags(flag, "--record",
+                                    "injection runs corrupt state and "
+                                    "must not enter the trace store");
+        if (replay)
+            return conflictingFlags(flag, "--replay",
+                                    "the harness re-executes the "
+                                    "program itself");
+        if (race)
+            return conflictingFlags(flag, "--race",
+                                    "the harness drives its own "
+                                    "detector configuration");
+    }
+    if (eng.interconnectRequested && bus && eng.sweepRequested)
+        return conflictingFlags("--interconnect bus", "--sweep",
+                                "the working-set sweep models cache "
+                                "capacity only and has no "
+                                "interconnect");
+    // A named fault kind targets one organization's state; injecting
+    // it under the other interconnect could only ever SKIP, so the
+    // mismatch is rejected at parse time ('all' filters by
+    // eligibility instead).
+    if (inject) {
+        std::string which = opt.getS("inject", "all");
+        sim::FaultKind k;
+        if (which != "all" && sim::parseFaultKind(which, &k) &&
+            sim::faultKindIsBus(k) != bus)
+            return conflictingFlags(
+                "--inject " + which,
+                bus ? "--interconnect bus" : "--interconnect directory",
+                sim::faultKindIsBus(k)
+                    ? "this fault kind corrupts snoopy-bus state"
+                    : "this fault kind corrupts directory state");
     }
     return true;
 }

@@ -81,6 +81,11 @@ struct SimOpts
     std::uint64_t quantum = 250;
     /** Coherence protocol for memory-system runs (--protocol). */
     sim::ProtocolKind protocol = sim::ProtocolKind::MESI;
+    /** Interconnect organization for memory-system runs
+     *  (--interconnect): the paper's point-to-point directory machine
+     *  or a snoopy broadcast bus (sim/bus.h).  Like `protocol`, this
+     *  selects the machine being measured. */
+    sim::Interconnect interconnect = sim::Interconnect::Directory;
     rt::BackendKind backend = rt::BackendKind::Fiber;
     /** Reference delivery shape (bit-identical either way). */
     rt::Delivery delivery = rt::Delivery::Batched;
@@ -297,6 +302,10 @@ struct MemExperiment
      *  --protocol flag here (one broadcast replay can feed replicas
      *  running different protocols side by side). */
     sim::ProtocolKind protocol = sim::ProtocolKind::MESI;
+    /** Interconnect of this replica; one broadcast replay can feed a
+     *  directory replica and a bus replica from the same execution
+     *  (results/interconnect.csv is produced exactly that way). */
+    sim::Interconnect interconnect = sim::Interconnect::Directory;
 };
 
 /** Characterize @p app on @p nprocs under every configuration in
@@ -329,6 +338,7 @@ broadcastSpecs(const std::vector<MemExperiment>& exps, int nprocs,
         s.machine.cache = e.cache;
         s.machine.replacementHints = e.hints;
         s.machine.protocol = e.protocol;
+        s.machine.interconnect = e.interconnect;
         s.homes = e.placed ? homes : nullptr;
         s.checkPeriod = simOpts.checkPeriod;
         specs.push_back(s);
@@ -414,6 +424,7 @@ runCharacterizations(App& app, int nprocs,
             mc.cache = e.cache;
             mc.replacementHints = e.hints;
             mc.protocol = e.protocol;
+            mc.interconnect = e.interconnect;
             sim::MemSystem mem(mc, e.placed ? &env.heap() : nullptr);
             mem.setCheckPeriod(simOpts.checkPeriod);
             env.attachMemSystem(&mem);
@@ -495,6 +506,7 @@ runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
         MemExperiment e;
         e.cache = cache;
         e.protocol = simOpts.protocol;
+        e.interconnect = simOpts.interconnect;
         return runCharacterizations(app, nprocs, {e}, cfg,
                                     simOpts)[0];
     }
@@ -504,6 +516,7 @@ runWithMemSystem(App& app, int nprocs, const sim::CacheConfig& cache,
     mc.nprocs = nprocs;
     mc.cache = cache;
     mc.protocol = simOpts.protocol;
+    mc.interconnect = simOpts.interconnect;
     sim::MemSystem mem(mc, &env.heap());
     mem.setCheckPeriod(simOpts.checkPeriod);
     env.attachMemSystem(&mem);

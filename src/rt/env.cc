@@ -126,7 +126,12 @@ Env::Env(const EnvConfig& cfg)
     : cfg_(cfg), heap_(cfg.nprocs), stats_(cfg.nprocs)
 {
     if (cfg_.nprocs < 1 || cfg_.nprocs > kMaxProcs)
-        fatal("processor count out of range");
+        fatal("processor count must be in [1, " +
+              std::to_string(kMaxProcs) +
+              "]: per-processor sharer and vector-clock state lives "
+              "in " +
+              std::to_string(kMaxProcs) + "-bit masks (got " +
+              std::to_string(cfg_.nprocs) + ")");
     if (cfg_.mode == Mode::Sim) {
         sched_ = std::make_unique<Scheduler>(cfg_.nprocs, cfg_.quantum,
                                              cfg_.backend);

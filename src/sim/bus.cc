@@ -1,0 +1,55 @@
+#include "sim/bus.h"
+
+#include "base/log.h"
+#include "sim/cache.h"
+
+namespace splash::sim {
+
+const char*
+interconnectName(Interconnect ic)
+{
+    switch (ic) {
+      case Interconnect::Directory: return "directory";
+      case Interconnect::Bus:       return "bus";
+    }
+    return "?";
+}
+
+bool
+parseInterconnect(const std::string& s, Interconnect* out)
+{
+    for (int i = 0; i < kNumInterconnects; ++i) {
+        auto ic = static_cast<Interconnect>(i);
+        if (s == interconnectName(ic)) {
+            *out = ic;
+            return true;
+        }
+    }
+    return false;
+}
+
+SnoopResult
+snoopLine(const std::vector<Cache>& caches, const Protocol& proto,
+          Addr lineAddr, ProcId requester)
+{
+    SnoopResult r;
+    bool anyValid = false;
+    for (ProcId q = 0; q < static_cast<ProcId>(caches.size()); ++q) {
+        LineState st = caches[q].peek(lineAddr);
+        if (st == LineState::Invalid)
+            continue;
+        anyValid = true;
+        if (q != requester)
+            ++r.othersValid;
+        if (stateIn(proto.ownerStates, st)) {
+            ensure(r.owner < 0, "two caches answered the snoop as owner");
+            r.owner = q;
+        }
+    }
+    r.group = r.owner >= 0 ? DirGroup::Dirty
+              : anyValid   ? DirGroup::Clean
+                           : DirGroup::Uncached;
+    return r;
+}
+
+} // namespace splash::sim

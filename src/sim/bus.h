@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Snoopy-bus interconnect model.
+ *
+ * The SPLASH-2 paper's traffic methodology (Section 6) contrasts two
+ * machine organizations: a distributed directory machine exchanging
+ * point-to-point packets, and a broadcast bus where every cache
+ * observes every transaction.  sim/memsys.h models the former; this
+ * header supplies everything the latter needs on top of the same
+ * immutable Protocol descriptors (sim/protocol.h):
+ *
+ *  - Interconnect: the configuration knob (`--interconnect
+ *    directory|bus`) selecting between the two organizations.
+ *
+ *  - snoopLine(): the combined snoop response for one broadcast
+ *    address.  On a bus there are no sharer vectors, no home nodes,
+ *    and no replacement hints; the caches themselves answer "who owns
+ *    this line" and "does anyone else hold a copy".  The response
+ *    collapses to the same DirGroup the directory would have computed
+ *    (owner-state holder -> Dirty, any valid copy -> Clean, nothing
+ *    cached -> Uncached), so the Protocol transition tables apply
+ *    unchanged.  Snooping sees silent E->M promotions directly, which
+ *    is why bus mode needs no analogue of the directory's lazy
+ *    dirty-bit reconciliation.
+ *
+ *  - BusModel: the occupancy accounting that replaces the directory's
+ *    packet decomposition.  Every transaction occupies the shared bus
+ *    for an address phase (one cycle: address + command, snooped by
+ *    all) plus, when data moves, a data phase of lineSize /
+ *    busWidthBytes cycles for a line (or one word's worth of cycles
+ *    for a Dragon update broadcast).  Invalidations ride the address
+ *    phase for free -- broadcast means there are no per-sharer
+ *    invalidation or ack packets and no data headers -- which is
+ *    exactly the contrast with the directory organization that
+ *    results/interconnect.csv tabulates.
+ */
+#ifndef SPLASH2_SIM_BUS_H
+#define SPLASH2_SIM_BUS_H
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/protocol.h"
+
+namespace splash::sim {
+
+class Cache;
+
+/** Interconnect organization of the simulated machine. */
+enum class Interconnect : std::uint8_t {
+    Directory = 0,  ///< CC-NUMA: point-to-point packets, full-map directory
+    Bus             ///< snoopy bus: broadcast transactions, occupancy model
+};
+
+constexpr int kNumInterconnects = 2;
+
+/** Stable CLI name ("directory", "bus"). */
+const char* interconnectName(Interconnect ic);
+
+/** Parse a CLI name; returns false if @p s names no interconnect.
+ *  Names are exact (lowercase), matching parseProtocol. */
+bool parseInterconnect(const std::string& s, Interconnect* out);
+
+/** Combined snoop response to one broadcast address. */
+struct SnoopResult
+{
+    /** Cache holding the line in one of the protocol's owner states
+     *  (at most one under the single-owner invariant); -1 when none.
+     *  May be the requester itself on a write hit to a dirty-shared
+     *  line (MOESI/Dragon) -- never on a miss, where the requester
+     *  holds no copy. */
+    ProcId owner = -1;
+    /** Valid copies held by caches other than the requester. */
+    int othersValid = 0;
+    /** The directory group the snoop responses collapse to; feeds the
+     *  same Protocol transition lookup the directory consult would. */
+    DirGroup group = DirGroup::Uncached;
+};
+
+/** Snoop @p lineAddr in every cache on behalf of @p requester. */
+SnoopResult snoopLine(const std::vector<Cache>& caches,
+                      const Protocol& proto, Addr lineAddr,
+                      ProcId requester);
+
+/** Bus-occupancy charges, in bus cycles, for one transaction's
+ *  phases.  PRAM timing still applies to the processors; occupancy is
+ *  the paper's bus-bandwidth analogue of the directory's byte counts. */
+struct BusModel
+{
+    /** Width of a Dragon word-update broadcast: the classifier's word
+     *  granularity (one 8-byte word per update transaction). */
+    static constexpr int kUpdateBytes = 8;
+
+    int lineSize = 64;
+    int widthBytes = 8;
+
+    /** Address + command broadcast, snooped by every cache. */
+    int addrCycles() const { return 1; }
+
+    /** One full line on the data wires. */
+    int
+    lineCycles() const
+    {
+        return (lineSize + widthBytes - 1) / widthBytes;
+    }
+
+    /** One word-update broadcast (Dragon). */
+    int
+    updateCycles() const
+    {
+        return (kUpdateBytes + widthBytes - 1) / widthBytes;
+    }
+};
+
+} // namespace splash::sim
+
+#endif // SPLASH2_SIM_BUS_H

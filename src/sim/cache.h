@@ -89,6 +89,24 @@ class Cache
     /** Number of currently valid lines (for tests). */
     std::uint64_t residentLines() const;
 
+    /** Visit every valid line as fn(lineAddr, state), in storage
+     *  order.  Bus mode has no directory to enumerate lines through,
+     *  so the invariant checker and fault injector walk the tag
+     *  arrays directly. */
+    template <typename Fn>
+    void
+    forEachResident(Fn&& fn) const
+    {
+        if (big_) {
+            for (const auto& [addr, st] : lru_)
+                fn(addr, st);
+        } else {
+            for (const Way& w : sets_)
+                if (w.state != LineState::Invalid)
+                    fn(w.tag, w.state);
+        }
+    }
+
   private:
     struct Way
     {

@@ -1,5 +1,6 @@
 #include "sim/check.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -130,11 +131,60 @@ CoherenceChecker::checkOneLine(Addr line, const DirEntry* d,
                    line, valid, d->numSharers()));
 }
 
+void
+CoherenceChecker::checkOneLineBus(Addr line, std::vector<Violation>* out,
+                                  std::size_t& n) const
+{
+    const MemSystem& m = mem_;
+    const Protocol& proto = protocol(m.cfg_.protocol);
+
+    int valid = 0, owners = 0;
+    ProcId mproc = -1, eproc = -1;
+    for (int p = 0; p < m.cfg_.nprocs; ++p) {
+        LineState st = m.caches_[p].peek(line);
+        if (st == LineState::Invalid)
+            continue;
+        ++valid;
+        if (!stateIn(proto.legalStates, st))
+            report(out, n, "bus-illegal-state", line,
+                   fmt("proc %d holds line 0x%" PRIxPTR " in state %d, "
+                       "which protocol %s does not use",
+                       p, line, static_cast<int>(st), proto.name));
+        if (stateIn(proto.ownerStates, st))
+            ++owners;
+        if (st == LineState::Modified)
+            mproc = p;
+        if (st == LineState::Exclusive)
+            eproc = p;
+    }
+    if (owners > 1)
+        report(out, n, "bus-multiple-owner", line,
+               fmt("%d caches would answer a snoop of line 0x%" PRIxPTR
+                   " as owner",
+                   owners, line));
+    // Snoop-response consistency: an exclusive-flavored copy and
+    // another valid copy cannot both be telling the truth.
+    if (mproc >= 0 && valid > 1)
+        report(out, n, "bus-modified-shared", line,
+               fmt("proc %d holds line 0x%" PRIxPTR " Modified while %d "
+                   "other copies survive",
+                   mproc, line, valid - 1));
+    if (eproc >= 0 && valid > 1)
+        report(out, n, "bus-exclusive-shared", line,
+               fmt("proc %d holds line 0x%" PRIxPTR " Exclusive while %d "
+                   "other copies survive",
+                   eproc, line, valid - 1));
+}
+
 std::size_t
 CoherenceChecker::checkLine(Addr lineAddr,
                             std::vector<Violation>* out) const
 {
     std::size_t n = 0;
+    if (mem_.cfg_.interconnect == Interconnect::Bus) {
+        checkOneLineBus(lineAddr, out, n);
+        return n;
+    }
     auto it = mem_.dir_.find(lineAddr);
     checkOneLine(lineAddr, it == mem_.dir_.end() ? nullptr : &it->second,
                  out, n);
@@ -149,6 +199,28 @@ CoherenceChecker::checkTraffic(std::vector<Violation>* out) const
     for (const MemStats& s : mem_.stats_)
         bytes += s.remoteSharedData + s.remoteColdData +
                  s.remoteCapacityData + s.remoteWriteback + s.localData;
+    if (mem_.cfg_.interconnect == Interconnect::Bus) {
+        // Occupancy replaces the byte decomposition: every data-phase
+        // cycle comes from exactly one line movement or word-update
+        // broadcast, and the directory byte counters never move.
+        std::uint64_t cycles = 0;
+        for (const MemStats& s : mem_.stats_)
+            cycles += s.busDataCycles;
+        std::uint64_t expect =
+            std::uint64_t(mem_.bus_.lineCycles()) *
+                (mem_.xferLines_ + mem_.wbLines_) +
+            std::uint64_t(mem_.bus_.updateCycles()) * mem_.updateTxns_;
+        if (cycles != expect || bytes != 0)
+            report(out, n, "bus-traffic-conservation", 0,
+                   fmt("%" PRIu64 " data-phase cycles accounted vs "
+                       "%" PRIu64 " expected (%" PRIu64 " transfers + "
+                       "%" PRIu64 " writebacks + %" PRIu64
+                       " update broadcasts), %" PRIu64
+                       " directory data bytes (want 0)",
+                       cycles, expect, mem_.xferLines_, mem_.wbLines_,
+                       mem_.updateTxns_, bytes));
+        return n;
+    }
     std::uint64_t moved = std::uint64_t(mem_.cfg_.cache.lineSize) *
                           (mem_.xferLines_ + mem_.wbLines_);
     if (bytes != moved)
@@ -165,6 +237,22 @@ std::size_t
 CoherenceChecker::checkAll(std::vector<Violation>* out) const
 {
     std::size_t n = 0;
+    if (mem_.cfg_.interconnect == Interconnect::Bus) {
+        // No directory to enumerate through: walk the tag arrays and
+        // validate each distinct resident line once, in sorted order
+        // so violation reports are deterministic.
+        std::vector<Addr> lines;
+        for (const Cache& c : mem_.caches_)
+            c.forEachResident(
+                [&](Addr line, LineState) { lines.push_back(line); });
+        std::sort(lines.begin(), lines.end());
+        lines.erase(std::unique(lines.begin(), lines.end()),
+                    lines.end());
+        for (Addr line : lines)
+            checkOneLineBus(line, out, n);
+        n += checkTraffic(out);
+        return n;
+    }
     std::uint64_t reachable = 0;
     for (const auto& [line, d] : mem_.dir_) {
         checkOneLine(line, &d, out, n);

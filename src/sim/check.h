@@ -39,6 +39,23 @@
  *    generalization of the per-transaction debug asserts:
  *    sum(data bytes) == lineSize * (transfers + writebacks).
  *
+ * Under Interconnect::Bus there is no directory to cross-validate, so
+ * the rules restate the snoop-response contract over the tag arrays
+ * alone (lines are enumerated through Cache::forEachResident):
+ *
+ *  - bus-illegal-state:    as illegal-state, per cached copy.
+ *  - bus-multiple-owner:   at most one cache may answer a snoop as
+ *    owner (hold the line in one of the protocol's owner states) --
+ *    the single-owner-on-bus invariant.
+ *  - bus-modified-shared:  a Modified copy answers "exclusive dirty",
+ *    so no other cache may answer "shared" for the same line.
+ *  - bus-exclusive-shared: likewise for clean-exclusive copies.
+ *  - bus-traffic-conservation: data-phase occupancy matches the lines
+ *    and word-update broadcasts that crossed the wires:
+ *    sum(busDataCycles) == lineCycles * (transfers + writebacks)
+ *                          + updateCycles * update broadcasts,
+ *    and the directory byte counters stay untouched.
+ *
  * The checker only reads simulator state; enabling it cannot perturb
  * any statistic.  MemSystem::setCheckPeriod() runs the full sweep
  * every N slow-path transactions (sampled mode, usable in Release);
@@ -91,6 +108,9 @@ class CoherenceChecker
     /** Per-line rules; @p d is null when no directory entry exists. */
     void checkOneLine(Addr line, const DirEntry* d,
                       std::vector<Violation>* out, std::size_t& n) const;
+    /** Per-line rules for the snoopy bus (no directory to consult). */
+    void checkOneLineBus(Addr line, std::vector<Violation>* out,
+                         std::size_t& n) const;
 
     const MemSystem& mem_;
 };

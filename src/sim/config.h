@@ -11,9 +11,11 @@
 #define SPLASH2_SIM_CONFIG_H
 
 #include <cstdint>
+#include <string>
 
 #include "base/log.h"
 #include "base/types.h"
+#include "sim/bus.h"
 #include "sim/protocol.h"
 
 namespace splash::sim {
@@ -69,13 +71,27 @@ struct MachineConfig
     /** Coherence protocol (sim/protocol.h); the paper's machine runs
      *  the Illinois MESI protocol. */
     ProtocolKind protocol = ProtocolKind::MESI;
+    /** Interconnect organization (sim/bus.h): point-to-point directory
+     *  machine (the paper's default) or a snoopy broadcast bus. */
+    Interconnect interconnect = Interconnect::Directory;
+    /** Bus data-path width in bytes per bus cycle (bus mode only;
+     *  power of two, at most one line): a line transfer occupies the
+     *  data wires for lineSize / busWidthBytes cycles. */
+    int busWidthBytes = 8;
 
     void
     validate() const
     {
         if (nprocs < 1 || nprocs > kMaxProcs)
-            fatal("processor count out of range");
+            fatal("processor count must be in [1, " +
+                  std::to_string(kMaxProcs) + "]: the full-map " +
+                  "directory tracks sharers in a " +
+                  std::to_string(kMaxProcs) + "-bit mask (got " +
+                  std::to_string(nprocs) + ")");
         cache.validate();
+        if (busWidthBytes < 1 || !isPow2(busWidthBytes) ||
+            busWidthBytes > cache.lineSize)
+            fatal("bus width must be a power of two in [1, lineSize]");
     }
 };
 

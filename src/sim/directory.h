@@ -12,11 +12,16 @@
 
 #include <cstdint>
 
+#include "base/log.h"
 #include "base/types.h"
 
 namespace splash::sim {
 
-/** Full-map directory entry for one cache line. */
+/** Full-map directory entry for one cache line.  The sharer mask has
+ *  one bit per processor, which bounds the machine to kMaxProcs (64)
+ *  processors; MachineConfig::validate() rejects larger configs, and
+ *  the accessors guard the shift so an out-of-range index can never
+ *  silently corrupt sharer state (1 << p is UB for p >= 64). */
 struct DirEntry
 {
     /** Bitmask of processors with a valid copy. */
@@ -28,21 +33,31 @@ struct DirEntry
 
     bool empty() const { return sharers == 0; }
 
+    static void
+    checkIndex(ProcId p)
+    {
+        ensure(p >= 0 && p < kMaxProcs,
+               "sharer index outside the 64-bit directory mask");
+    }
+
     void
     addSharer(ProcId p)
     {
+        checkIndex(p);
         sharers |= (std::uint64_t{1} << p);
     }
 
     void
     dropSharer(ProcId p)
     {
+        checkIndex(p);
         sharers &= ~(std::uint64_t{1} << p);
     }
 
     bool
     isSharer(ProcId p) const
     {
+        checkIndex(p);
         return (sharers >> p) & 1;
     }
 

@@ -33,6 +33,14 @@ struct Target
     ProcId proc;
 };
 
+void
+sortTargets(std::vector<Target>& v)
+{
+    std::sort(v.begin(), v.end(), [](const Target& a, const Target& b) {
+        return a.line != b.line ? a.line < b.line : a.proc < b.proc;
+    });
+}
+
 /** Collect (line, proc) pairs satisfying @p pred over every directory
  *  entry, in deterministic sorted order.  unordered_map iteration
  *  order is not stable across runs/platforms, hence the sort. */
@@ -46,9 +54,27 @@ candidates(const std::unordered_map<Addr, DirEntry>& dir, int nprocs,
         for (ProcId p = 0; p < nprocs; ++p)
             if (pred(line, d, p))
                 v.push_back({line, p});
-    std::sort(v.begin(), v.end(), [](const Target& a, const Target& b) {
-        return a.line != b.line ? a.line < b.line : a.proc < b.proc;
-    });
+    sortTargets(v);
+    return v;
+}
+
+/** Bus-mode candidate enumeration: there is no directory, so walk the
+ *  tag arrays.  @p pred sees (line, state, proc, copies-of-line). */
+template <typename Pred>
+std::vector<Target>
+busCandidates(const std::vector<Cache>& caches, Pred pred)
+{
+    std::unordered_map<Addr, int> copies;
+    for (const Cache& c : caches)
+        c.forEachResident(
+            [&](Addr line, LineState) { ++copies[line]; });
+    std::vector<Target> v;
+    for (ProcId p = 0; p < static_cast<ProcId>(caches.size()); ++p)
+        caches[p].forEachResident([&](Addr line, LineState st) {
+            if (pred(line, st, p, copies[line]))
+                v.push_back({line, p});
+        });
+    sortTargets(v);
     return v;
 }
 
@@ -65,8 +91,18 @@ faultKindName(FaultKind k)
       case FaultKind::DirtyDesync:    return "dirty-desync";
       case FaultKind::TrafficSkew:    return "traffic-skew";
       case FaultKind::IllegalState:   return "illegal-state";
+      case FaultKind::SnoopMissedInval: return "snoop-missed-inval";
+      case FaultKind::DoubleOwner:      return "double-owner";
+      case FaultKind::GhostExclusive:   return "ghost-exclusive";
+      case FaultKind::BusTrafficSkew:   return "bus-traffic-skew";
       default:                        return "?";
     }
+}
+
+bool
+faultKindIsBus(FaultKind k)
+{
+    return k >= FaultKind::SnoopMissedInval && k < FaultKind::NumKinds;
 }
 
 bool
@@ -90,6 +126,11 @@ FaultInjector::inject(FaultKind k, std::uint64_t seed)
     const int nprocs = mem_.cfg_.nprocs;
     const bool hints = mem_.cfg_.replacementHints;
     const Protocol& proto = protocol(mem_.cfg_.protocol);
+    // Each kind corrupts one organization's state: directory kinds are
+    // meaningless on a bus (no directory exists) and vice versa.
+    if (faultKindIsBus(k) !=
+        (mem_.cfg_.interconnect == Interconnect::Bus))
+        return "";
     // A valid copy that carries no ownership (S, E, Dragon's Sc):
     // dropping or mislabeling one must trip the sharer rules, not the
     // dirty-owner rule.
@@ -233,6 +274,82 @@ FaultInjector::inject(FaultKind k, std::uint64_t seed)
                      "0x%" PRIxPTR " to state %d, unused by protocol %s",
                      t.proc, t.line, static_cast<int>(illegal),
                      proto.name);
+      }
+
+      case FaultKind::SnoopMissedInval: {
+          // A write's invalidating broadcast went unobserved: promote
+          // one holder of a multi-copy line to Modified while the
+          // other copies survive.
+          auto v = busCandidates(
+              caches, [&](Addr, LineState, ProcId, int copies) {
+                  return copies >= 2;
+              });
+          if (v.empty())
+              return "";
+          Target t = v[seed % v.size()];
+          caches[t.proc].setState(t.line, LineState::Modified);
+          return fmt("snoop-missed-inval: proc %d holds line "
+                     "0x%" PRIxPTR " Modified but another cache missed "
+                     "the invalidating broadcast",
+                     t.proc, t.line);
+      }
+
+      case FaultKind::DoubleOwner: {
+          // Broken arbitration of an ownership handoff: two holders of
+          // the same line both end up in an owner state.  Prefer Owned
+          // where the protocol has it (a legal dirty-shared state, so
+          // only the single-owner rule can catch the fault).
+          LineState os = stateIn(proto.legalStates, LineState::Owned)
+                             ? LineState::Owned
+                             : LineState::Modified;
+          auto v = busCandidates(
+              caches, [&](Addr, LineState, ProcId, int copies) {
+                  return copies >= 2;
+              });
+          if (v.empty())
+              return "";
+          Addr line = v[seed % v.size()].line;
+          ProcId first = -1, second = -1;
+          for (ProcId p = 0; p < nprocs && second < 0; ++p) {
+              if (caches[p].peek(line) == LineState::Invalid)
+                  continue;
+              (first < 0 ? first : second) = p;
+          }
+          if (second < 0)
+              return "";
+          caches[first].setState(line, os);
+          caches[second].setState(line, os);
+          return fmt("double-owner: procs %d and %d would both answer "
+                     "a snoop of line 0x%" PRIxPTR " as owner",
+                     first, second, line);
+      }
+
+      case FaultKind::GhostExclusive: {
+          // Clean-exclusive granted although the snoop's shared line
+          // was asserted; needs a protocol with an E state.
+          if (!proto.hasExclusive)
+              return "";
+          auto v = busCandidates(
+              caches, [&](Addr, LineState, ProcId, int copies) {
+                  return copies >= 2;
+              });
+          if (v.empty())
+              return "";
+          Target t = v[seed % v.size()];
+          caches[t.proc].setState(t.line, LineState::Exclusive);
+          return fmt("ghost-exclusive: proc %d holds line 0x%" PRIxPTR
+                     " Exclusive though other copies exist",
+                     t.proc, t.line);
+      }
+
+      case FaultKind::BusTrafficSkew: {
+          ProcId p = static_cast<ProcId>(seed % std::uint64_t(nprocs));
+          std::uint64_t cycles =
+              std::uint64_t(mem_.bus_.lineCycles());
+          mem_.stats_[p].busDataCycles += cycles;
+          return fmt("bus-traffic-skew: credited proc %d with %" PRIu64
+                     " data-phase cycles never driven on the wires",
+                     p, cycles);
       }
 
       default:

@@ -29,6 +29,26 @@
  *                    Ineligible under protocols whose legal set is the
  *                    full state alphabet (MOESI, Dragon).
  *
+ * The kinds above corrupt directory state and are eligible only under
+ * Interconnect::Directory.  Bus mode (sim/bus.h) has no directory, so
+ * its kinds seed the states a broken snoop path would leave in the tag
+ * arrays (candidates enumerate Cache::forEachResident instead of the
+ * directory map):
+ *
+ *  - SnoopMissedInval: a writer took Modified but one cache never saw
+ *                      the invalidating broadcast -- a Modified copy
+ *                      coexists with surviving valid copies.
+ *  - DoubleOwner:      two caches would both answer a snoop as owner
+ *                      (both in an owner state) -- broken bus
+ *                      arbitration of the ownership handoff.
+ *  - GhostExclusive:   a copy granted clean-exclusive although the
+ *                      snoop's shared line was asserted (other copies
+ *                      exist).  Ineligible under protocols without a
+ *                      clean-exclusive state (MSI).
+ *  - BusTrafficSkew:   data-phase cycles credited with no line or
+ *                      word-update broadcast on the wires -- breaks
+ *                      bus-occupancy conservation.
+ *
  * The predicates are parameterized by the configured Protocol
  * descriptor, so every kind (except where noted ineligible) seeds a
  * genuine fault under every registered protocol.
@@ -57,6 +77,10 @@ enum class FaultKind : int {
     DirtyDesync,
     TrafficSkew,
     IllegalState,
+    SnoopMissedInval,  ///< bus-mode kinds from here on
+    DoubleOwner,
+    GhostExclusive,
+    BusTrafficSkew,
     NumKinds
 };
 
@@ -67,6 +91,12 @@ const char* faultKindName(FaultKind k);
 
 /** Parse a CLI name; returns false if @p s names no fault kind. */
 bool parseFaultKind(const std::string& s, FaultKind* out);
+
+/** True for the kinds that corrupt snoopy-bus state; such kinds are
+ *  eligible only under Interconnect::Bus, the rest only under
+ *  Interconnect::Directory.  Lets the CLI reject mismatched
+ *  --interconnect / --inject combos at parse time. */
+bool faultKindIsBus(FaultKind k);
 
 class FaultInjector
 {

@@ -9,6 +9,7 @@ namespace splash::sim {
 
 MemSystem::MemSystem(const MachineConfig& cfg, const HomeResolver* homes)
     : cfg_(cfg), proto_(protocol(cfg.protocol)),
+      bus_{cfg.cache.lineSize, cfg.busWidthBytes},
       writeSilent_(proto_.silentHit[static_cast<int>(AccessType::Write)]),
       homes_(homes), defaultHomes_(cfg.nprocs, cfg.cache.lineSize),
       classifier_(cfg.nprocs, cfg.cache.lineSize), stats_(cfg.nprocs)
@@ -41,8 +42,10 @@ void
 MemSystem::txBegin(ProcId p)
 {
     tx_.bytesBefore = dataBytes(p);
+    tx_.busCyclesBefore = stats_[p].busDataCycles;
     tx_.dataTransfers = 0;
     tx_.writebacks = 0;
+    tx_.updates = 0;
 }
 
 void
@@ -52,6 +55,22 @@ MemSystem::txEnd(ProcId p, int expectData)
            "traffic conservation: wrong line supply count");
     ensure(tx_.writebacks <= 2,
            "traffic conservation: more than victim + sharing writeback");
+    if (cfg_.interconnect == Interconnect::Bus) {
+        // Occupancy replaces the byte decomposition: data-phase cycles
+        // must match the lines and word updates that crossed the wires,
+        // and the directory byte counters must not move at all.
+        std::uint64_t cycles =
+            std::uint64_t(bus_.lineCycles()) *
+                std::uint64_t(tx_.dataTransfers + tx_.writebacks) +
+            std::uint64_t(bus_.updateCycles()) *
+                std::uint64_t(tx_.updates);
+        ensure(stats_[p].busDataCycles - tx_.busCyclesBefore == cycles,
+               "bus occupancy conservation: cycles != phases charged");
+        ensure(dataBytes(p) == tx_.bytesBefore,
+               "bus occupancy conservation: directory byte counter "
+               "moved in bus mode");
+        return;
+    }
     std::uint64_t moved =
         std::uint64_t(cfg_.cache.lineSize) *
         std::uint64_t(tx_.dataTransfers + tx_.writebacks);
@@ -168,8 +187,99 @@ MemSystem::reconcileDir(Addr lineAddr, DirEntry& d)
 }
 
 const Transition&
-MemSystem::runTransition(ProcId p, Addr lineAddr, ProtoEvent ev,
-                         MissType mt)
+MemSystem::runBusTransition(ProcId p, Addr lineAddr, ProtoEvent ev,
+                            MissType mt)
+{
+    // Address phase: the request goes out once and every cache snoops
+    // it -- there is no home node and no directory consult.
+    busTransaction(p);
+    SnoopResult sr = snoopLine(caches_, proto_, lineAddr, p);
+    const Transition& t = proto_.at(ev, sr.group);
+    ensure(t.valid, "transition unreachable under this protocol");
+
+    // --- line supply --------------------------------------------------
+    if (t.supply == Supply::Owner) {
+        ProcId q = sr.owner;
+        ensure(q >= 0 && q != p,
+               "bus owner supply without a distinct snooped owner");
+        busLineTransfer(p, mt);  // owner drives the data wires
+        // A sharing writeback is free on the bus: memory snarfs the
+        // very transfer the owner is already driving.
+        if (t.ownerNext == LineState::Invalid) {
+            caches_[q].invalidate(lineAddr);
+            classifier_.noteInvalidated(q, lineAddr);
+            ++stats_[p].invalidations;
+        } else {
+            caches_[q].setState(lineAddr, t.ownerNext);
+        }
+    } else if (t.supply == Supply::Memory) {
+        busLineTransfer(p, mt);  // memory drives the data wires
+    }
+
+    // --- the other holders (snooped: no packets, no acks) -------------
+    switch (t.others) {
+      case OthersOp::DowngradeExclusive:
+        // The snoop's shared line tells a clean-exclusive holder it is
+        // no longer alone.
+        for (int q = 0; q < cfg_.nprocs; ++q)
+            if (q != p &&
+                caches_[q].peek(lineAddr) == LineState::Exclusive)
+                caches_[q].setState(lineAddr, LineState::Shared);
+        break;
+      case OthersOp::Invalidate:
+        // One broadcast kills every other copy; each copy actually
+        // invalidated still counts (the ledger the paper's
+        // invalidation-miss decomposition is built on).
+        for (int q = 0; q < cfg_.nprocs; ++q) {
+            if (q == p ||
+                caches_[q].peek(lineAddr) == LineState::Invalid)
+                continue;
+            caches_[q].invalidate(lineAddr);
+            classifier_.noteInvalidated(q, lineAddr);
+            ++stats_[p].invalidations;
+        }
+        break;
+      case OthersOp::Update: {
+        // One word-update broadcast reaches every holder at once; it
+        // occupies the data wires only when someone is listening.
+        bool any = false;
+        for (int q = 0; q < cfg_.nprocs; ++q) {
+            if (q == p)
+                continue;
+            LineState sq = caches_[q].peek(lineAddr);
+            if (sq == LineState::Invalid)
+                continue;
+            any = true;
+            ++stats_[p].updates;
+            if (sq == LineState::Exclusive || sq == LineState::Owned)
+                caches_[q].setState(lineAddr, LineState::Shared);
+        }
+        if (any)
+            busUpdate(p);
+        break;
+      }
+      case OthersOp::None:
+        break;
+    }
+
+    // --- requester finalization ---------------------------------------
+    // The snoop's shared line reflects ground truth (no sharer vector
+    // to go stale), so recount after the others-op.
+    int others = 0;
+    for (int q = 0; q < cfg_.nprocs; ++q)
+        if (q != p && caches_[q].peek(lineAddr) != LineState::Invalid)
+            ++others;
+    LineState ns = others == 0 ? t.reqStateAlone : t.reqState;
+    if (ev == ProtoEvent::WriteHit)
+        caches_[p].setState(lineAddr, ns);
+    else
+        installLine(p, lineAddr, ns);
+    return t;
+}
+
+const Transition&
+MemSystem::runDirTransition(ProcId p, Addr lineAddr, ProtoEvent ev,
+                            MissType mt)
 {
     ProcId home = homeOf(lineAddr);
     packet(p, p, home);  // request to the home
@@ -277,6 +387,15 @@ MemSystem::installLine(ProcId p, Addr lineAddr, LineState st)
 void
 MemSystem::evictVictim(ProcId p, const Cache::Victim& v)
 {
+    if (cfg_.interconnect == Interconnect::Bus) {
+        // A bus has no sharer vectors to keep exact, hence no
+        // replacement hints: clean victims drop silently, owner-state
+        // victims write back in a bus transaction of their own.
+        if (stateIn(proto_.ownerStates, v.state))
+            busWriteback(p);
+        classifier_.noteReplaced(p, v.lineAddr);
+        return;
+    }
     ProcId home = homeOf(v.lineAddr);
     auto it = dir_.find(v.lineAddr);
     ensure(it != dir_.end(), "evicted line missing from directory");
@@ -353,14 +472,57 @@ MemSystem::writebackTransfer(ProcId p, ProcId src, ProcId home)
 }
 
 void
+MemSystem::busTransaction(ProcId p)
+{
+    ++stats_[p].busTransactions;
+    stats_[p].busAddrCycles += bus_.addrCycles();
+}
+
+void
+MemSystem::busLineTransfer(ProcId p, MissType mt)
+{
+#ifndef NDEBUG
+    ++tx_.dataTransfers;
+#endif
+    ++xferLines_;
+    stats_[p].busDataCycles += bus_.lineCycles();
+    // The paper's inherent-communication proxy is organization-
+    // independent: true-sharing misses move a line either way.
+    if (mt == MissType::TrueSharing)
+        stats_[p].trueSharedData += cfg_.cache.lineSize;
+}
+
+void
+MemSystem::busWriteback(ProcId p)
+{
+#ifndef NDEBUG
+    ++tx_.writebacks;
+#endif
+    ++wbLines_;
+    busTransaction(p);  // the writeback arbitrates for the bus itself
+    stats_[p].busDataCycles += bus_.lineCycles();
+}
+
+void
+MemSystem::busUpdate(ProcId p)
+{
+#ifndef NDEBUG
+    ++tx_.updates;
+#endif
+    ++updateTxns_;
+    stats_[p].busDataCycles += bus_.updateCycles();
+}
+
+void
 MemSystem::resetStats()
 {
     for (auto& s : stats_)
         s = MemStats{};
     // The traffic-conservation ledger covers the same window as the
-    // byte counters it validates.
+    // counters it validates.
     xferLines_ = 0;
     wbLines_ = 0;
+    updateTxns_ = 0;
 }
 
 MemStats

@@ -30,6 +30,12 @@
  *  - Replacing a clean line sends a replacement hint to the home;
  *    replacing a line in one of the protocol's owner states (M, and
  *    O/Sm where they exist) writes the line back.
+ *
+ * Under Interconnect::Bus (sim/bus.h) the same Transition tables are
+ * executed against a snoopy broadcast bus instead: the combined snoop
+ * response replaces the directory consult, one broadcast replaces the
+ * per-sharer invalidation/ack packets, and bus-occupancy cycle charges
+ * replace the packet/byte decomposition above.
  */
 #ifndef SPLASH2_SIM_MEMSYS_H
 #define SPLASH2_SIM_MEMSYS_H
@@ -40,6 +46,7 @@
 
 #include "base/log.h"
 #include "base/types.h"
+#include "sim/bus.h"
 #include "sim/cache.h"
 #include "sim/classify.h"
 #include "sim/config.h"
@@ -143,12 +150,28 @@ class MemSystem
     /** The fast path promotes E->M without consulting the directory;
      *  bring the directory entry up to date before it is read. */
     void reconcileDir(Addr lineAddr, DirEntry& d);
-    /** Execute the protocol's Transition for @p ev on @p lineAddr:
-     *  request packet, directory-group classification, table lookup,
-     *  line supply, other-holder op, directory/state finalization.
-     *  Returns the executed cell (for the debug traffic asserts). */
-    const Transition& runTransition(ProcId p, Addr lineAddr,
-                                    ProtoEvent ev, MissType mt);
+    /** Execute the protocol's Transition for @p ev on @p lineAddr,
+     *  dispatching on the configured interconnect.  Returns the
+     *  executed cell (for the debug traffic asserts). */
+    const Transition&
+    runTransition(ProcId p, Addr lineAddr, ProtoEvent ev, MissType mt)
+    {
+        return cfg_.interconnect == Interconnect::Bus
+                   ? runBusTransition(p, lineAddr, ev, mt)
+                   : runDirTransition(p, lineAddr, ev, mt);
+    }
+    /** Directory organization: request packet to the home, directory
+     *  consult, per-sharer invalidation/update/ack packets,
+     *  directory finalization. */
+    const Transition& runDirTransition(ProcId p, Addr lineAddr,
+                                       ProtoEvent ev, MissType mt);
+    /** Bus organization: broadcast address phase, combined snoop
+     *  response in place of the directory consult, occupancy charges
+     *  in place of the packet decomposition.  No sharer vectors, no
+     *  homes, no replacement hints, no reconciliation (snooping sees
+     *  silent E->M promotions directly). */
+    const Transition& runBusTransition(ProcId p, Addr lineAddr,
+                                       ProtoEvent ev, MissType mt);
     void installLine(ProcId p, Addr lineAddr, LineState st);
     void evictVictim(ProcId p, const Cache::Victim& v);
 
@@ -158,6 +181,16 @@ class MemSystem
     void dataTransfer(ProcId p, ProcId src, ProcId dst, MissType mt);
     /** Dirty-line writeback src -> home. */
     void writebackTransfer(ProcId p, ProcId src, ProcId home);
+
+    // --- bus-occupancy accounting (Interconnect::Bus) ----------------
+    /** Address phase of one broadcast transaction. */
+    void busTransaction(ProcId p);
+    /** Line data phase (owner or memory drives the wires). */
+    void busLineTransfer(ProcId p, MissType mt);
+    /** Victim writeback: its own transaction (address + line data). */
+    void busWriteback(ProcId p);
+    /** One Dragon word-update broadcast (reaches every holder). */
+    void busUpdate(ProcId p);
 
     ProcId homeOf(Addr lineAddr) const;
     Addr lineOf(Addr a) const { return alignDown(a, cfg_.cache.lineSize); }
@@ -169,6 +202,8 @@ class MemSystem
     MachineConfig cfg_;
     /** Registered protocol descriptor (static lifetime). */
     const Protocol& proto_;
+    /** Bus-occupancy charge table (Interconnect::Bus only). */
+    BusModel bus_;
     /** proto_.silentHit[Write], cached for the inlined fast path. */
     std::uint8_t writeSilent_;
     const HomeResolver* homes_;
@@ -181,8 +216,9 @@ class MemSystem
     /** Always-on transfer counts backing the checker's global traffic-
      *  conservation rule: every byte in the per-processor data counters
      *  must come from exactly one of these line movements. */
-    std::uint64_t xferLines_ = 0;  ///< dataTransfer calls since reset
-    std::uint64_t wbLines_ = 0;    ///< writebackTransfer calls since reset
+    std::uint64_t xferLines_ = 0;  ///< line transfers since reset
+    std::uint64_t wbLines_ = 0;    ///< writebacks since reset
+    std::uint64_t updateTxns_ = 0; ///< bus word-update broadcasts since reset
 
     std::uint64_t checkPeriod_ = 0;  ///< full sweep every N txns (0 = off)
     std::uint64_t sinceCheck_ = 0;   ///< txns since the last full sweep
@@ -196,8 +232,10 @@ class MemSystem
     struct TxCheck
     {
         std::uint64_t bytesBefore = 0;
+        std::uint64_t busCyclesBefore = 0;
         int dataTransfers = 0;
         int writebacks = 0;
+        int updates = 0;
     };
     TxCheck tx_;
     std::uint64_t dataBytes(ProcId p) const;

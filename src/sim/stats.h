@@ -70,6 +70,16 @@ struct MemStats
     std::uint64_t trueSharedData = 0;      ///< data moved by true-sharing
                                            ///< misses (local + remote)
 
+    // --- bus occupancy (Interconnect::Bus only) ----------------------------
+    // On a snoopy bus the byte-counter decomposition above does not
+    // apply (no local/remote distinction, no packets, no headers);
+    // occupancy in bus cycles replaces it.  Each transaction charges
+    // one address phase plus a data phase when a line (or, under
+    // Dragon, a word update) crosses the data wires.
+    std::uint64_t busTransactions = 0;  ///< address broadcasts issued
+    std::uint64_t busAddrCycles = 0;    ///< cycles of address-phase occupancy
+    std::uint64_t busDataCycles = 0;    ///< cycles of data-phase occupancy
+
     std::uint64_t
     totalMisses() const
     {
@@ -104,6 +114,13 @@ struct MemStats
         return remoteData() + remoteOverhead + localData;
     }
 
+    /** Total bus occupancy in cycles (zero under the directory). */
+    std::uint64_t
+    busCycles() const
+    {
+        return busAddrCycles + busDataCycles;
+    }
+
     MemStats&
     operator+=(const MemStats& o)
     {
@@ -121,6 +138,9 @@ struct MemStats
         remoteOverhead += o.remoteOverhead;
         localData += o.localData;
         trueSharedData += o.trueSharedData;
+        busTransactions += o.busTransactions;
+        busAddrCycles += o.busAddrCycles;
+        busDataCycles += o.busDataCycles;
         return *this;
     }
 };

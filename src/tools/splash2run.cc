@@ -10,6 +10,7 @@
  *              [--iters 0] [--aux 0] [--cachekb 1024] [--assoc 4]
  *              [--line 64] [--nohints 1] [--nomem 1] [--seed 1234]
  *              [--protocol msi|mesi|moesi|dragon]
+ *              [--interconnect directory|bus]
  *              [--backend fiber|thread] [--quantum 250]
  *              [--delivery batched|direct] [--jobs N]
  *              [--race off|word|line] [--csv FILE]
@@ -41,9 +42,14 @@
  * the per-app census rows (results/races.csv).  Either way the
  * characterization statistics are byte-identical to --race off.
  *
- * --protocol selects the coherence protocol of the simulated machine
- * (the one engine flag that changes results: it changes the machine);
- * --protocol list prints the registered zoo.  --backend selects the
+ * --protocol selects the coherence protocol of the simulated machine;
+ * --protocol list prints the registered zoo.  --interconnect selects
+ * the interconnect organization: the default directory CC-NUMA
+ * machine, or a snoopy bus where misses broadcast and every cache
+ * answers from its tag array (same protocol descriptors, no sharer
+ * vectors, bus occupancy accounted instead of packet bytes).  Those
+ * two are the engine flags that change results: they change the
+ * machine.  --backend selects the
  * interleaver's execution mechanism (stackful fibers on one host
  * thread, or one parked host thread per simulated processor);
  * --quantum sets the instrumentation events per scheduling slice;
@@ -79,7 +85,13 @@ report(const App& app, const RunStats& r, bool with_mem,
 {
     std::printf("%s on %d processors (scale %.3g)\n",
                 app.name().c_str(), procs, cfg.scale);
-    if (with_mem)
+    if (with_mem && simOpts.interconnect == sim::Interconnect::Bus)
+        std::printf("machine: %llu KB %d-way %dB-line caches, "
+                    "snoopy bus %s\n",
+                    static_cast<unsigned long long>(cache.size >> 10),
+                    cache.assoc, cache.lineSize,
+                    sim::protocol(simOpts.protocol).display);
+    else if (with_mem)
         std::printf("machine: %llu KB %d-way %dB-line caches, "
                     "directory %s%s\n",
                     static_cast<unsigned long long>(cache.size >> 10),
@@ -152,16 +164,30 @@ report(const App& app, const RunStats& r, bool with_mem,
         double den = trafficDenominator(app, r.exec);
         if (den <= 0)
             den = 1;
-        std::printf("traffic (bytes per %s): remote data %.4f "
-                    "(shared %.4f, cold %.4f, capacity %.4f, "
-                    "writeback %.4f), overhead %.4f, local %.4f\n",
-                    app.isFloatingPoint() ? "FLOP" : "instr",
-                    r.mem.remoteData() / den,
-                    r.mem.remoteSharedData / den,
-                    r.mem.remoteColdData / den,
-                    r.mem.remoteCapacityData / den,
-                    r.mem.remoteWriteback / den,
-                    r.mem.remoteOverhead / den, r.mem.localData / den);
+        if (simOpts.interconnect == sim::Interconnect::Bus)
+            // Broadcast transactions have no packet decomposition;
+            // occupancy of the shared wires is the traffic metric.
+            std::printf("bus occupancy (cycles per %s): %.4f "
+                        "(address %.4f, data %.4f; %llu "
+                        "transactions)\n",
+                        app.isFloatingPoint() ? "FLOP" : "instr",
+                        r.mem.busCycles() / den,
+                        r.mem.busAddrCycles / den,
+                        r.mem.busDataCycles / den,
+                        static_cast<unsigned long long>(
+                            r.mem.busTransactions));
+        else
+            std::printf("traffic (bytes per %s): remote data %.4f "
+                        "(shared %.4f, cold %.4f, capacity %.4f, "
+                        "writeback %.4f), overhead %.4f, local %.4f\n",
+                        app.isFloatingPoint() ? "FLOP" : "instr",
+                        r.mem.remoteData() / den,
+                        r.mem.remoteSharedData / den,
+                        r.mem.remoteColdData / den,
+                        r.mem.remoteCapacityData / den,
+                        r.mem.remoteWriteback / den,
+                        r.mem.remoteOverhead / den,
+                        r.mem.localData / den);
         std::printf("true-sharing (inherent communication) proxy: "
                     "%.4f bytes per %s\n",
                     r.mem.trueSharedData / den,
@@ -432,6 +458,7 @@ runInjection(App& app, int procs, const sim::CacheConfig& cache,
         mc.cache = cache;
         mc.replacementHints = hints;
         mc.protocol = simOpts.protocol;
+        mc.interconnect = simOpts.interconnect;
         sim::MemSystem mem(mc, &env.heap());
         env.attachMemSystem(&mem);
         if (!app.run(env, cfg).valid) {
@@ -517,6 +544,10 @@ main(int argc, char** argv)
             "         --protocol msi|mesi|moesi|dragon  coherence\n"
             "             protocol of the simulated machine (default\n"
             "             mesi; 'list' prints the registered zoo)\n"
+            "         --interconnect directory|bus  interconnect\n"
+            "             organization of the simulated machine\n"
+            "             (default directory CC-NUMA; bus snoops the\n"
+            "             tag arrays and accounts bus occupancy)\n"
             "         --backend fiber|thread  execution mechanism of\n"
             "             the interleaver (default fiber; results are\n"
             "             identical, fibers are much faster)\n"
@@ -575,13 +606,8 @@ main(int argc, char** argv)
     cache.assoc = static_cast<int>(opt.getI("assoc", 4));
     cache.lineSize = static_cast<int>(opt.getI("line", 64));
 
-    if (eng.sweepRequested &&
-        (opt.has("inject") || opt.has("race-inject"))) {
-        std::fprintf(stderr,
-                     "--sweep runs the working-set sweep and cannot "
-                     "be combined with an injection harness\n");
+    if (!checkModeConflicts(opt, eng))
         return 2;
-    }
 
     if (opt.has("inject")) {
         if (!with_mem) {
@@ -647,6 +673,7 @@ main(int argc, char** argv)
                 e.cache = cache;
                 e.hints = hints;
                 e.protocol = eng.sim.protocol;
+                e.interconnect = eng.sim.interconnect;
                 results[i] = runCharacterizations(*apps[i], procs, {e},
                                                   cfg, eng.sim)[0];
             } else {

@@ -27,6 +27,28 @@ parse(std::vector<std::string> words, EngineOpts* out)
     return parseEngineOpts(opt, out);
 }
 
+/** Parse @p words, then run the mode-conflict matrix over them the
+ *  way splash2run does.  Returns true when the combination is
+ *  accepted end to end. */
+bool
+parseAndCheck(std::vector<std::string> words, std::string* err = nullptr)
+{
+    std::vector<std::string> full = {"prog"};
+    full.insert(full.end(), words.begin(), words.end());
+    std::vector<char*> argv;
+    argv.reserve(full.size());
+    for (auto& s : full)
+        argv.push_back(s.data());
+    Options opt(static_cast<int>(argv.size()), argv.data());
+    EngineOpts eng;
+    ::testing::internal::CaptureStderr();
+    bool ok = parseEngineOpts(opt, &eng) && checkModeConflicts(opt, eng);
+    std::string captured = ::testing::internal::GetCapturedStderr();
+    if (err)
+        *err = captured;
+    return ok;
+}
+
 } // namespace
 
 TEST(EngineOpts, DefaultsParse)
@@ -228,6 +250,91 @@ TEST(EngineOpts, RecordRejectsUncreatablePath)
     // always pass).
     EngineOpts eng;
     EXPECT_FALSE(parse({"--record", "/dev/null/store"}, &eng));
+}
+
+TEST(EngineOpts, InterconnectNamesLand)
+{
+    EngineOpts eng;
+    ASSERT_TRUE(parse({}, &eng));
+    EXPECT_EQ(eng.sim.interconnect, splash::sim::Interconnect::Directory);
+    EXPECT_FALSE(eng.interconnectRequested);
+    ASSERT_TRUE(parse({"--interconnect", "directory"}, &eng));
+    EXPECT_EQ(eng.sim.interconnect, splash::sim::Interconnect::Directory);
+    EXPECT_TRUE(eng.interconnectRequested);
+    ASSERT_TRUE(parse({"--interconnect", "bus"}, &eng));
+    EXPECT_EQ(eng.sim.interconnect, splash::sim::Interconnect::Bus);
+    EXPECT_TRUE(eng.interconnectRequested);
+}
+
+TEST(EngineOpts, RejectsUnknownInterconnects)
+{
+    EngineOpts eng;
+    EXPECT_FALSE(parse({"--interconnect", "crossbar"}, &eng));
+    // Names are exact and lowercase, like --protocol.
+    EXPECT_FALSE(parse({"--interconnect", "Bus"}, &eng));
+    EXPECT_FALSE(parse({"--interconnect", ""}, &eng));
+}
+
+// Contradictory mode combinations are rejected up front -- one
+// harness or mode owns the whole run, so combining two would silently
+// ignore one.  Every rejection carries the same message shape.
+TEST(EngineOpts, ModeConflictMatrixRejected)
+{
+    const std::string dir = ::testing::TempDir();
+    // Each injection harness conflicts with every other run mode.
+    EXPECT_FALSE(parseAndCheck({"--inject", "all", "--race-inject",
+                                "all"}));
+    EXPECT_FALSE(parseAndCheck({"--inject", "all", "--sweep", "exact"}));
+    EXPECT_FALSE(parseAndCheck({"--inject", "all", "--race", "word"}));
+    EXPECT_FALSE(parseAndCheck({"--inject", "all", "--replay", dir}));
+    EXPECT_FALSE(
+        parseAndCheck({"--race-inject", "all", "--sweep", "model"}));
+    EXPECT_FALSE(
+        parseAndCheck({"--race-inject", "all", "--race", "line"}));
+    EXPECT_FALSE(
+        parseAndCheck({"--race-inject", "all", "--replay", dir}));
+    // The working-set sweep models cache capacity only.
+    EXPECT_FALSE(parseAndCheck({"--interconnect", "bus", "--sweep",
+                                "exact"}));
+    // A named fault kind must target the configured interconnect.
+    EXPECT_FALSE(parseAndCheck({"--inject", "dropped-inval",
+                                "--interconnect", "bus"}));
+    EXPECT_FALSE(parseAndCheck({"--inject", "double-owner"}));
+    // ...while the matching pairings and 'all' stay runnable.
+    EXPECT_TRUE(parseAndCheck({"--inject", "all"}));
+    EXPECT_TRUE(parseAndCheck({"--inject", "all", "--interconnect",
+                               "bus"}));
+    EXPECT_TRUE(parseAndCheck({"--inject", "dropped-inval"}));
+    EXPECT_TRUE(parseAndCheck({"--inject", "double-owner",
+                               "--interconnect", "bus"}));
+    EXPECT_TRUE(parseAndCheck({"--race-inject", "all"}));
+    EXPECT_TRUE(parseAndCheck({"--interconnect", "bus", "--race",
+                               "word"}));
+    EXPECT_TRUE(parseAndCheck({"--interconnect", "directory",
+                               "--sweep", "exact"}));
+}
+
+// All contradictory combinations -- including the two rejected inside
+// parseEngineOpts itself -- share one diagnostic shape, so scripts
+// can grep a single prefix.
+TEST(EngineOpts, ConflictDiagnosticsShareOneShape)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::vector<std::vector<std::string>> combos = {
+        {"--inject", "all", "--race", "word"},
+        {"--race-inject", "all", "--sweep", "exact"},
+        {"--interconnect", "bus", "--sweep", "both"},
+        {"--inject", "ghost-exclusive"},
+        {"--sweep", "model", "--sweep-threads", "4"},
+        {"--record", dir + "cli_conflict_store", "--replay", dir},
+    };
+    for (const auto& combo : combos) {
+        std::string err;
+        EXPECT_FALSE(parseAndCheck(combo, &err));
+        EXPECT_EQ(err.rfind("conflicting flags: ", 0), 0u)
+            << "diagnostic for " << combo[0]
+            << " does not share the uniform shape: " << err;
+    }
 }
 
 // --protocol list is informational: the parse "fails" so the caller
